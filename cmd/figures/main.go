@@ -1,0 +1,397 @@
+// Command figures regenerates every figure of the thesis' evaluation and
+// prints the corresponding tables. EXPERIMENTS.md records one full run.
+//
+// Usage:
+//
+//	figures [-fig all|3-1|3-3|4-4|4-5|4-6|4-8|4-9|4-10|4-11|5-3]
+//	        [-runs N] [-seed S] [-quick]
+//
+// -quick shrinks sweep resolutions for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+)
+
+var (
+	figFlag  = flag.String("fig", "all", "figure to regenerate (e.g. 4-4, ext-robustness) or 'all'")
+	runsFlag = flag.Int("runs", 10, "repeated simulations per configuration")
+	seedFlag = flag.Uint64("seed", 2003, "master seed")
+	quick    = flag.Bool("quick", false, "reduced sweep resolution")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	flag.Parse()
+
+	runners := []struct {
+		name string
+		run  func() error
+	}{
+		{"3-1", fig31},
+		{"3-3", fig33},
+		{"4-4", fig44},
+		{"4-5", fig45},
+		{"4-6", fig46},
+		{"4-8", fig48},
+		{"4-9", fig49},
+		{"4-10", fig410},
+		{"4-11", fig411},
+		{"5-3", fig53},
+		{"ext-robustness", extRobustness},
+		{"ext-mapping", extMapping},
+		{"ext-spread", extSpread},
+		{"ext-bimodal", extBimodal},
+		{"ext-ttl", extTTL},
+		{"ext-fec", extFEC},
+	}
+	ran := false
+	for _, r := range runners {
+		if *figFlag != "all" && *figFlag != r.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("==== Figure %s ====\n", r.name)
+		if err := r.run(); err != nil {
+			log.Fatalf("figure %s: %v", r.name, err)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		log.Fatalf("unknown figure %q", *figFlag)
+	}
+}
+
+func table(header string, rows func(w *tabwriter.Writer)) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	rows(w)
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func fig31() error {
+	rows := experiments.Fig31(*runsFlag*10, *seedFlag)
+	fmt.Println("Message spreading, 1000-node fully connected network (Fig. 3-1)")
+	table("round\ttheory I(t)\tsimulated mean", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%.1f\t%.1f\n", r.Round, r.Theory, r.SimMean)
+		}
+	})
+	return nil
+}
+
+func fig33() error {
+	res, err := experiments.Fig33(*seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Producer–Consumer on a 4x4 NoC, p=0.5 (Fig. 3-3)")
+	fmt.Printf("Manhattan distance:  %d hops\n", res.ManhattanDistance)
+	fmt.Printf("delivered in round:  %d\n", res.DeliveryRound)
+	table("round\ttiles aware", func(w *tabwriter.Writer) {
+		for i, n := range res.AwarePerRound {
+			fmt.Fprintf(w, "%d\t%d\n", i+1, n)
+			if n >= 16 {
+				break
+			}
+		}
+	})
+	return nil
+}
+
+func fig44() error {
+	dead := []int{0, 1, 2, 3, 4}
+	if *quick {
+		dead = []int{0, 2}
+	}
+	for _, app := range []experiments.CaseApp{experiments.FFT2, experiments.MasterSlave} {
+		rows, err := experiments.Fig44(app, dead, *runsFlag, *seedFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Latency & energy vs tile crash failures — %s (Fig. 4-4)\n", app)
+		table("p\tdead tiles\tlatency [rounds]\tenergy [J/bit]\tcompletion", func(w *tabwriter.Writer) {
+			for _, r := range rows {
+				fmt.Fprintf(w, "%.2f\t%d\t%.1f ±%.1f\t%.3g\t%.0f%%\n",
+					r.P, r.DeadTiles, r.Result.Latency.Mean, r.Result.Latency.StdDev,
+					r.Result.EnergyPerBit.Mean, 100*r.Result.CompletionRate)
+			}
+		})
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig45() error {
+	dead := []int{0, 2, 4, 6}
+	upsets := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9}
+	if *quick {
+		dead = []int{0, 4}
+		upsets = []float64{0, 0.5, 0.9}
+	}
+	cells, err := experiments.Fig45(dead, upsets, *runsFlag, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Master–Slave latency surface: dead tiles x data upsets, p=0.5 (Fig. 4-5)")
+	table("dead tiles\tp_upset\tlatency [rounds]\tcompletion", func(w *tabwriter.Writer) {
+		for _, c := range cells {
+			fmt.Fprintf(w, "%d\t%.2f\t%.1f ±%.1f\t%.0f%%\n",
+				c.DeadTiles, c.PUpset, c.Latency.Mean, c.Latency.StdDev,
+				100*c.CompletionRate)
+		}
+	})
+	return nil
+}
+
+func fig46() error {
+	res, err := experiments.Fig46(3, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Stochastic NoC vs shared bus, 0.25um parameters (Fig. 4-6)")
+	table("implementation\tlatency [µs]\tenergy [J/bit]\tenergy×delay [J·s/bit]", func(w *tabwriter.Writer) {
+		for i, r := range res.Runs {
+			fmt.Fprintf(w, "NoC run %d\t%.2f\t%.3g\t%.3g\n",
+				i+1, 1e6*r.LatencySeconds, r.EnergyPerBitJ, r.EnergyDelayJsPB)
+		}
+		fmt.Fprintf(w, "NoC average\t%.2f\t%.3g\t%.3g\n",
+			1e6*res.NoCAvg.LatencySeconds, res.NoCAvg.EnergyPerBitJ, res.NoCAvg.EnergyDelayJsPB)
+		fmt.Fprintf(w, "Bus\t%.2f\t%.3g\t%.3g\n",
+			1e6*res.Bus.LatencySeconds, res.Bus.EnergyPerBitJ, res.Bus.EnergyDelayJsPB)
+	})
+	fmt.Printf("bus/NoC latency ratio: %.1fx (thesis: 11x)\n", res.LatencyRatio)
+	fmt.Printf("NoC/bus energy ratio:  %.2fx (thesis: 1.05x; see EXPERIMENTS.md)\n", res.EnergyRatio)
+	return nil
+}
+
+func fig48() error {
+	ps := []float64{0.25, 0.4, 0.55, 0.7, 0.85, 1}
+	upsets := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	if *quick {
+		ps = []float64{0.5, 1}
+		upsets = []float64{0, 0.6}
+	}
+	cells, err := experiments.Fig48(ps, upsets, *runsFlag/2+1, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MP3 latency over (p, p_upset), %d frames (Fig. 4-8)\n", experiments.MP3Frames)
+	table("p\tp_upset\tlatency [rounds]\tcompletion", func(w *tabwriter.Writer) {
+		for _, c := range cells {
+			lat := "DNF"
+			if c.Latency.N > 0 {
+				lat = fmt.Sprintf("%.0f ±%.0f", c.Latency.Mean, c.Latency.StdDev)
+			}
+			fmt.Fprintf(w, "%.2f\t%.2f\t%s\t%.0f%%\n", c.P, c.PUpset, lat, 100*c.CompletionRate)
+		}
+	})
+	return nil
+}
+
+func fig49() error {
+	ps := []float64{0.25, 0.4, 0.55, 0.7, 0.85, 1}
+	if *quick {
+		ps = []float64{0.25, 0.5, 1}
+	}
+	rows, err := experiments.Fig49(ps, *runsFlag/2+1, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("MP3 communication energy vs forwarding probability p (Fig. 4-9)")
+	table("p\tenergy [J]", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%.2f\t%.3g ±%.2g\n", r.P, r.EnergyJ.Mean, r.EnergyJ.StdDev)
+		}
+	})
+	return nil
+}
+
+func fig410() error {
+	drops := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9}
+	sigmas := []float64{0, 0.5, 1, 1.5, 2}
+	if *quick {
+		drops = []float64{0, 0.4, 0.9}
+		sigmas = []float64{0, 1.5}
+	}
+	over, err := experiments.Fig410Overflow(drops, *runsFlag/2+1, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("MP3 latency vs dropped packets (Fig. 4-10 left; 'point A' = completion collapse)")
+	table("dropped\tlatency [rounds]\tcompletion", func(w *tabwriter.Writer) {
+		for _, r := range over {
+			lat := "DNF"
+			if r.Latency.N > 0 {
+				lat = fmt.Sprintf("%.0f ±%.0f", r.Latency.Mean, r.Latency.StdDev)
+			}
+			fmt.Fprintf(w, "%.0f%%\t%s\t%.0f%%\n", 100*r.X, lat, 100*r.CompletionRate)
+		}
+	})
+	syncRows, err := experiments.Fig410Sync(sigmas, *runsFlag/2+1, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nMP3 latency vs synchronization error σ (Fig. 4-10 right)")
+	table("σ/T_R\tlatency [rounds]\tcompletion", func(w *tabwriter.Writer) {
+		for _, r := range syncRows {
+			fmt.Fprintf(w, "%.0f%%\t%.0f ±%.0f\t%.0f%%\n",
+				100*r.X, r.Latency.Mean, r.Latency.StdDev, 100*r.CompletionRate)
+		}
+	})
+	return nil
+}
+
+func fig411() error {
+	drops := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	sigmas := []float64{0, 0.5, 1, 1.5, 2}
+	if *quick {
+		drops = []float64{0, 0.5}
+		sigmas = []float64{0, 1.5}
+	}
+	over, err := experiments.Fig411Overflow(drops, *runsFlag/2+1, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("MP3 output bit-rate vs dropped packets (Fig. 4-11 left)")
+	table("dropped\tbit-rate [b/s]\tjitter [rounds]", func(w *tabwriter.Writer) {
+		for _, r := range over {
+			fmt.Fprintf(w, "%.0f%%\t%.0f\t%.2f\n", 100*r.X, r.BitrateBps.Mean, r.JitterRounds.Mean)
+		}
+	})
+	syncRows, err := experiments.Fig411Sync(sigmas, *runsFlag/2+1, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nMP3 output bit-rate vs synchronization error σ (Fig. 4-11 right)")
+	table("σ/T_R\tbit-rate [b/s]\tjitter [rounds]", func(w *tabwriter.Writer) {
+		for _, r := range syncRows {
+			fmt.Fprintf(w, "%.0f%%\t%.0f\t%.2f\n", 100*r.X, r.BitrateBps.Mean, r.JitterRounds.Mean)
+		}
+	})
+	return nil
+}
+
+func fig53() error {
+	rows, err := experiments.Fig53(*runsFlag/2+1, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("On-chip diversity: beamforming on three architectures (Fig. 5-3)")
+	table("architecture\tlatency [rounds]\tmessage transmissions\tcompleted", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%v\t%.1f ±%.1f\t%.0f ±%.0f\t%v\n",
+				r.Arch, r.Latency.Mean, r.Latency.StdDev,
+				r.Transmissions.Mean, r.Transmissions.StdDev, r.CompletedAll)
+		}
+	})
+	return nil
+}
+
+func extRobustness() error {
+	rows, err := experiments.RobustnessStudy([]int{0, 1, 2, 3, 4}, *runsFlag*2, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: delivery robustness, gossip vs directed gossip vs XY routing (6x6, corner-to-corner)")
+	table("protocol\tdead tiles\tdelivery rate\tlatency [rounds]", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			lat := "-"
+			if r.Latency.N > 0 {
+				lat = fmt.Sprintf("%.1f ±%.1f", r.Latency.Mean, r.Latency.StdDev)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%.0f%%\t%s\n", r.Protocol, r.DeadTiles, 100*r.DeliveryRate, lat)
+		}
+	})
+	return nil
+}
+
+func extMapping() error {
+	rows, err := experiments.MappingStudy(*runsFlag, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: mapping sensitivity of the Master-Slave workload (§4.1.3 / [21])")
+	table("placement\tcomm cost [vol×hops]\tlatency [rounds]", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.1f ±%.1f\n", r.Strategy, r.CommCost, r.Latency.Mean, r.Latency.StdDev)
+		}
+	})
+	return nil
+}
+
+func extSpread() error {
+	rows, err := experiments.GridSpread(6, 0.75, *runsFlag*2, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: broadcast dissemination on a 6x6 mesh, p=0.75 (grid counterpart of Fig. 3-1)")
+	table("round\ttiles aware (mean)", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d\t%.1f\n", r.Round, r.AwareMean)
+			if r.AwareMean >= 36 {
+				break
+			}
+		}
+	})
+	return nil
+}
+
+func extBimodal() error {
+	rows, err := experiments.BimodalStudy(*runsFlag*30, 0.40, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: bimodal delivery near the percolation threshold (Birman et al. [4]; crash p=0.40)")
+	table("coverage of surviving tiles\tfraction of runs", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%.0f%%-%.0f%%\t%.1f%%\n", 100*r.CoverageLo, 100*r.CoverageHi, 100*r.Fraction)
+		}
+	})
+	return nil
+}
+
+func extTTL() error {
+	rows, err := experiments.TTLStudy([]uint8{4, 6, 8, 12, 16, 24, 32}, *runsFlag*3, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: the TTL bandwidth knob (§3.3.1) — 8-hop unicast on a 5x5 grid, p=0.5")
+	table("TTL\tdelivery rate\ttransmissions\tlatency [rounds]", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			lat := "-"
+			if r.Latency.N > 0 {
+				lat = fmt.Sprintf("%.1f", r.Latency.Mean)
+			}
+			fmt.Fprintf(w, "%d\t%.0f%%\t%.0f\t%s\n", r.TTL, 100*r.DeliveryRate, r.Transmissions.Mean, lat)
+		}
+	})
+	return nil
+}
+
+func extFEC() error {
+	rows, err := experiments.FECStudy([]float64{0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.08},
+		*runsFlag*300, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: CRC-discard vs Hamming SEC-DED FEC on a random-bit-error channel (Ch. 3 ARQ/FEC discussion)")
+	table("p_bit\tCRC frame survival\tFEC frame survival\tFEC silent miscorrections [per block]", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%.4f\t%.1f%%\t%.1f%%\t%.2e\n",
+				r.Pb, 100*r.CRCSurvival, 100*r.FECSurvival, r.FECMiscorrect)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,167 @@
+package beamform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/audio/signal"
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+func wave() *signal.Synth {
+	return &signal.Synth{
+		SampleRate: 16000,
+		Tones:      []signal.Tone{{Freq: 500, Amp: 0.5}},
+	}
+}
+
+func setup(t *testing.T, cfg core.Config, selfNoise float64, blocks int) (*core.Network, *App) {
+	t.Helper()
+	net, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := cfg.Topo.(*topology.Grid)
+	agg := grid.ID(3, 3)
+	sensors := []packet.TileID{
+		grid.ID(0, 0), grid.ID(1, 0), grid.ID(2, 0), grid.ID(3, 0),
+		grid.ID(0, 1), grid.ID(1, 1), grid.ID(2, 1), grid.ID(3, 1),
+	}
+	delays := []int{0, 3, 6, 9, 12, 15, 18, 21} // linear array, plane wave
+	app, err := Setup(net, agg, sensors, delays, wave(), selfNoise, 64, blocks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, app
+}
+
+func TestBeamformCompletes(t *testing.T) {
+	net, app := setup(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 300, Seed: 1,
+	}, 0, 4)
+	res := net.Run()
+	if !res.Completed {
+		t.Fatalf("beamforming incomplete: %+v", res)
+	}
+	if app.Agg.DoneRound == 0 {
+		t.Fatal("DoneRound not recorded")
+	}
+}
+
+func TestCoherentSumMatchesSource(t *testing.T) {
+	// Without self-noise, the aligned average must equal the source
+	// exactly (for samples where every sensor had wave data).
+	net, app := setup(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 1, TTL: core.DefaultTTL,
+		MaxRounds: 200, Seed: 2,
+	}, 0, 3)
+	if !net.Run().Completed {
+		t.Fatal("incomplete")
+	}
+	// Block 1 (samples 64..128): all delays (≤21) have real data by then.
+	beam, err := app.Agg.Beam(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := wave().Samples(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range beam {
+		if math.Abs(beam[i]-ref[i]) > 1e-12 {
+			t.Fatalf("beam sample %d = %v, want %v", i, beam[i], ref[i])
+		}
+	}
+}
+
+func TestArrayGainSuppressesNoise(t *testing.T) {
+	// With independent sensor noise, the beamformed output is closer to
+	// the clean source than any single noisy sensor: SNR improves by
+	// ≈10·log10(N) = 9 dB for 8 sensors.
+	const noiseAmp = 0.2
+	net, app := setup(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 1, TTL: core.DefaultTTL,
+		MaxRounds: 200, Seed: 3,
+	}, noiseAmp, 3)
+	if !net.Run().Completed {
+		t.Fatal("incomplete")
+	}
+	beam, err := app.Agg.Beam(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := wave().Samples(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single sensor's SNR: wave + one noise stream.
+	noisy := make([]float64, 64)
+	noise := &signal.Synth{SampleRate: 16000, NoiseAmp: noiseAmp, Seed: 0xbeaf0}
+	nv, err := noise.Samples(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range noisy {
+		noisy[i] = ref[i] + nv[i]
+	}
+	single := signal.SNRdB(ref, noisy)
+	array := signal.SNRdB(ref, beam)
+	if array < single+5 {
+		t.Fatalf("array gain too small: single %.1f dB, array %.1f dB", single, array)
+	}
+}
+
+func TestBeamIncompleteBlockErrors(t *testing.T) {
+	agg, err := NewAggregator(4, 16, 2, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Beam(0); err == nil {
+		t.Fatal("incomplete block returned a beam")
+	}
+}
+
+func TestAggregatorValidation(t *testing.T) {
+	if _, err := NewAggregator(0, 16, 1, nil); err == nil {
+		t.Error("zero sensors accepted")
+	}
+	if _, err := NewAggregator(2, 16, 1, []int{0}); err == nil {
+		t.Error("delay count mismatch accepted")
+	}
+}
+
+func TestSetupRejectsCollision(t *testing.T) {
+	net, err := core.New(core.Config{Topo: topology.NewGrid(2, 2), P: 0.5, TTL: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Setup(net, 0, []packet.TileID{0}, []int{0}, wave(), 0, 16, 1, 0); err == nil {
+		t.Fatal("sensor on aggregator tile accepted")
+	}
+}
+
+func TestDuplicateBlocksIgnored(t *testing.T) {
+	agg, err := NewAggregator(2, 4, 1, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft two deliveries of the same (sensor, block).
+	mk := func() *packet.Packet {
+		w := make([]byte, 0)
+		w = append(w, 0, 0) // sensor 0
+		w = append(w, 0, 0, 0, 0)
+		for i := 0; i < 4; i++ {
+			w = append(w, 0x3f, 0xf0, 0, 0, 0, 0, 0, 0) // 1.0
+		}
+		return &packet.Packet{Kind: KindBlock, Payload: w}
+	}
+	ctx := &core.Ctx{}
+	agg.Receive(ctx, mk())
+	agg.Receive(ctx, mk())
+	if agg.sums[0][0] != 1.0 {
+		t.Fatalf("duplicate block double-counted: %v", agg.sums[0][0])
+	}
+}

@@ -1,0 +1,282 @@
+// Package fft2d implements the thesis' parallel two-dimensional FFT case
+// study (§4.1.2): a root IP distributes an image's rows to worker IPs over
+// the stochastic NoC, collects the row transforms, redistributes the
+// columns, and assembles the full 2-D spectrum. The two communication
+// phases ("first, the initial message has to reach all of the leaf nodes,
+// and second, the computed results have to come back to the root") are
+// exactly the traffic pattern whose latency Fig. 4-4 sweeps.
+//
+// Workers may be replicated like the π slaves; the root keeps the first
+// copy of each block result and ignores the rest.
+package fft2d
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dsp/fft"
+	"repro/internal/packet"
+
+	"repro/internal/apps/codec"
+)
+
+// Message kinds.
+const (
+	KindRowTask   packet.Kind = 10 // root -> worker: a block of rows
+	KindRowResult packet.Kind = 11 // worker -> root: transformed rows
+	KindColTask   packet.Kind = 12 // root -> worker: a block of columns
+	KindColResult packet.Kind = 13 // worker -> root: transformed columns
+)
+
+// encodeBlock serializes (blockIdx, vectorLen, vectors...).
+func encodeBlock(blockIdx int, vecs [][]complex128) []byte {
+	w := codec.NewWriter(4 + 16*len(vecs)*len(vecs[0]))
+	w.U16(uint16(blockIdx))
+	w.U16(uint16(len(vecs)))
+	w.U32(uint32(len(vecs[0])))
+	for _, v := range vecs {
+		for _, c := range v {
+			w.C128(c)
+		}
+	}
+	return w.Bytes()
+}
+
+// decodeBlock inverts encodeBlock.
+func decodeBlock(payload []byte) (blockIdx int, vecs [][]complex128, err error) {
+	r := codec.NewReader(payload)
+	blockIdx = int(r.U16())
+	nvec := int(r.U16())
+	vlen := int(r.U32())
+	if r.Err() != nil {
+		return 0, nil, r.Err()
+	}
+	vecs = make([][]complex128, nvec)
+	for i := range vecs {
+		vecs[i] = make([]complex128, vlen)
+		for j := range vecs[i] {
+			vecs[i][j] = r.C128()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	return blockIdx, vecs, nil
+}
+
+// Root coordinates the distributed transform.
+type Root struct {
+	workers [][]packet.TileID
+	input   [][]complex128
+	rows    int
+	cols    int
+
+	rowBlocks   map[int][][]complex128 // collected row-phase results
+	colBlocks   map[int][][]complex128 // collected column-phase results
+	rowsStarted bool
+	colsStarted bool
+	// DoneRound is the round the last column block arrived in.
+	DoneRound int
+}
+
+// NewRoot builds a root for input (rows×cols, both powers of two) over
+// the given worker replica sets.
+func NewRoot(input [][]complex128, workers [][]packet.TileID) (*Root, error) {
+	rows := len(input)
+	if rows == 0 || !fft.IsPowerOfTwo(rows) {
+		return nil, fmt.Errorf("fft2d: rows = %d not a power of two", rows)
+	}
+	cols := len(input[0])
+	for _, row := range input {
+		if len(row) != cols {
+			return nil, fmt.Errorf("fft2d: ragged input")
+		}
+	}
+	if !fft.IsPowerOfTwo(cols) {
+		return nil, fmt.Errorf("fft2d: cols = %d not a power of two", cols)
+	}
+	if len(workers) == 0 || len(workers) > rows || len(workers) > cols {
+		return nil, fmt.Errorf("fft2d: %d workers for %dx%d input", len(workers), rows, cols)
+	}
+	return &Root{
+		workers:   workers,
+		input:     input,
+		rows:      rows,
+		cols:      cols,
+		rowBlocks: map[int][][]complex128{},
+		colBlocks: map[int][][]complex128{},
+	}, nil
+}
+
+// Init implements core.Process.
+func (r *Root) Init(*core.Ctx) {}
+
+// Round implements core.Process: kick off the row phase once; the column
+// phase starts from Receive when the last row block lands.
+func (r *Root) Round(ctx *core.Ctx) {
+	if r.rowsStarted {
+		return
+	}
+	r.rowsStarted = true
+	for b := range r.workers {
+		lo, hi := r.blockRange(b, r.rows)
+		r.sendToReplicas(ctx, b, KindRowTask, r.input[lo:hi])
+	}
+}
+
+func (r *Root) blockRange(b, total int) (lo, hi int) {
+	n := len(r.workers)
+	return b * total / n, (b + 1) * total / n
+}
+
+func (r *Root) sendToReplicas(ctx *core.Ctx, blockIdx int, kind packet.Kind, vecs [][]complex128) {
+	payload := encodeBlock(blockIdx, vecs)
+	for _, tile := range r.workers[blockIdx] {
+		ctx.Send(tile, kind, payload)
+	}
+}
+
+// Receive implements core.Receiver: collect transformed blocks.
+func (r *Root) Receive(ctx *core.Ctx, p *packet.Packet) {
+	switch p.Kind {
+	case KindRowResult:
+		idx, vecs, err := decodeBlock(p.Payload)
+		if err != nil || idx >= len(r.workers) {
+			return
+		}
+		if _, dup := r.rowBlocks[idx]; dup {
+			return
+		}
+		r.rowBlocks[idx] = vecs
+		if len(r.rowBlocks) == len(r.workers) && !r.colsStarted {
+			r.startColumnPhase(ctx)
+		}
+	case KindColResult:
+		idx, vecs, err := decodeBlock(p.Payload)
+		if err != nil || idx >= len(r.workers) {
+			return
+		}
+		if _, dup := r.colBlocks[idx]; dup {
+			return
+		}
+		r.colBlocks[idx] = vecs
+		if len(r.colBlocks) == len(r.workers) {
+			r.DoneRound = ctx.Round()
+		}
+	}
+}
+
+// startColumnPhase transposes the row-transformed matrix and ships column
+// blocks out.
+func (r *Root) startColumnPhase(ctx *core.Ctx) {
+	r.colsStarted = true
+	rowXform := r.assembleRows()
+	for b := range r.workers {
+		lo, hi := r.blockRange(b, r.cols)
+		cols := make([][]complex128, hi-lo)
+		for c := lo; c < hi; c++ {
+			col := make([]complex128, r.rows)
+			for i := 0; i < r.rows; i++ {
+				col[i] = rowXform[i][c]
+			}
+			cols[c-lo] = col
+		}
+		r.sendToReplicas(ctx, b, KindColTask, cols)
+	}
+}
+
+// assembleRows stitches the collected row blocks back into a matrix.
+func (r *Root) assembleRows() [][]complex128 {
+	out := make([][]complex128, 0, r.rows)
+	for b := 0; b < len(r.workers); b++ {
+		out = append(out, r.rowBlocks[b]...)
+	}
+	return out
+}
+
+// Done implements core.Completer.
+func (r *Root) Done() bool { return len(r.colBlocks) == len(r.workers) }
+
+// Result returns the assembled 2-D spectrum. Calling it before Done is an
+// error.
+func (r *Root) Result() ([][]complex128, error) {
+	if !r.Done() {
+		return nil, fmt.Errorf("fft2d: %d/%d column blocks collected",
+			len(r.colBlocks), len(r.workers))
+	}
+	out := make([][]complex128, r.rows)
+	for i := range out {
+		out[i] = make([]complex128, r.cols)
+	}
+	for b := 0; b < len(r.workers); b++ {
+		lo, _ := r.blockRange(b, r.cols)
+		for j, col := range r.colBlocks[b] {
+			for i := 0; i < r.rows; i++ {
+				out[i][lo+j] = col[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Worker transforms whatever block it is handed.
+type Worker struct {
+	root packet.TileID
+}
+
+// NewWorker returns a worker reporting to root.
+func NewWorker(root packet.TileID) *Worker { return &Worker{root: root} }
+
+// Init implements core.Process.
+func (w *Worker) Init(*core.Ctx) {}
+
+// Round implements core.Process (reactive only).
+func (w *Worker) Round(*core.Ctx) {}
+
+// Receive implements core.Receiver: FFT each vector of the block and send
+// the result back.
+func (w *Worker) Receive(ctx *core.Ctx, p *packet.Packet) {
+	var replyKind packet.Kind
+	switch p.Kind {
+	case KindRowTask:
+		replyKind = KindRowResult
+	case KindColTask:
+		replyKind = KindColResult
+	default:
+		return
+	}
+	idx, vecs, err := decodeBlock(p.Payload)
+	if err != nil {
+		return
+	}
+	for _, v := range vecs {
+		if err := fft.Forward(v); err != nil {
+			return // non-power-of-two block: drop (root validated sizes)
+		}
+	}
+	ctx.Send(w.root, replyKind, encodeBlock(idx, vecs))
+}
+
+// App wires a complete FFT2 instance.
+type App struct {
+	Root     *Root
+	RootTile packet.TileID
+}
+
+// Setup attaches a root and its workers to net.
+func Setup(net *core.Network, rootTile packet.TileID, workers [][]packet.TileID, input [][]complex128) (*App, error) {
+	root, err := NewRoot(input, workers)
+	if err != nil {
+		return nil, err
+	}
+	net.Attach(rootTile, root)
+	for _, tiles := range workers {
+		for _, tile := range tiles {
+			if tile == rootTile {
+				return nil, fmt.Errorf("fft2d: worker collides with root tile %d", rootTile)
+			}
+			net.Attach(tile, NewWorker(rootTile))
+		}
+	}
+	return &App{Root: root, RootTile: rootTile}, nil
+}

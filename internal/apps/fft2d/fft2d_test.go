@@ -1,0 +1,239 @@
+package fft2d
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsp/fft"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func randomImage(rows, cols int, seed uint64) [][]complex128 {
+	r := rng.New(seed)
+	m := make([][]complex128, rows)
+	for i := range m {
+		m[i] = make([]complex128, cols)
+		for j := range m[i] {
+			m[i][j] = complex(r.Float64()*2-1, 0)
+		}
+	}
+	return m
+}
+
+func clone(m [][]complex128) [][]complex128 {
+	out := make([][]complex128, len(m))
+	for i := range m {
+		out[i] = append([]complex128(nil), m[i]...)
+	}
+	return out
+}
+
+// thesisSetup mirrors §4.1.2: a 4x4 NoC, root at a corner, four workers.
+func thesisSetup(t *testing.T, cfg core.Config, img [][]complex128, replicate bool) (*core.Network, *App) {
+	t.Helper()
+	net, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := cfg.Topo.(*topology.Grid)
+	root := grid.ID(0, 0)
+	var workers [][]packet.TileID
+	if replicate {
+		workers = [][]packet.TileID{
+			{grid.ID(1, 0), grid.ID(3, 0)},
+			{grid.ID(2, 1), grid.ID(0, 3)},
+			{grid.ID(1, 2), grid.ID(3, 2)},
+			{grid.ID(2, 3), grid.ID(0, 1)},
+		}
+	} else {
+		workers = [][]packet.TileID{
+			{grid.ID(1, 0)}, {grid.ID(2, 1)}, {grid.ID(1, 2)}, {grid.ID(3, 3)},
+		}
+	}
+	app, err := Setup(net, root, workers, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, app
+}
+
+func matricesEqual(a, b [][]complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if cmplx.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	img := randomImage(8, 8, 1)
+	want := clone(img)
+	if err := fft.Forward2D(want); err != nil {
+		t.Fatal(err)
+	}
+	net, app := thesisSetup(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.5, TTL: core.DefaultTTL,
+		MaxRounds: 150, Seed: 2,
+	}, img, false)
+	res := net.Run()
+	if !res.Completed {
+		t.Fatalf("FFT2 did not complete: %+v", res)
+	}
+	got, err := app.Root.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(got, want, 1e-9) {
+		t.Fatal("distributed FFT2 differs from serial Forward2D")
+	}
+}
+
+func TestFloodingLatencyEnvelope(t *testing.T) {
+	img := randomImage(8, 8, 3)
+	net, _ := thesisSetup(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 1, TTL: core.DefaultTTL,
+		MaxRounds: 100, Seed: 5,
+	}, img, false)
+	res := net.Run()
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	// Four communication phases (rows out, rows back, cols out, cols
+	// back) over ≤6-hop paths: flooding must finish well under 30 rounds
+	// (the thesis quotes 4-8 round totals for its mapping).
+	if res.Rounds > 30 {
+		t.Fatalf("flooding FFT2 took %d rounds", res.Rounds)
+	}
+}
+
+func TestReplicatedWorkersSurviveCrash(t *testing.T) {
+	img := randomImage(8, 8, 7)
+	want := clone(img)
+	if err := fft.Forward2D(want); err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	const runs = 20
+	for seed := uint64(0); seed < runs; seed++ {
+		grid := topology.NewGrid(4, 4)
+		net, app := thesisSetup(t, core.Config{
+			Topo: grid, P: 0.75, TTL: core.DefaultTTL, MaxRounds: 200, Seed: seed,
+			Fault: fault.Model{DeadTiles: 1, Protect: []packet.TileID{grid.ID(0, 0)}},
+		}, img, true)
+		if net.Run().Completed {
+			completed++
+			got, err := app.Root.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matricesEqual(got, want, 1e-9) {
+				t.Fatalf("seed %d: wrong spectrum under crash", seed)
+			}
+		}
+	}
+	if completed < runs*3/4 {
+		t.Fatalf("only %d/%d replicated runs completed", completed, runs)
+	}
+}
+
+func TestRejectsBadInputs(t *testing.T) {
+	grid := topology.NewGrid(4, 4)
+	mk := func() *core.Network {
+		net, err := core.New(core.Config{Topo: grid, P: 0.5, TTL: 5, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	w := [][]packet.TileID{{1}, {2}}
+	if _, err := Setup(mk(), 0, w, randomImage(6, 8, 1)); err == nil {
+		t.Error("non-power-of-two rows accepted")
+	}
+	if _, err := Setup(mk(), 0, w, randomImage(8, 6, 1)); err == nil {
+		t.Error("non-power-of-two cols accepted")
+	}
+	ragged := randomImage(4, 4, 1)
+	ragged[2] = ragged[2][:2]
+	if _, err := Setup(mk(), 0, w, ragged); err == nil {
+		t.Error("ragged input accepted")
+	}
+	if _, err := Setup(mk(), 0, nil, randomImage(4, 4, 1)); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := Setup(mk(), 0, [][]packet.TileID{{0}}, randomImage(4, 4, 1)); err == nil {
+		t.Error("worker on root tile accepted")
+	}
+	if _, err := Setup(mk(), 0, [][]packet.TileID{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}},
+		randomImage(4, 4, 1)); err == nil {
+		t.Error("more workers than rows accepted")
+	}
+}
+
+func TestResultBeforeDoneErrors(t *testing.T) {
+	root, err := NewRoot(randomImage(4, 4, 1), [][]packet.TileID{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Result(); err == nil {
+		t.Fatal("Result() before completion did not error")
+	}
+}
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	vecs := [][]complex128{{1 + 2i, 3}, {4, 5 - 6i}}
+	idx, got, err := decodeBlock(encodeBlock(3, vecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 3 || !matricesEqual(got, vecs, 0) {
+		t.Fatalf("block codec: idx=%d %v", idx, got)
+	}
+}
+
+func TestBlockCodecRejectsShort(t *testing.T) {
+	payload := encodeBlock(0, [][]complex128{{1, 2}})
+	if _, _, err := decodeBlock(payload[:len(payload)-4]); err == nil {
+		t.Fatal("short block accepted")
+	}
+}
+
+func TestUnevenBlockSplit(t *testing.T) {
+	// 8 rows over 3 workers: blocks of 2/3/3.
+	img := randomImage(8, 8, 9)
+	want := clone(img)
+	if err := fft.Forward2D(want); err != nil {
+		t.Fatal(err)
+	}
+	grid := topology.NewGrid(4, 4)
+	net, err := core.New(core.Config{Topo: grid, P: 1, TTL: core.DefaultTTL, MaxRounds: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Setup(net, 0, [][]packet.TileID{{5}, {10}, {15}}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Run().Completed {
+		t.Fatal("uneven split incomplete")
+	}
+	got, err := app.Root.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(got, want, 1e-9) {
+		t.Fatal("uneven split produced a wrong spectrum")
+	}
+}

@@ -1,0 +1,518 @@
+// Package mp3 maps the perceptual audio encoder of package audio/encoder
+// onto a stochastically-communicating NoC, reproducing the thesis' §4.2
+// experimental setup (Fig. 4-7): six pipeline stages — Signal
+// Acquisition, Psychoacoustic Model, MDCT, Iterative Encoding, Bit
+// Reservoir, Output — each on its own tile, streaming frame-sized
+// messages through the gossip network.
+//
+// The dataflow follows the figure:
+//
+//	Acquisition ──window──▶ Psycho ──window+mask──▶ MDCT
+//	     MDCT ──coefficients+allowance──▶ Encoding
+//	     Encoding ◀──grant/commit──▶ Bit Reservoir
+//	     Encoding ──encoded frame──▶ Output
+//
+// Every arrow is a gossip unicast subject to the full Chapter 2 fault
+// model. The Encoding stage falls back to its nominal budget if a grant
+// is lost in the network for too long (a real-time encoder cannot stall),
+// but losing a window, coefficient or frame message outright kills that
+// frame — with enough overflow the encoding "will not be able to
+// complete", the thesis' point A in Fig. 4-10.
+package mp3
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/audio/encoder"
+	"repro/internal/audio/quant"
+	"repro/internal/audio/signal"
+	"repro/internal/core"
+	"repro/internal/packet"
+
+	"repro/internal/apps/codec"
+)
+
+// Message kinds of the pipeline.
+const (
+	KindWindow    packet.Kind = 30 // Acquisition -> Psycho
+	KindMasked    packet.Kind = 31 // Psycho -> MDCT (window + mask ratios)
+	KindCoef      packet.Kind = 32 // MDCT -> Encoding (coefs + allowances)
+	KindBudgetReq packet.Kind = 33 // Encoding -> Reservoir
+	KindGrant     packet.Kind = 34 // Reservoir -> Encoding
+	KindCommit    packet.Kind = 35 // Encoding -> Reservoir
+	KindFrame     packet.Kind = 36 // Encoding -> Output
+)
+
+// grantTimeout is how many rounds the Encoding stage waits for a grant
+// before falling back to the nominal budget.
+const grantTimeout = 8
+
+// Tiles assigns the six stages to NoC tiles.
+type Tiles struct {
+	Acquisition, Psycho, MDCT, Encoding, Reservoir, Output packet.TileID
+}
+
+// DefaultTiles is the standard 4×4 placement used by the experiments: the
+// chain occupies a path so consecutive stages are 1-2 hops apart.
+func DefaultTiles() Tiles {
+	return Tiles{
+		Acquisition: 0,  // (0,0)
+		Psycho:      1,  // (1,0)
+		MDCT:        6,  // (2,1)
+		Encoding:    10, // (2,2)
+		Reservoir:   9,  // (1,2)
+		Output:      15, // (3,3)
+	}
+}
+
+// Pipeline owns the six stage processes. The middle four stages (Psycho,
+// MDCT, Encoding, Reservoir) may be replicated on mirror tiles for crash
+// tolerance (the §4.1.1 duplication mechanism applied to the §4.2
+// pipeline); every stage deduplicates by frame index, so replicas are
+// transparent to correctness and only add traffic.
+type Pipeline struct {
+	Tiles  Tiles
+	Frames int
+	Enc    *encoder.Encoder
+
+	psychoT, mdctT, encT, resT []packet.TileID
+
+	out *outputStage
+}
+
+// Setup attaches the pipeline to net, encoding `frames` windows of src.
+func Setup(net *core.Network, tiles Tiles, cfg encoder.Config, src *signal.Synth, frames int) (*Pipeline, error) {
+	return setup(net, tiles, nil, cfg, src, frames)
+}
+
+// SetupReplicated attaches the pipeline with the four middle stages
+// duplicated on the mirror tiles: either copy of a stage can carry a
+// frame, so a single crashed stage tile no longer kills the encoding.
+// The Acquisition and Output endpoints stay single (source and sink).
+func SetupReplicated(net *core.Network, tiles, mirror Tiles, cfg encoder.Config, src *signal.Synth, frames int) (*Pipeline, error) {
+	return setup(net, tiles, &mirror, cfg, src, frames)
+}
+
+func setup(net *core.Network, tiles Tiles, mirror *Tiles, cfg encoder.Config, src *signal.Synth, frames int) (*Pipeline, error) {
+	if frames <= 0 {
+		return nil, errors.New("mp3: frames must be positive")
+	}
+	enc, err := encoder.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ids := []packet.TileID{tiles.Acquisition, tiles.Psycho, tiles.MDCT,
+		tiles.Encoding, tiles.Reservoir, tiles.Output}
+	if mirror != nil {
+		ids = append(ids, mirror.Psycho, mirror.MDCT, mirror.Encoding, mirror.Reservoir)
+	}
+	seen := map[packet.TileID]bool{}
+	for _, id := range ids {
+		if int(id) >= net.Topology().Tiles() {
+			return nil, fmt.Errorf("mp3: tile %d out of range", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("mp3: stage tiles must be distinct (tile %d reused)", id)
+		}
+		seen[id] = true
+	}
+	p := &Pipeline{Tiles: tiles, Frames: frames, Enc: enc}
+	p.psychoT = []packet.TileID{tiles.Psycho}
+	p.mdctT = []packet.TileID{tiles.MDCT}
+	p.encT = []packet.TileID{tiles.Encoding}
+	p.resT = []packet.TileID{tiles.Reservoir}
+	if mirror != nil {
+		p.psychoT = append(p.psychoT, mirror.Psycho)
+		p.mdctT = append(p.mdctT, mirror.MDCT)
+		p.encT = append(p.encT, mirror.Encoding)
+		p.resT = append(p.resT, mirror.Reservoir)
+	}
+	p.out = &outputStage{expect: frames, frameDur: enc.FrameDuration()}
+	net.Attach(tiles.Acquisition, &acquisitionStage{pipe: p, src: src})
+	for _, t := range p.psychoT {
+		net.Attach(t, &psychoStage{pipe: p})
+	}
+	for _, t := range p.mdctT {
+		net.Attach(t, &mdctStage{pipe: p})
+	}
+	for _, t := range p.encT {
+		net.Attach(t, &encodingStage{pipe: p})
+	}
+	for _, t := range p.resT {
+		net.Attach(t, &reservoirStage{pipe: p, cap: enc.Config().ReservoirBits})
+	}
+	net.Attach(tiles.Output, p.out)
+	return p, nil
+}
+
+// fanout sends one payload to every replica of a stage.
+func fanout(ctx *core.Ctx, tiles []packet.TileID, kind packet.Kind, payload []byte) {
+	for _, t := range tiles {
+		ctx.Send(t, kind, payload)
+	}
+}
+
+// Output exposes the output stage's measurements.
+func (p *Pipeline) Output() *Output {
+	return &Output{
+		FramesReceived: len(p.out.bits),
+		BitsReceived:   p.out.totalBits,
+		ArrivalRounds:  append([]int(nil), p.out.arrivals...),
+		FrameDuration:  p.out.frameDur,
+		Expected:       p.out.expect,
+	}
+}
+
+// Output is the measured result of one pipeline run.
+type Output struct {
+	FramesReceived int
+	BitsReceived   int
+	ArrivalRounds  []int
+	FrameDuration  float64
+	Expected       int
+}
+
+// BitrateBps is the sustained output bit-rate: bits received over the
+// audio duration the input represents. Lost frames lower it — the
+// Fig. 4-11 metric.
+func (o *Output) BitrateBps() float64 {
+	if o.Expected == 0 || o.FrameDuration == 0 {
+		return 0
+	}
+	return float64(o.BitsReceived) / (float64(o.Expected) * o.FrameDuration)
+}
+
+// JitterRounds is the standard deviation of inter-arrival gaps at the
+// output — the error bars of Fig. 4-11.
+func (o *Output) JitterRounds() float64 {
+	if len(o.ArrivalRounds) < 3 {
+		return 0
+	}
+	gaps := make([]float64, 0, len(o.ArrivalRounds)-1)
+	for i := 1; i < len(o.ArrivalRounds); i++ {
+		gaps = append(gaps, float64(o.ArrivalRounds[i]-o.ArrivalRounds[i-1]))
+	}
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	var ss float64
+	for _, g := range gaps {
+		ss += (g - mean) * (g - mean)
+	}
+	return sqrt(ss / float64(len(gaps)-1))
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	// Newton iterations suffice and avoid importing math for one call.
+	x := v
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// ---- Stage 1: Signal Acquisition ----
+
+type acquisitionStage struct {
+	pipe *Pipeline
+	src  *signal.Synth
+	next int
+}
+
+func (s *acquisitionStage) Init(*core.Ctx) {}
+
+func (s *acquisitionStage) Round(ctx *core.Ctx) {
+	if s.next >= s.pipe.Frames {
+		return
+	}
+	m := s.pipe.Enc.Config().M
+	window, err := s.src.Samples(s.next*m, 2*m)
+	if err != nil {
+		return // mis-configured source: starve rather than panic
+	}
+	w := codec.NewWriter(4 + 8*len(window)).U32(uint32(s.next))
+	for _, v := range window {
+		w.F64(v)
+	}
+	fanout(ctx, s.pipe.psychoT, KindWindow, w.Bytes())
+	s.next++
+}
+
+// ---- Stage 2: Psychoacoustic Model ----
+
+type psychoStage struct {
+	pipe *Pipeline
+	seen map[uint32]bool
+}
+
+func (s *psychoStage) Init(*core.Ctx)  { s.seen = map[uint32]bool{} }
+func (s *psychoStage) Round(*core.Ctx) {}
+
+func (s *psychoStage) Receive(ctx *core.Ctx, p *packet.Packet) {
+	if p.Kind != KindWindow {
+		return
+	}
+	cfg := s.pipe.Enc.Config()
+	r := codec.NewReader(p.Payload)
+	frame := r.U32()
+	if s.seen[frame] {
+		return // a replicated upstream already fed us this frame
+	}
+	s.seen[frame] = true
+	window := make([]float64, 2*cfg.M)
+	for i := range window {
+		window[i] = r.F64()
+	}
+	if r.Err() != nil {
+		return
+	}
+	an, err := s.pipe.Enc.Model.Analyze(window)
+	if err != nil {
+		return
+	}
+	// Forward the window plus per-band masking ratios threshold/energy.
+	w := codec.NewWriter(4 + 8*len(window) + 8*cfg.Bands).U32(frame)
+	for _, v := range window {
+		w.F64(v)
+	}
+	for b := 0; b < cfg.Bands; b++ {
+		e := an.Energy[b]
+		if e < 1e-12 {
+			e = 1e-12
+		}
+		w.F64(an.Threshold[b] / e)
+	}
+	fanout(ctx, s.pipe.mdctT, KindMasked, w.Bytes())
+}
+
+// ---- Stage 3: MDCT ----
+
+type mdctStage struct {
+	pipe *Pipeline
+	seen map[uint32]bool
+}
+
+func (s *mdctStage) Init(*core.Ctx)  { s.seen = map[uint32]bool{} }
+func (s *mdctStage) Round(*core.Ctx) {}
+
+func (s *mdctStage) Receive(ctx *core.Ctx, p *packet.Packet) {
+	if p.Kind != KindMasked {
+		return
+	}
+	cfg := s.pipe.Enc.Config()
+	r := codec.NewReader(p.Payload)
+	frame := r.U32()
+	if s.seen[frame] {
+		return
+	}
+	s.seen[frame] = true
+	window := make([]float64, 2*cfg.M)
+	for i := range window {
+		window[i] = r.F64()
+	}
+	ratios := make([]float64, cfg.Bands)
+	for b := range ratios {
+		ratios[b] = r.F64()
+	}
+	if r.Err() != nil {
+		return
+	}
+	coef, err := s.pipe.Enc.MDCT.Forward(window)
+	if err != nil {
+		return
+	}
+	// Allowance in the coefficient domain: band energy × masking ratio.
+	bands := s.pipe.Enc.Bands
+	allowed := make([]float64, cfg.Bands)
+	for b := 0; b < cfg.Bands; b++ {
+		var e float64
+		for i := bands.Edges[b]; i < bands.Edges[b+1]; i++ {
+			e += coef[i] * coef[i]
+		}
+		allowed[b] = e * ratios[b]
+		if allowed[b] < 1e-9 {
+			allowed[b] = 1e-9
+		}
+	}
+	w := codec.NewWriter(4 + 8*(len(coef)+len(allowed))).U32(frame)
+	for _, v := range coef {
+		w.F64(v)
+	}
+	for _, v := range allowed {
+		w.F64(v)
+	}
+	fanout(ctx, s.pipe.encT, KindCoef, w.Bytes())
+}
+
+// ---- Stage 4: Iterative Encoding ----
+
+type pendingFrame struct {
+	coef    []float64
+	allowed []float64
+	since   int // round the coefficients arrived
+}
+
+type encodingStage struct {
+	pipe    *Pipeline
+	waiting map[uint32]*pendingFrame
+	granted map[uint32]int
+	done    map[uint32]bool
+}
+
+func (s *encodingStage) Init(*core.Ctx) {
+	s.waiting = map[uint32]*pendingFrame{}
+	s.granted = map[uint32]int{}
+	s.done = map[uint32]bool{}
+}
+
+func (s *encodingStage) Receive(ctx *core.Ctx, p *packet.Packet) {
+	cfg := s.pipe.Enc.Config()
+	switch p.Kind {
+	case KindCoef:
+		r := codec.NewReader(p.Payload)
+		frame := r.U32()
+		coef := make([]float64, cfg.M)
+		for i := range coef {
+			coef[i] = r.F64()
+		}
+		allowed := make([]float64, cfg.Bands)
+		for b := range allowed {
+			allowed[b] = r.F64()
+		}
+		if r.Err() != nil || s.done[frame] || s.waiting[frame] != nil {
+			return
+		}
+		s.waiting[frame] = &pendingFrame{coef: coef, allowed: allowed, since: ctx.Round()}
+		// Ask the reservoir for this frame's budget.
+		req := codec.NewWriter(4).U32(frame).Bytes()
+		fanout(ctx, s.pipe.resT, KindBudgetReq, req)
+	case KindGrant:
+		r := codec.NewReader(p.Payload)
+		frame := r.U32()
+		budget := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		s.granted[frame] = budget
+		s.tryEncode(ctx, frame)
+	}
+}
+
+func (s *encodingStage) Round(ctx *core.Ctx) {
+	// Grant-timeout fallback: a real-time encoder cannot stall on a lost
+	// grant; fall back to the nominal CBR budget.
+	for frame, pf := range s.waiting {
+		if _, ok := s.granted[frame]; !ok && ctx.Round()-pf.since > grantTimeout {
+			s.granted[frame] = s.pipe.Enc.NominalFrameBits()
+			s.tryEncode(ctx, frame)
+		}
+	}
+}
+
+func (s *encodingStage) tryEncode(ctx *core.Ctx, frame uint32) {
+	pf := s.waiting[frame]
+	budget, ok := s.granted[frame]
+	if pf == nil || !ok || s.done[frame] {
+		return
+	}
+	nominal := s.pipe.Enc.NominalFrameBits()
+	if budget < nominal {
+		budget = nominal // a grant can only add to CBR, never starve it
+	}
+	qf, err := quant.EncodeFrame(pf.coef, s.pipe.Enc.Bands, pf.allowed, budget)
+	if err != nil {
+		return
+	}
+	s.done[frame] = true
+	delete(s.waiting, frame)
+	delete(s.granted, frame)
+
+	commit := codec.NewWriter(8).U32(frame).U32(uint32(qf.BitLen)).Bytes()
+	fanout(ctx, s.pipe.resT, KindCommit, commit)
+
+	out := codec.NewWriter(8 + len(qf.Bits)).U32(frame).U32(uint32(qf.BitLen)).Raw(qf.Bits)
+	ctx.Send(s.pipe.Tiles.Output, KindFrame, out.Bytes())
+}
+
+// ---- Stage 5: Bit Reservoir ----
+
+type reservoirStage struct {
+	pipe      *Pipeline
+	cap       int
+	fill      int
+	committed map[uint32]bool
+}
+
+func (s *reservoirStage) Init(*core.Ctx)  { s.committed = map[uint32]bool{} }
+func (s *reservoirStage) Round(*core.Ctx) {}
+
+func (s *reservoirStage) Receive(ctx *core.Ctx, p *packet.Packet) {
+	nominal := s.pipe.Enc.NominalFrameBits()
+	switch p.Kind {
+	case KindBudgetReq:
+		r := codec.NewReader(p.Payload)
+		frame := r.U32()
+		if r.Err() != nil {
+			return
+		}
+		grant := nominal + s.fill
+		reply := codec.NewWriter(8).U32(frame).U32(uint32(grant)).Bytes()
+		// Reply to whichever Encoding replica asked.
+		ctx.Send(p.Src, KindGrant, reply)
+	case KindCommit:
+		r := codec.NewReader(p.Payload)
+		frame := r.U32()
+		used := int(r.U32())
+		if r.Err() != nil || s.committed[frame] {
+			return // replicated Encoding: settle each frame once
+		}
+		s.committed[frame] = true
+		s.fill += nominal - used
+		if s.fill > s.cap {
+			s.fill = s.cap
+		}
+		if s.fill < 0 {
+			s.fill = 0
+		}
+	}
+}
+
+// ---- Stage 6: Output ----
+
+type outputStage struct {
+	expect    int
+	frameDur  float64
+	bits      map[uint32]int
+	totalBits int
+	arrivals  []int
+}
+
+func (s *outputStage) Init(*core.Ctx)  { s.bits = map[uint32]int{} }
+func (s *outputStage) Round(*core.Ctx) {}
+
+func (s *outputStage) Receive(ctx *core.Ctx, p *packet.Packet) {
+	if p.Kind != KindFrame {
+		return
+	}
+	r := codec.NewReader(p.Payload)
+	frame := r.U32()
+	bitLen := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	if _, dup := s.bits[frame]; dup {
+		return
+	}
+	s.bits[frame] = bitLen
+	s.totalBits += bitLen
+	s.arrivals = append(s.arrivals, ctx.Round())
+}
+
+// Done implements core.Completer: all frames delivered to the output.
+func (s *outputStage) Done() bool { return len(s.bits) >= s.expect }

@@ -1,0 +1,280 @@
+package mp3
+
+import (
+	"testing"
+
+	"repro/internal/audio/encoder"
+	"repro/internal/audio/signal"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+func build(t *testing.T, cfg core.Config, frames int) (*core.Network, *Pipeline) {
+	t.Helper()
+	net, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Setup(net, DefaultTiles(), encoder.Config{}, signal.DefaultProgram(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, pipe
+}
+
+func TestPipelineCompletesFaultFree(t *testing.T) {
+	net, pipe := build(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.6, TTL: core.DefaultTTL,
+		MaxRounds: 400, Seed: 1,
+	}, 12)
+	res := net.Run()
+	if !res.Completed {
+		out := pipe.Output()
+		t.Fatalf("pipeline incomplete: %d/%d frames after %d rounds",
+			out.FramesReceived, out.Expected, res.Rounds)
+	}
+	out := pipe.Output()
+	if out.FramesReceived != 12 {
+		t.Fatalf("frames received = %d", out.FramesReceived)
+	}
+	if out.BitsReceived == 0 {
+		t.Fatal("no bits at output")
+	}
+}
+
+func TestPipelineBitrateNearTarget(t *testing.T) {
+	net, pipe := build(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 600, Seed: 2,
+	}, 24)
+	if !net.Run().Completed {
+		t.Fatal("incomplete")
+	}
+	br := pipe.Output().BitrateBps()
+	// Target 128 kb/s: CBR from below, within 45%.
+	if br < 70000 || br > 130000 {
+		t.Fatalf("sustained bitrate = %.0f b/s", br)
+	}
+}
+
+func TestFloodingFasterThanSparseGossip(t *testing.T) {
+	latency := func(p float64) int {
+		net, _ := build(t, core.Config{
+			Topo: topology.NewGrid(4, 4), P: p, TTL: core.DefaultTTL,
+			MaxRounds: 1500, Seed: 5,
+		}, 10)
+		res := net.Run()
+		if !res.Completed {
+			t.Fatalf("p=%v incomplete", p)
+		}
+		return res.Rounds
+	}
+	flood, sparse := latency(1), latency(0.35)
+	if flood >= sparse {
+		t.Fatalf("flooding (%d rounds) not faster than p=0.35 (%d rounds)", flood, sparse)
+	}
+}
+
+func TestSurvivesModerateOverflow(t *testing.T) {
+	// Fig. 4-10/4-11: the pipeline absorbs substantial overflow because
+	// gossip keeps many copies alive.
+	net, pipe := build(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 800, Seed: 3,
+		Fault: fault.Model{POverflow: 0.3},
+	}, 12)
+	res := net.Run()
+	if !res.Completed {
+		out := pipe.Output()
+		t.Fatalf("30%% overflow killed the pipeline: %d/%d frames", out.FramesReceived, out.Expected)
+	}
+}
+
+func TestSyncErrorsOnlyAddJitter(t *testing.T) {
+	net, pipe := build(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 1200, Seed: 4,
+		Fault: fault.Model{SigmaSync: 1.0},
+	}, 12)
+	res := net.Run()
+	if !res.Completed {
+		t.Fatalf("σ=100%% sync error prevented termination (rounds=%d, got %d/%d)",
+			res.Rounds, pipe.Output().FramesReceived, pipe.Output().Expected)
+	}
+}
+
+func TestExtremeOverflowFatal(t *testing.T) {
+	// Point A of Fig. 4-10: very high overflow loses packets outright.
+	completed := 0
+	for seed := uint64(0); seed < 5; seed++ {
+		net, _ := build(t, core.Config{
+			Topo: topology.NewGrid(4, 4), P: 0.5, TTL: core.DefaultTTL,
+			MaxRounds: 400, Seed: seed,
+			Fault: fault.Model{POverflow: 0.97},
+		}, 8)
+		if net.Run().Completed {
+			completed++
+		}
+	}
+	if completed == 5 {
+		t.Fatal("97% overflow never fatal — overflow model inert?")
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	grid := topology.NewGrid(4, 4)
+	mk := func() *core.Network {
+		net, err := core.New(core.Config{Topo: grid, P: 0.5, TTL: 5, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	if _, err := Setup(mk(), DefaultTiles(), encoder.Config{}, signal.DefaultProgram(), 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+	dup := DefaultTiles()
+	dup.Psycho = dup.Output
+	if _, err := Setup(mk(), dup, encoder.Config{}, signal.DefaultProgram(), 4); err == nil {
+		t.Error("duplicate stage tiles accepted")
+	}
+	oob := DefaultTiles()
+	oob.MDCT = 99
+	if _, err := Setup(mk(), oob, encoder.Config{}, signal.DefaultProgram(), 4); err == nil {
+		t.Error("out-of-range tile accepted")
+	}
+}
+
+func TestOutputMetrics(t *testing.T) {
+	o := &Output{
+		FramesReceived: 3,
+		BitsReceived:   3000,
+		ArrivalRounds:  []int{5, 10, 15, 22},
+		FrameDuration:  0.01,
+		Expected:       4,
+	}
+	// 3000 bits over 4 frames × 10 ms = 75 kb/s.
+	if br := o.BitrateBps(); br != 75000 {
+		t.Fatalf("bitrate = %v", br)
+	}
+	if j := o.JitterRounds(); j <= 0 {
+		t.Fatalf("jitter = %v", j)
+	}
+	uniform := &Output{ArrivalRounds: []int{1, 2, 3, 4}, Expected: 1, FrameDuration: 1}
+	if j := uniform.JitterRounds(); j != 0 {
+		t.Fatalf("uniform arrivals jitter = %v", j)
+	}
+	empty := &Output{}
+	if empty.BitrateBps() != 0 || empty.JitterRounds() != 0 {
+		t.Fatal("empty output metrics nonzero")
+	}
+}
+
+// mirrorTiles places the four middle-stage replicas on tiles unused by
+// DefaultTiles (0,1,6,10,9,15 taken).
+func mirrorTiles() Tiles {
+	t := DefaultTiles()
+	t.Psycho = 2
+	t.MDCT = 5
+	t.Encoding = 11
+	t.Reservoir = 13
+	return t
+}
+
+func TestReplicatedPipelineCompletes(t *testing.T) {
+	net, err := core.New(core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 600, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := SetupReplicated(net, DefaultTiles(), mirrorTiles(),
+		encoder.Config{}, signal.DefaultProgram(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Run().Completed {
+		t.Fatal("replicated pipeline incomplete")
+	}
+	out := pipe.Output()
+	if out.FramesReceived != 10 {
+		t.Fatalf("frames = %d", out.FramesReceived)
+	}
+	// Replication must not double-count frames or bits at the output.
+	br := out.BitrateBps()
+	if br < 70000 || br > 135000 {
+		t.Fatalf("replicated bitrate = %.0f (double counting?)", br)
+	}
+}
+
+func TestReplicationSurvivesStageCrash(t *testing.T) {
+	// Kill the primary MDCT tile: the mirror copy carries the stream.
+	kill := DefaultTiles().MDCT
+	grid := topology.NewGrid(4, 4)
+	var protect []packet.TileID
+	for i := 0; i < grid.Tiles(); i++ {
+		if packet.TileID(i) != kill {
+			protect = append(protect, packet.TileID(i))
+		}
+	}
+	net, err := core.New(core.Config{
+		Topo: grid, P: 0.75, TTL: core.DefaultTTL, MaxRounds: 800, Seed: 22,
+		Fault: fault.Model{DeadTiles: 1, Protect: protect},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := SetupReplicated(net, DefaultTiles(), mirrorTiles(),
+		encoder.Config{}, signal.DefaultProgram(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if !res.Completed {
+		out := pipe.Output()
+		t.Fatalf("replicated pipeline died with one stage crashed: %d/%d frames",
+			out.FramesReceived, out.Expected)
+	}
+}
+
+func TestUnreplicatedStageCrashIsFatal(t *testing.T) {
+	// The contrast case: the single-copy pipeline cannot survive its
+	// MDCT tile dying.
+	kill := DefaultTiles().MDCT
+	grid := topology.NewGrid(4, 4)
+	var protect []packet.TileID
+	for i := 0; i < grid.Tiles(); i++ {
+		if packet.TileID(i) != kill {
+			protect = append(protect, packet.TileID(i))
+		}
+	}
+	net, err := core.New(core.Config{
+		Topo: grid, P: 0.75, TTL: core.DefaultTTL, MaxRounds: 300, Seed: 23,
+		Fault: fault.Model{DeadTiles: 1, Protect: protect},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Setup(net, DefaultTiles(), encoder.Config{}, signal.DefaultProgram(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if net.Run().Completed {
+		t.Fatal("pipeline completed without its only MDCT stage")
+	}
+}
+
+func TestReplicatedSetupValidation(t *testing.T) {
+	net, err := core.New(core.Config{Topo: topology.NewGrid(4, 4), P: 0.5, TTL: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collide := mirrorTiles()
+	collide.Psycho = DefaultTiles().Psycho // mirror collides with primary
+	if _, err := SetupReplicated(net, DefaultTiles(), collide,
+		encoder.Config{}, signal.DefaultProgram(), 4); err == nil {
+		t.Fatal("colliding mirror accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package prodcons
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// The thesis example: Producer on (paper) tile 6, Consumer on tile 12 of
+// a 4x4 grid; 0-based that is tiles 5 and 11.
+func setup(t *testing.T, cfg core.Config, count int) (*core.Network, *Consumer) {
+	t.Helper()
+	net, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := NewConsumer(count)
+	net.Attach(5, &Producer{Dst: 11, Count: count})
+	net.Attach(11, cons)
+	return net, cons
+}
+
+func TestStreamDelivered(t *testing.T) {
+	net, cons := setup(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.5, TTL: core.DefaultTTL,
+		MaxRounds: 120, Seed: 1,
+	}, 10)
+	res := net.Run()
+	if !res.Completed {
+		t.Fatalf("stream incomplete: got %d/10", cons.Received())
+	}
+	if cons.Loss() != 0 {
+		t.Fatalf("loss = %v", cons.Loss())
+	}
+}
+
+func TestFloodingDeliveryAtDistance(t *testing.T) {
+	net, cons := setup(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 1, TTL: core.DefaultTTL,
+		MaxRounds: 60, Seed: 2,
+	}, 1)
+	if !net.Run().Completed {
+		t.Fatal("incomplete")
+	}
+	// Producer sends in round 1; Manhattan(5, 11) = 3, so arrival in
+	// round 3 — exactly the Fig. 3-3 walkthrough ("At the third gossip
+	// round, the Consumer finally receives the packet").
+	if got := cons.GotRound[0]; got != 3 {
+		t.Fatalf("first message arrived in round %d, want 3", got)
+	}
+}
+
+func TestSurvivesUpsets(t *testing.T) {
+	net, cons := setup(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 300, Seed: 3,
+		Fault: fault.Model{PUpset: 0.5, LiteralUpsets: true},
+	}, 5)
+	if !net.Run().Completed {
+		t.Fatalf("50%% upsets defeated the stream: %d/5", cons.Received())
+	}
+}
+
+func TestConsumerIgnoresOtherKinds(t *testing.T) {
+	cons := NewConsumer(1)
+	cons.Receive(nil, &packet.Packet{Kind: 99, Payload: []byte{0, 0, 0, 0}})
+	if cons.Received() != 0 {
+		t.Fatal("foreign kind accepted")
+	}
+}
+
+func TestLossAccounting(t *testing.T) {
+	cons := NewConsumer(4)
+	if cons.Loss() != 1 {
+		t.Fatalf("initial loss = %v", cons.Loss())
+	}
+	cons.GotRound[0] = 1
+	cons.GotRound[1] = 2
+	if cons.Loss() != 0.5 {
+		t.Fatalf("loss = %v", cons.Loss())
+	}
+	empty := NewConsumer(0)
+	if empty.Loss() != 0 {
+		t.Fatal("zero-expectation loss not 0")
+	}
+}

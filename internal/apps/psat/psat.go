@@ -1,0 +1,257 @@
+// Package psat is the parallel SAT solver the thesis names among the
+// applications of stochastic communication (Ch. 4): a cube-and-conquer
+// master/worker scheme on the NoC. The master splits the search space
+// over the first k variables into 2^k cubes (assumption sets), farms the
+// cubes out to worker IPs over the gossip network, and combines the
+// verdicts — SAT the moment any worker finds a model (with early
+// termination), UNSAT once every cube is refuted.
+//
+// The formula itself is configured into the worker IPs at design time
+// (like firmware); only cubes and verdicts travel the network. Fault
+// tolerance is end-to-end: the master re-issues cubes that stay
+// unanswered — to a different worker — so crashed workers and lost
+// messages delay but do not wedge the solve.
+package psat
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/sat"
+
+	"repro/internal/apps/codec"
+)
+
+// Message kinds.
+const (
+	KindCube   packet.Kind = 50 // master -> worker: assumption cube
+	KindResult packet.Kind = 51 // worker -> master: verdict (+model)
+)
+
+// reassignAfter is how many rounds a cube may stay unanswered before the
+// master re-issues it to the next worker.
+const reassignAfter = 20
+
+// encodeLits writes a length-prefixed literal list.
+func encodeLits(w *codec.Writer, lits []sat.Lit) {
+	w.U16(uint16(len(lits)))
+	for _, l := range lits {
+		w.U32(uint32(int32(l)))
+	}
+}
+
+func decodeLits(r *codec.Reader) []sat.Lit {
+	n := int(r.U16())
+	out := make([]sat.Lit, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sat.Lit(int32(r.U32())))
+	}
+	return out
+}
+
+// Master coordinates the solve.
+type Master struct {
+	formula *sat.Formula
+	workers []packet.TileID
+	cubes   [][]sat.Lit
+
+	unresolved map[int]int // cube -> round of last issue
+	nextWorker int
+	started    bool
+	sat        bool
+	model      sat.Assignment
+	done       bool
+	// Reassignments counts re-issued cubes (fault-tolerance work).
+	Reassignments int
+	// DoneRound is when the verdict was reached.
+	DoneRound int
+}
+
+// NewMaster builds a master splitting on the first splitVars variables.
+func NewMaster(f *sat.Formula, workers []packet.TileID, splitVars int) (*Master, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if len(workers) == 0 {
+		return nil, errors.New("psat: no workers")
+	}
+	if splitVars < 0 || splitVars > f.NumVars || splitVars > 16 {
+		return nil, fmt.Errorf("psat: splitVars %d out of range", splitVars)
+	}
+	m := &Master{formula: f, workers: workers, unresolved: map[int]int{}}
+	for bits := 0; bits < 1<<uint(splitVars); bits++ {
+		var cube []sat.Lit
+		for v := 1; v <= splitVars; v++ {
+			l := sat.Lit(v)
+			if bits>>(uint(v)-1)&1 == 0 {
+				l = -l
+			}
+			cube = append(cube, l)
+		}
+		m.cubes = append(m.cubes, cube)
+	}
+	return m, nil
+}
+
+// Init implements core.Process.
+func (m *Master) Init(*core.Ctx) {}
+
+// Round implements core.Process: issue all cubes on round one, then
+// re-issue stale ones.
+func (m *Master) Round(ctx *core.Ctx) {
+	if m.done {
+		return
+	}
+	if !m.started {
+		m.started = true
+		for idx := range m.cubes {
+			m.issue(ctx, idx)
+		}
+		return
+	}
+	for idx, since := range m.unresolved {
+		if ctx.Round()-since >= reassignAfter {
+			m.Reassignments++
+			m.issue(ctx, idx)
+		}
+	}
+}
+
+func (m *Master) issue(ctx *core.Ctx, idx int) {
+	w := codec.NewWriter(4 + 4*len(m.cubes[idx]))
+	w.U16(uint16(idx))
+	encodeLits(w, m.cubes[idx])
+	ctx.Send(m.workers[m.nextWorker], KindCube, w.Bytes())
+	m.nextWorker = (m.nextWorker + 1) % len(m.workers)
+	m.unresolved[idx] = ctx.Round()
+}
+
+// Receive implements core.Receiver: collect verdicts.
+func (m *Master) Receive(ctx *core.Ctx, p *packet.Packet) {
+	if p.Kind != KindResult || m.done {
+		return
+	}
+	r := codec.NewReader(p.Payload)
+	idx := int(r.U16())
+	satFlag := r.U16() == 1
+	model := decodeLits(r)
+	if r.Err() != nil || idx >= len(m.cubes) {
+		return
+	}
+	if _, open := m.unresolved[idx]; !open {
+		return // stale duplicate (reassignment raced the original)
+	}
+	if satFlag {
+		a := sat.Assignment{}
+		for _, l := range model {
+			a[l.Var()] = l > 0
+		}
+		// End-to-end verification: never trust a verdict blindly.
+		if !m.formula.Satisfies(a) {
+			return // corrupted or bogus model; the cube stays unresolved
+		}
+		m.sat = true
+		m.model = a
+		m.done = true
+		m.DoneRound = ctx.Round()
+		return
+	}
+	delete(m.unresolved, idx)
+	if len(m.unresolved) == 0 {
+		m.done = true
+		m.DoneRound = ctx.Round()
+	}
+}
+
+// Done implements core.Completer.
+func (m *Master) Done() bool { return m.done }
+
+// Result returns the combined verdict. Calling it before Done errors.
+func (m *Master) Result() (*sat.Result, error) {
+	if !m.done {
+		return nil, fmt.Errorf("psat: %d cubes unresolved", len(m.unresolved))
+	}
+	return &sat.Result{Sat: m.sat, Model: m.model}, nil
+}
+
+// Worker solves cubes against its configured formula.
+type Worker struct {
+	formula *sat.Formula
+	master  packet.TileID
+	// Solved counts cubes this worker resolved.
+	Solved int
+}
+
+// NewWorker returns a worker for formula f reporting to master.
+func NewWorker(f *sat.Formula, master packet.TileID) *Worker {
+	return &Worker{formula: f, master: master}
+}
+
+// Init implements core.Process.
+func (w *Worker) Init(*core.Ctx) {}
+
+// Round implements core.Process (reactive only).
+func (w *Worker) Round(*core.Ctx) {}
+
+// Receive implements core.Receiver: solve and reply.
+func (w *Worker) Receive(ctx *core.Ctx, p *packet.Packet) {
+	if p.Kind != KindCube {
+		return
+	}
+	r := codec.NewReader(p.Payload)
+	idx := r.U16()
+	cube := decodeLits(r)
+	if r.Err() != nil {
+		return
+	}
+	res, err := sat.Solve(w.formula, cube)
+	if err != nil {
+		return
+	}
+	w.Solved++
+	out := codec.NewWriter(8)
+	out.U16(idx)
+	if res.Sat {
+		out.U16(1)
+		lits := make([]sat.Lit, 0, len(res.Model))
+		for v := 1; v <= w.formula.NumVars; v++ {
+			if val, ok := res.Model[v]; ok {
+				l := sat.Lit(v)
+				if !val {
+					l = -l
+				}
+				lits = append(lits, l)
+			}
+		}
+		encodeLits(out, lits)
+	} else {
+		out.U16(0)
+		encodeLits(out, nil)
+	}
+	ctx.Send(w.master, KindResult, out.Bytes())
+}
+
+// App wires a complete distributed solve.
+type App struct {
+	Master     *Master
+	MasterTile packet.TileID
+}
+
+// Setup attaches a master and one worker per workerTiles entry.
+func Setup(net *core.Network, masterTile packet.TileID, workerTiles []packet.TileID,
+	f *sat.Formula, splitVars int) (*App, error) {
+	m, err := NewMaster(f, workerTiles, splitVars)
+	if err != nil {
+		return nil, err
+	}
+	net.Attach(masterTile, m)
+	for _, tile := range workerTiles {
+		if tile == masterTile {
+			return nil, fmt.Errorf("psat: worker collides with master tile %d", masterTile)
+		}
+		net.Attach(tile, NewWorker(f, masterTile))
+	}
+	return &App{Master: m, MasterTile: masterTile}, nil
+}

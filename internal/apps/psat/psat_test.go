@@ -1,0 +1,214 @@
+package psat
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/sat"
+	"repro/internal/topology"
+)
+
+func workerTiles(grid *topology.Grid, master packet.TileID, n int) []packet.TileID {
+	var out []packet.TileID
+	for i := 0; i < grid.Tiles() && len(out) < n; i++ {
+		if packet.TileID(i) != master {
+			out = append(out, packet.TileID(i))
+		}
+	}
+	return out
+}
+
+func solveDistributed(t *testing.T, f *sat.Formula, cfg core.Config, splitVars int) (*sat.Result, *Master, core.Result) {
+	t.Helper()
+	grid := cfg.Topo.(*topology.Grid)
+	master := grid.ID(1, 1)
+	cfg.Fault.Protect = append(cfg.Fault.Protect, master)
+	net, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Setup(net, master, workerTiles(grid, master, 6), f, splitVars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if !res.Completed {
+		t.Fatalf("distributed solve incomplete: %d cubes open after %d rounds",
+			len(app.Master.unresolved), res.Rounds)
+	}
+	verdict, err := app.Master.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return verdict, app.Master, res
+}
+
+func TestDistributedMatchesSerialSAT(t *testing.T) {
+	f := sat.Random3SAT(18, 36, rng.New(3)) // ratio 2: satisfiable
+	serial, err := sat.Solve(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict, _, _ := solveDistributed(t, f, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 500, Seed: 1,
+	}, 3)
+	if verdict.Sat != serial.Sat {
+		t.Fatalf("distributed %v != serial %v", verdict.Sat, serial.Sat)
+	}
+	if verdict.Sat && !f.Satisfies(verdict.Model) {
+		t.Fatal("distributed model does not satisfy the formula")
+	}
+}
+
+func TestDistributedMatchesSerialUNSAT(t *testing.T) {
+	f := sat.Pigeonhole(3) // unsatisfiable
+	verdict, _, _ := solveDistributed(t, f, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 500, Seed: 2,
+	}, 2)
+	if verdict.Sat {
+		t.Fatal("distributed solver declared PHP(4,3) SAT")
+	}
+}
+
+func TestSurvivesDeadWorkers(t *testing.T) {
+	// Two dead tiles may take out workers holding cubes; reassignment
+	// must recover the verdict.
+	f := sat.Pigeonhole(3)
+	verdict, m, _ := solveDistributed(t, f, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 2000, Seed: 5,
+		Fault: fault.Model{DeadTiles: 2},
+	}, 2)
+	if verdict.Sat {
+		t.Fatal("wrong verdict under crashes")
+	}
+	_ = m // reassignments depend on whether a loaded worker died
+}
+
+func TestReassignmentFiresWhenWorkerDies(t *testing.T) {
+	// Force the situation: kill all but one worker so some cube
+	// assignments are certainly lost.
+	f := sat.Pigeonhole(2)
+	grid := topology.NewGrid(3, 3)
+	master := grid.ID(1, 1)
+	// Workers on tiles 0..3 (skipping master); kill tiles 0 and 2.
+	var protect []packet.TileID
+	for i := 0; i < grid.Tiles(); i++ {
+		if i != 0 && i != 2 {
+			protect = append(protect, packet.TileID(i))
+		}
+	}
+	net, err := core.New(core.Config{
+		Topo: grid, P: 0.75, TTL: core.DefaultTTL, MaxRounds: 2000, Seed: 3,
+		Fault: fault.Model{DeadTiles: 2, Protect: protect},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Setup(net, master, []packet.TileID{0, 2, 3, 5}, f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.Run()
+	if !res.Completed {
+		t.Fatalf("solve wedged with dead workers after %d rounds", res.Rounds)
+	}
+	if app.Master.Reassignments == 0 {
+		t.Fatal("no reassignments despite dead workers holding cubes")
+	}
+	verdict, err := app.Master.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Sat {
+		t.Fatal("wrong verdict")
+	}
+}
+
+func TestSurvivesUpsets(t *testing.T) {
+	f := sat.Random3SAT(15, 30, rng.New(9))
+	serial, err := sat.Solve(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict, _, _ := solveDistributed(t, f, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: core.DefaultTTL,
+		MaxRounds: 2000, Seed: 7,
+		Fault: fault.Model{PUpset: 0.4, LiteralUpsets: true},
+	}, 3)
+	if verdict.Sat != serial.Sat {
+		t.Fatalf("verdict flipped under upsets: %v vs %v", verdict.Sat, serial.Sat)
+	}
+	if verdict.Sat && !f.Satisfies(verdict.Model) {
+		t.Fatal("model corrupted by upsets survived CRC + end-to-end check")
+	}
+}
+
+func TestEarlyTerminationOnSAT(t *testing.T) {
+	// A trivially satisfiable formula: the first SAT verdict completes
+	// the app even though other cubes may still be outstanding.
+	f := &sat.Formula{NumVars: 6, Clauses: []sat.Clause{{1, 2}, {3, 4}, {5, 6}}}
+	verdict, m, _ := solveDistributed(t, f, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 1, TTL: core.DefaultTTL,
+		MaxRounds: 200, Seed: 11,
+	}, 4) // 16 cubes
+	if !verdict.Sat {
+		t.Fatal("satisfiable formula declared UNSAT")
+	}
+	if !f.Satisfies(verdict.Model) {
+		t.Fatal("bad model")
+	}
+	_ = m
+}
+
+func TestSetupValidation(t *testing.T) {
+	grid := topology.NewGrid(3, 3)
+	mk := func() *core.Network {
+		net, err := core.New(core.Config{Topo: grid, P: 0.5, TTL: 5, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	f := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{1, 2}}}
+	if _, err := Setup(mk(), 0, nil, f, 1); err == nil {
+		t.Error("no workers accepted")
+	}
+	if _, err := Setup(mk(), 0, []packet.TileID{0}, f, 1); err == nil {
+		t.Error("worker on master tile accepted")
+	}
+	if _, err := Setup(mk(), 0, []packet.TileID{1}, f, 5); err == nil {
+		t.Error("splitVars beyond NumVars accepted")
+	}
+	bad := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{}}}
+	if _, err := Setup(mk(), 0, []packet.TileID{1}, bad, 0); err == nil {
+		t.Error("invalid formula accepted")
+	}
+}
+
+func TestResultBeforeDoneErrors(t *testing.T) {
+	f := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1}}}
+	m, err := NewMaster(f, []packet.TileID{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(); err == nil {
+		t.Fatal("Result before completion did not error")
+	}
+}
+
+func TestSplitVarsZeroSingleCube(t *testing.T) {
+	f := &sat.Formula{NumVars: 3, Clauses: []sat.Clause{{1}, {-1, 2}, {-2, 3}}}
+	verdict, _, _ := solveDistributed(t, f, core.Config{
+		Topo: topology.NewGrid(3, 3), P: 1, TTL: core.DefaultTTL,
+		MaxRounds: 100, Seed: 13,
+	}, 0)
+	if !verdict.Sat || !f.Satisfies(verdict.Model) {
+		t.Fatalf("single-cube solve failed: %+v", verdict)
+	}
+}

@@ -1,0 +1,155 @@
+// Package sensors implements the third application class the thesis
+// names for stochastic communication: "periodic data acquisition from
+// non-critical sensors" (Ch. 4). An array of sensor IPs sample a slowly
+// varying physical quantity and broadcast readings every few rounds; a
+// monitor IP maintains the freshest reading per sensor. "Non-critical"
+// is the operative word: readings are idempotent state, so lost samples
+// merely age the monitor's view — exactly the loss-tolerant,
+// steady-throughput regime gossip protocols fit best (§1.2).
+package sensors
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+
+	"repro/internal/apps/codec"
+)
+
+// KindReading tags sensor samples.
+const KindReading packet.Kind = 60
+
+// Field is the synthetic physical quantity: a smooth spatial-temporal
+// field the sensors sample, so tests can compare readings to ground
+// truth.
+type Field struct {
+	// Base is the mean level; Amp the oscillation amplitude; Period the
+	// temporal period in rounds.
+	Base, Amp float64
+	Period    int
+}
+
+// At returns the field value at sensor index i and round r.
+func (f *Field) At(i, r int) float64 {
+	phase := 2 * math.Pi * (float64(r)/float64(f.Period) + 0.13*float64(i))
+	return f.Base + f.Amp*math.Sin(phase)
+}
+
+// Sensor periodically broadcasts its reading.
+type Sensor struct {
+	Index   int
+	Monitor packet.TileID
+	Field   *Field
+	// Interval is the sampling period in rounds (>= 1).
+	Interval int
+	// Samples bounds how many readings to take (0 = forever).
+	Samples int
+	taken   int
+}
+
+// Init implements core.Process.
+func (s *Sensor) Init(*core.Ctx) {}
+
+// Round implements core.Process.
+func (s *Sensor) Round(ctx *core.Ctx) {
+	if s.Samples > 0 && s.taken >= s.Samples {
+		return
+	}
+	iv := s.Interval
+	if iv < 1 {
+		iv = 1
+	}
+	if (ctx.Round()-1)%iv != 0 {
+		return
+	}
+	v := s.Field.At(s.Index, ctx.Round())
+	payload := codec.NewWriter(16).
+		U16(uint16(s.Index)).
+		U32(uint32(ctx.Round())).
+		F64(v).
+		Bytes()
+	ctx.Send(s.Monitor, KindReading, payload)
+	s.taken++
+}
+
+// Reading is one sample as seen by the monitor.
+type Reading struct {
+	Sensor     int
+	SampledAt  int // round the sensor measured
+	ReceivedAt int // round the monitor learned it
+	Value      float64
+}
+
+// Monitor keeps the freshest reading per sensor.
+type Monitor struct {
+	Sensors int
+	latest  map[int]Reading
+	// Received counts total (non-stale) readings accepted.
+	Received int
+}
+
+// NewMonitor returns a monitor for the given sensor count.
+func NewMonitor(sensors int) (*Monitor, error) {
+	if sensors <= 0 {
+		return nil, errors.New("sensors: non-positive sensor count")
+	}
+	return &Monitor{Sensors: sensors, latest: map[int]Reading{}}, nil
+}
+
+// Init implements core.Process.
+func (m *Monitor) Init(*core.Ctx) {}
+
+// Round implements core.Process (reactive only).
+func (m *Monitor) Round(*core.Ctx) {}
+
+// Receive implements core.Receiver: keep the freshest sample per sensor;
+// out-of-order stale samples are ignored (gossip does not guarantee
+// ordering).
+func (m *Monitor) Receive(ctx *core.Ctx, p *packet.Packet) {
+	if p.Kind != KindReading {
+		return
+	}
+	r := codec.NewReader(p.Payload)
+	idx := int(r.U16())
+	sampledAt := int(r.U32())
+	value := r.F64()
+	if r.Err() != nil || idx >= m.Sensors {
+		return
+	}
+	if cur, ok := m.latest[idx]; ok && cur.SampledAt >= sampledAt {
+		return // stale
+	}
+	m.latest[idx] = Reading{
+		Sensor: idx, SampledAt: sampledAt, ReceivedAt: ctx.Round(), Value: value,
+	}
+	m.Received++
+}
+
+// Latest returns the freshest reading for sensor i, if any.
+func (m *Monitor) Latest(i int) (Reading, bool) {
+	r, ok := m.latest[i]
+	return r, ok
+}
+
+// Coverage returns the fraction of sensors with at least one reading.
+func (m *Monitor) Coverage() float64 {
+	return float64(len(m.latest)) / float64(m.Sensors)
+}
+
+// MaxStaleness returns, at round `now`, the largest age (now − SampledAt)
+// over all sensors with readings, or -1 if any sensor has none.
+func (m *Monitor) MaxStaleness(now int) int {
+	worst := 0
+	for i := 0; i < m.Sensors; i++ {
+		r, ok := m.latest[i]
+		if !ok {
+			return -1
+		}
+		if age := now - r.SampledAt; age > worst {
+			worst = age
+		}
+	}
+	return worst
+}

@@ -1,0 +1,174 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+func build(t *testing.T, cfg core.Config, interval, samples int) (*core.Network, *Monitor, *Field) {
+	t.Helper()
+	grid := cfg.Topo.(*topology.Grid)
+	net, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := &Field{Base: 20, Amp: 5, Period: 40}
+	monitorTile := grid.ID(0, 0)
+	mon, err := NewMonitor(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Attach(monitorTile, mon)
+	sensorTiles := []packet.TileID{
+		grid.ID(3, 0), grid.ID(0, 3), grid.ID(3, 3),
+		grid.ID(2, 1), grid.ID(1, 2), grid.ID(2, 2),
+	}
+	for i, tile := range sensorTiles {
+		net.Attach(tile, &Sensor{
+			Index: i, Monitor: monitorTile, Field: field,
+			Interval: interval, Samples: samples,
+		})
+	}
+	return net, mon, field
+}
+
+func TestAcquisitionCleanNetwork(t *testing.T) {
+	net, mon, field := build(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: 10, MaxRounds: 100, Seed: 1,
+	}, 5, 4)
+	for i := 0; i < 60; i++ {
+		net.Step()
+	}
+	if mon.Coverage() != 1 {
+		t.Fatalf("coverage = %v", mon.Coverage())
+	}
+	// Values must be genuine field samples.
+	for i := 0; i < 6; i++ {
+		r, ok := mon.Latest(i)
+		if !ok {
+			t.Fatalf("sensor %d missing", i)
+		}
+		if want := field.At(i, r.SampledAt); math.Abs(r.Value-want) > 1e-12 {
+			t.Fatalf("sensor %d reading %v != field %v", i, r.Value, want)
+		}
+		if r.ReceivedAt < r.SampledAt {
+			t.Fatalf("sensor %d received before sampled", i)
+		}
+	}
+	if s := mon.MaxStaleness(60); s < 0 || s > 60 {
+		t.Fatalf("staleness = %d", s)
+	}
+}
+
+func TestFreshestWins(t *testing.T) {
+	mon, err := NewMonitor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(idx, round int, v float64) *packet.Packet {
+		w := make([]byte, 0, 16)
+		w = append(w, byte(idx>>8), byte(idx))
+		w = append(w, byte(round>>24), byte(round>>16), byte(round>>8), byte(round))
+		bits := math.Float64bits(v)
+		for s := 56; s >= 0; s -= 8 {
+			w = append(w, byte(bits>>uint(s)))
+		}
+		return &packet.Packet{Kind: KindReading, Payload: w}
+	}
+	ctx := &core.Ctx{}
+	mon.Receive(ctx, mk(0, 10, 1.5))
+	mon.Receive(ctx, mk(0, 5, 9.9)) // stale: must not overwrite
+	r, ok := mon.Latest(0)
+	if !ok || r.Value != 1.5 || r.SampledAt != 10 {
+		t.Fatalf("stale reading overwrote fresh one: %+v", r)
+	}
+	if mon.Received != 1 {
+		t.Fatalf("Received = %d", mon.Received)
+	}
+}
+
+func TestLossToleranceUnderOverflow(t *testing.T) {
+	// 50% drops: coverage still reaches 1 because sensors keep sampling
+	// — the "non-critical sensors" regime.
+	net, mon, _ := build(t, core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: 10, MaxRounds: 300, Seed: 2,
+		Fault: fault.Model{POverflow: 0.5},
+	}, 4, 0)
+	for i := 0; i < 120; i++ {
+		net.Step()
+	}
+	if mon.Coverage() != 1 {
+		t.Fatalf("coverage under 50%% drops = %v", mon.Coverage())
+	}
+	// Staleness bounded: a fresh reading lands within a few sampling
+	// intervals of the newest sample.
+	if s := mon.MaxStaleness(120); s < 0 || s > 60 {
+		t.Fatalf("staleness = %d", s)
+	}
+}
+
+func TestDeadSensorDetectable(t *testing.T) {
+	grid := topology.NewGrid(4, 4)
+	var protect []packet.TileID
+	for i := 0; i < grid.Tiles(); i++ {
+		if packet.TileID(i) != grid.ID(3, 3) {
+			protect = append(protect, packet.TileID(i))
+		}
+	}
+	net, mon, _ := build(t, core.Config{
+		Topo: grid, P: 0.75, TTL: 10, MaxRounds: 200, Seed: 3,
+		Fault: fault.Model{DeadTiles: 1, Protect: protect},
+	}, 4, 0)
+	for i := 0; i < 80; i++ {
+		net.Step()
+	}
+	// Sensor 2 sits on the dead tile (3,3): no readings, staleness -1.
+	if _, ok := mon.Latest(2); ok {
+		t.Fatal("dead sensor produced readings")
+	}
+	if mon.MaxStaleness(80) != -1 {
+		t.Fatal("missing sensor not flagged by MaxStaleness")
+	}
+	// Every live sensor still covered.
+	for _, i := range []int{0, 1, 3, 4, 5} {
+		if _, ok := mon.Latest(i); !ok {
+			t.Fatalf("live sensor %d missing", i)
+		}
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(0); err == nil {
+		t.Fatal("zero sensors accepted")
+	}
+	mon, _ := NewMonitor(2)
+	mon.Receive(&core.Ctx{}, &packet.Packet{Kind: 99})
+	mon.Receive(&core.Ctx{}, &packet.Packet{Kind: KindReading, Payload: []byte{1}})
+	if mon.Received != 0 {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSamplingInterval(t *testing.T) {
+	// Interval 10, samples 3: exactly 3 messages created.
+	grid := topology.NewGrid(2, 1)
+	net, err := core.New(core.Config{Topo: grid, P: 1, TTL: 5, MaxRounds: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := &Field{Base: 1, Amp: 0, Period: 10}
+	mon, _ := NewMonitor(1)
+	net.Attach(0, mon)
+	net.Attach(1, &Sensor{Index: 0, Monitor: 0, Field: field, Interval: 10, Samples: 3})
+	for i := 0; i < 50; i++ {
+		net.Step()
+	}
+	if mon.Received != 3 {
+		t.Fatalf("monitor received %d readings, want 3", mon.Received)
+	}
+}

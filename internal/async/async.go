@@ -1,0 +1,279 @@
+// Package async is a goroutine-per-tile implementation of stochastic
+// communication: each tile of the NoC is a goroutine owning its own "clock
+// domain", and links are buffered channels carrying encoded frames.
+//
+// This engine is the GALS (globally asynchronous, locally synchronous)
+// counterpart of the synchronous round kernel in package core. Nothing
+// synchronizes the tiles' local rounds — the Go scheduler provides exactly
+// the kind of clock skew the thesis models with σ_synchr, and a full
+// link buffer drops packets exactly like a real overflowing input FIFO
+// (p_overflow arises naturally instead of being injected).
+//
+// The engine is intentionally not deterministic; it exists to validate
+// that the protocol's guarantees (delivery w.h.p., CRC rejection of
+// upsets, TTL-bounded lifetime) hold under true concurrency, and to
+// demonstrate the thesis' claim that tile processes map naturally onto
+// concurrent processes.
+package async
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Process is the IP core mapped onto one tile of the asynchronous NoC.
+type Process interface {
+	// Round is called once per local round of the hosting tile.
+	Round(ctx *Ctx)
+}
+
+// Config parameterizes an asynchronous network.
+type Config struct {
+	// Topo is the fabric (required).
+	Topo topology.Topology
+	// P is the per-port forwarding probability.
+	P float64
+	// TTL is the initial time-to-live of new messages (in local rounds).
+	TTL uint8
+	// LinkCap is the capacity of each tile's input FIFO; a send into a
+	// full FIFO is dropped (buffer overflow). Defaults to 64.
+	LinkCap int
+	// MaxLocalRounds bounds each tile's execution (defaults to 1000).
+	MaxLocalRounds int
+	// Seed seeds the per-tile random streams (forwarding decisions are
+	// still nondeterministic in aggregate because interleaving is).
+	Seed uint64
+	// Fault supports crash failures and data upsets; upsets are always
+	// literal bit flips here, detected by each tile's CRC check.
+	Fault fault.Model
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Topo == nil {
+		return errors.New("async: Config.Topo is required")
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("async: P = %v out of [0,1]", c.P)
+	}
+	if c.TTL == 0 {
+		return errors.New("async: TTL must be >= 1")
+	}
+	return c.Fault.Validate()
+}
+
+// Stats aggregates the atomic counters of one run.
+type Stats struct {
+	Transmissions  int64
+	Bits           int64
+	Deliveries     int64
+	UpsetsDetected int64
+	OverflowDrops  int64
+	Completed      bool
+}
+
+// Network is one asynchronous stochastically-communicating NoC.
+type Network struct {
+	cfg   Config
+	inj   *fault.Injector
+	inbox []chan []byte
+	procs []Process
+
+	nextID atomic.Uint64
+	done   atomic.Bool
+
+	tx, bits, deliveries, upsets, overflow atomic.Int64
+}
+
+// New builds the network, sampling crash failures from cfg.Seed.
+func New(cfg Config) (*Network, error) {
+	if cfg.LinkCap == 0 {
+		cfg.LinkCap = 64
+	}
+	if cfg.MaxLocalRounds == 0 {
+		cfg.MaxLocalRounds = 1000
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	master := rng.New(cfg.Seed)
+	inj, err := fault.NewInjector(cfg.Topo, cfg.Fault, master.Split(0xfa017))
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, inj: inj}
+	n.inbox = make([]chan []byte, cfg.Topo.Tiles())
+	n.procs = make([]Process, cfg.Topo.Tiles())
+	for i := range n.inbox {
+		n.inbox[i] = make(chan []byte, cfg.LinkCap)
+	}
+	return n, nil
+}
+
+// Attach maps proc onto tile t.
+func (n *Network) Attach(t packet.TileID, proc Process) { n.procs[t] = proc }
+
+// Run launches one goroutine per live tile and blocks until every tile
+// retires (done flag observed or MaxLocalRounds exhausted).
+func (n *Network) Run() Stats {
+	var wg sync.WaitGroup
+	master := rng.New(n.cfg.Seed ^ 0x5eed)
+	for i := 0; i < n.cfg.Topo.Tiles(); i++ {
+		id := packet.TileID(i)
+		if !n.inj.TileAlive(id) {
+			continue
+		}
+		wg.Add(1)
+		go func(id packet.TileID, r *rng.Stream) {
+			defer wg.Done()
+			n.tileLoop(id, r)
+		}(id, master.Split(uint64(i)+1))
+	}
+	wg.Wait()
+	return Stats{
+		Transmissions:  n.tx.Load(),
+		Bits:           n.bits.Load(),
+		Deliveries:     n.deliveries.Load(),
+		UpsetsDetected: n.upsets.Load(),
+		OverflowDrops:  n.overflow.Load(),
+		Completed:      n.done.Load(),
+	}
+}
+
+// tileLoop is one tile's clock domain: receive, compute, age, forward.
+func (n *Network) tileLoop(id packet.TileID, r *rng.Stream) {
+	var sendBuf []*packet.Packet
+	present := map[packet.MsgID]bool{}
+	seen := map[packet.MsgID]bool{}
+	var mailbox []*packet.Packet
+
+	for round := 1; round <= n.cfg.MaxLocalRounds && !n.done.Load(); round++ {
+		// Receive: drain whatever has arrived, CRC-checking each frame.
+		for {
+			var frame []byte
+			select {
+			case frame = <-n.inbox[id]:
+			default:
+			}
+			if frame == nil {
+				break
+			}
+			p, err := packet.Decode(frame)
+			if err != nil {
+				n.upsets.Add(1)
+				continue
+			}
+			if present[p.ID] {
+				continue
+			}
+			if (p.Dst == id || p.Dst == packet.Broadcast) && !seen[p.ID] {
+				seen[p.ID] = true
+				mailbox = append(mailbox, p)
+				n.deliveries.Add(1)
+			}
+			present[p.ID] = true
+			sendBuf = append(sendBuf, p)
+		}
+
+		// Compute: run the IP core with the delivered messages.
+		if proc := n.procs[id]; proc != nil {
+			ctx := &Ctx{net: n, self: id, round: round, delivered: mailbox, rnd: r,
+				enqueue: func(p *packet.Packet) {
+					seen[p.ID] = true
+					present[p.ID] = true
+					sendBuf = append(sendBuf, p)
+				}}
+			proc.Round(ctx)
+			mailbox = nil
+		}
+
+		// Age: decrement TTLs, garbage-collect.
+		kept := sendBuf[:0]
+		for _, p := range sendBuf {
+			p.TTL--
+			if p.TTL == 0 {
+				delete(present, p.ID)
+				continue
+			}
+			kept = append(kept, p)
+		}
+		sendBuf = kept
+
+		// Forward: each message on each port with probability P.
+		for _, p := range sendBuf {
+			for _, nb := range n.cfg.Topo.Neighbors(id) {
+				if !r.Bool(n.cfg.P) {
+					continue
+				}
+				n.transmit(id, nb, p, r)
+			}
+		}
+		runtime.Gosched() // yield the "clock domain"
+	}
+}
+
+// transmit encodes and ships one copy of p toward nb, applying upsets and
+// natural channel-full overflow.
+func (n *Network) transmit(from, to packet.TileID, p *packet.Packet, r *rng.Stream) {
+	n.tx.Add(1)
+	n.bits.Add(int64(p.SizeBits()))
+	if !n.inj.LinkAlive(from, to) {
+		return
+	}
+	frame, err := packet.Encode(p)
+	if err != nil {
+		panic(fmt.Sprintf("async: encode failed in flight: %v", err))
+	}
+	if n.inj.UpsetHappens(r) {
+		n.inj.CorruptFrame(frame, r)
+	}
+	select {
+	case n.inbox[to] <- frame:
+	default:
+		n.overflow.Add(1) // input FIFO full: the oldest pressure wins
+	}
+}
+
+// Ctx is a tile-local view handed to Processes.
+type Ctx struct {
+	net       *Network
+	self      packet.TileID
+	round     int
+	delivered []*packet.Packet
+	rnd       *rng.Stream
+	enqueue   func(*packet.Packet)
+}
+
+// Self returns the hosting tile's ID.
+func (c *Ctx) Self() packet.TileID { return c.self }
+
+// Round returns the tile's local round number.
+func (c *Ctx) Round() int { return c.round }
+
+// Delivered returns the messages addressed here that arrived since the
+// previous local round.
+func (c *Ctx) Delivered() []*packet.Packet { return c.delivered }
+
+// Send creates a new message and hands it to the gossip layer.
+func (c *Ctx) Send(dst packet.TileID, kind packet.Kind, payload []byte) packet.MsgID {
+	id := packet.MsgID(c.net.nextID.Add(1))
+	c.enqueue(&packet.Packet{
+		ID: id, Src: c.self, Dst: dst, Kind: kind, TTL: c.net.cfg.TTL, Payload: payload,
+	})
+	return id
+}
+
+// Rand returns the tile-local random stream.
+func (c *Ctx) Rand() *rng.Stream { return c.rnd }
+
+// Finish signals global application completion; every tile retires at its
+// next local round boundary.
+func (c *Ctx) Finish() { c.net.done.Store(true) }

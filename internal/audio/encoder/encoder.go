@@ -1,0 +1,227 @@
+// Package encoder assembles the full perceptual audio encoder of the
+// thesis' MP3 case study (§4.2, Fig. 4-7): Signal Acquisition →
+// Psychoacoustic Model → MDCT → Iterative Encoding → Bit Reservoir →
+// Output. This package runs the pipeline serially (the reference
+// implementation); package apps/mp3 maps the same stages onto NoC tiles
+// and streams frames through the stochastic network.
+//
+// The encoder is a LAME stand-in, not an ISO-compliant MP3: the thesis'
+// experiments measure the pipeline's *communication* behaviour, which
+// only requires a real streaming perceptual codec with the same stage
+// structure, frame-sized messages, and bit-reservoir feedback.
+package encoder
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/audio/bitres"
+	"repro/internal/audio/mdct"
+	"repro/internal/audio/psycho"
+	"repro/internal/audio/quant"
+	"repro/internal/audio/signal"
+)
+
+// Config parameterizes an encoder.
+type Config struct {
+	// SampleRate in Hz (default 44100).
+	SampleRate int
+	// M is the MDCT size: 2M-sample windows, M coefficients, hop M
+	// (default 512).
+	M int
+	// Bands is the scalefactor band count (default 32).
+	Bands int
+	// BitrateBps is the target constant output bit-rate (default 128000).
+	BitrateBps int
+	// ReservoirBits caps the bit reservoir (default 4 nominal frames).
+	ReservoirBits int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.SampleRate == 0 {
+		out.SampleRate = 44100
+	}
+	if out.M == 0 {
+		out.M = 512
+	}
+	if out.Bands == 0 {
+		out.Bands = 32
+	}
+	if out.BitrateBps == 0 {
+		out.BitrateBps = 128000
+	}
+	if out.ReservoirBits == 0 {
+		out.ReservoirBits = 4 * out.BitrateBps * out.M / out.SampleRate
+	}
+	return out
+}
+
+// Encoder holds the precomputed stages plus the bit reservoir (the only
+// inter-frame state).
+type Encoder struct {
+	cfg   Config
+	Model *psycho.Model
+	MDCT  *mdct.Transform
+	Bands *quant.Bands
+	res   *bitres.Reservoir
+}
+
+// New builds an encoder. The psychoacoustic window (2M) and the MDCT
+// window coincide, so psycho bands map 1:1 onto coefficient bands.
+func New(cfg Config) (*Encoder, error) {
+	c := cfg.withDefaults()
+	if c.SampleRate <= 0 || c.BitrateBps <= 0 {
+		return nil, errors.New("encoder: rate parameters must be positive")
+	}
+	model, err := psycho.NewModel(2*c.M, c.Bands)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := mdct.New(c.M)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]int, c.Bands+1)
+	for b := 0; b < c.Bands; b++ {
+		edges[b], _ = model.BandRange(b)
+	}
+	edges[c.Bands] = c.M
+	bands := &quant.Bands{Edges: edges}
+	if err := bands.Validate(c.M); err != nil {
+		return nil, err
+	}
+	nominal := c.BitrateBps * c.M / c.SampleRate
+	if nominal < minFrameBits(c.M, c.Bands) {
+		return nil, fmt.Errorf("encoder: bitrate %d b/s gives %d-bit frames, below the %d-bit floor",
+			c.BitrateBps, nominal, minFrameBits(c.M, c.Bands))
+	}
+	return &Encoder{
+		cfg: c, Model: model, MDCT: tr, Bands: bands,
+		res: bitres.New(c.ReservoirBits),
+	}, nil
+}
+
+// minFrameBits is the quantizer's structural floor: header + one bit per
+// coefficient.
+func minFrameBits(m, bands int) int { return 8 + 8*bands + 4*16 + m }
+
+// Config returns the resolved configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// NominalFrameBits is the constant-bit-rate per-frame budget.
+func (e *Encoder) NominalFrameBits() int {
+	return e.cfg.BitrateBps * e.cfg.M / e.cfg.SampleRate
+}
+
+// FrameDuration returns the seconds of audio one frame advances (hop M).
+func (e *Encoder) FrameDuration() float64 {
+	return float64(e.cfg.M) / float64(e.cfg.SampleRate)
+}
+
+// AllowedNoise converts a psychoacoustic analysis into per-band noise
+// allowances in the MDCT coefficient domain, by applying the model's
+// masking ratio to the band's coefficient energy.
+func AllowedNoise(an *psycho.Analysis, coef []float64, bands *quant.Bands) []float64 {
+	out := make([]float64, bands.Count())
+	for b := range out {
+		var e float64
+		for i := bands.Edges[b]; i < bands.Edges[b+1]; i++ {
+			e += coef[i] * coef[i]
+		}
+		ratio := an.Threshold[b] / math.Max(an.Energy[b], 1e-12)
+		out[b] = math.Max(e*ratio, 1e-9)
+	}
+	return out
+}
+
+// EncodeWindow runs one 2M-sample window through the full pipeline. It
+// consumes reservoir state.
+func (e *Encoder) EncodeWindow(window []float64) (*quant.Frame, error) {
+	an, err := e.Model.Analyze(window)
+	if err != nil {
+		return nil, err
+	}
+	coef, err := e.MDCT.Forward(window)
+	if err != nil {
+		return nil, err
+	}
+	allowed := AllowedNoise(an, coef, e.Bands)
+	nominal := e.NominalFrameBits()
+	budget := e.res.Grant(nominal)
+	frame, err := quant.EncodeFrame(coef, e.Bands, allowed, budget)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.res.Commit(nominal, frame.BitLen); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// Stream is an encoded sequence of frames.
+type Stream struct {
+	Frames []*quant.Frame
+	// Cfg echoes the encoder configuration the stream was made with.
+	Cfg Config
+}
+
+// TotalBits returns the exact payload size of the stream.
+func (s *Stream) TotalBits() int {
+	total := 0
+	for _, f := range s.Frames {
+		total += f.BitLen
+	}
+	return total
+}
+
+// BitrateBps returns the achieved bit-rate.
+func (s *Stream) BitrateBps() float64 {
+	if len(s.Frames) == 0 {
+		return 0
+	}
+	seconds := float64(len(s.Frames)) * float64(s.Cfg.M) / float64(s.Cfg.SampleRate)
+	return float64(s.TotalBits()) / seconds
+}
+
+// EncodeStream pulls `frames` hop-M windows from the synthesizer and
+// encodes them.
+func (e *Encoder) EncodeStream(src *signal.Synth, frames int) (*Stream, error) {
+	out := &Stream{Cfg: e.cfg}
+	for f := 0; f < frames; f++ {
+		window, err := src.Samples(f*e.cfg.M, 2*e.cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		frame, err := e.EncodeWindow(window)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", f, err)
+		}
+		out.Frames = append(out.Frames, frame)
+	}
+	return out, nil
+}
+
+// Decode reconstructs PCM from a stream by inverse quantization, inverse
+// MDCT and overlap-add. The result has M*(len+1) samples; the first and
+// last half-windows are transition regions.
+func Decode(s *Stream) ([]float64, error) {
+	enc, err := New(s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	var windows [][]float64
+	for i, f := range s.Frames {
+		coef, err := quant.DecodeFrame(f.Bits, enc.Bands, s.Cfg.M)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+		w, err := enc.MDCT.Inverse(coef)
+		if err != nil {
+			return nil, err
+		}
+		windows = append(windows, w)
+	}
+	return mdct.OverlapAdd(windows, s.Cfg.M), nil
+}

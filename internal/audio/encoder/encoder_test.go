@@ -1,0 +1,192 @@
+package encoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/audio/signal"
+)
+
+func TestDefaults(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.Config()
+	if cfg.SampleRate != 44100 || cfg.M != 512 || cfg.Bands != 32 || cfg.BitrateBps != 128000 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	// 128 kb/s at 44.1 kHz, hop 512 => ~1486 bits/frame.
+	if n := e.NominalFrameBits(); n < 1400 || n > 1550 {
+		t.Fatalf("NominalFrameBits = %d", n)
+	}
+	if d := e.FrameDuration(); math.Abs(d-512.0/44100) > 1e-12 {
+		t.Fatalf("FrameDuration = %v", d)
+	}
+}
+
+func TestRejectsStarvationBitrate(t *testing.T) {
+	if _, err := New(Config{BitrateBps: 30000}); err == nil {
+		t.Fatal("sub-floor bitrate accepted")
+	}
+	if _, err := New(Config{SampleRate: -1}); err == nil {
+		t.Fatal("negative sample rate accepted")
+	}
+}
+
+func TestEncodeStreamCBR(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.EncodeStream(signal.DefaultProgram(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) != 40 {
+		t.Fatalf("frames = %d", len(s.Frames))
+	}
+	// The achieved bitrate must track the 128 kb/s target from below
+	// (CBR with reservoir: never above target + reservoir slack).
+	br := s.BitrateBps()
+	if br > 130000 {
+		t.Fatalf("bitrate %v exceeds CBR target", br)
+	}
+	if br < 40000 {
+		t.Fatalf("bitrate %v implausibly low", br)
+	}
+}
+
+func TestPerFrameBudgetRespected(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := e.NominalFrameBits()
+	reservoirCap := e.Config().ReservoirBits
+	s, err := e.EncodeStream(signal.DefaultProgram(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range s.Frames {
+		if f.BitLen > nominal+reservoirCap {
+			t.Fatalf("frame %d: %d bits > nominal+reservoir", i, f.BitLen)
+		}
+	}
+}
+
+func TestDecodeReconstructs(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := signal.DefaultProgram()
+	const frames = 30
+	s, err := e.EncodeStream(src, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Config().M
+	ref, err := src.Samples(0, m*(frames+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the fully-overlapped interior. A 128 kb/s perceptual codec
+	// on tonal material: demand at least ~11 dB SNR (the psychoacoustic
+	// model intentionally injects shaped noise; "transparent" is not
+	// "lossless").
+	snr := signal.SNRdB(ref[m:frames*m], recon[m:frames*m])
+	if snr < 11 {
+		t.Fatalf("decoded SNR = %.1f dB", snr)
+	}
+}
+
+func TestHigherBitrateHigherSNR(t *testing.T) {
+	src := signal.DefaultProgram()
+	snrAt := func(bps int) float64 {
+		e, err := New(Config{BitrateBps: bps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const frames = 20
+		s, err := e.EncodeStream(src, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, err := Decode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := e.Config().M
+		ref, err := src.Samples(0, m*(frames+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return signal.SNRdB(ref[m:frames*m], recon[m:frames*m])
+	}
+	low, high := snrAt(80000), snrAt(256000)
+	if high <= low {
+		t.Fatalf("256 kb/s SNR %.1f <= 80 kb/s SNR %.1f", high, low)
+	}
+}
+
+func TestReservoirSmoothsDemand(t *testing.T) {
+	// A quiet lead-in banks bits that a loud attack can spend: the
+	// attack frame may legally exceed the nominal budget.
+	cfg := Config{BitrateBps: 96000}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := e.NominalFrameBits()
+	quiet := &signal.Synth{SampleRate: 44100, Tones: []signal.Tone{{Freq: 440, Amp: 0.001}}}
+	loud := signal.DefaultProgram()
+
+	overNominal := false
+	for f := 0; f < 6; f++ {
+		w, err := quiet.Samples(f*512, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.EncodeWindow(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := 0; f < 6; f++ {
+		w, err := loud.Samples(f*512, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := e.EncodeWindow(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.BitLen > nominal {
+			overNominal = true
+		}
+	}
+	if !overNominal {
+		t.Fatal("reservoir never lent bits to demanding frames")
+	}
+}
+
+func TestEncoderDeterministic(t *testing.T) {
+	run := func() int {
+		e, err := New(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.EncodeStream(signal.DefaultProgram(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.TotalBits()
+	}
+	if run() != run() {
+		t.Fatal("encoder not deterministic")
+	}
+}

@@ -1,0 +1,67 @@
+package huffman
+
+import "testing"
+
+// FuzzFromLengths feeds arbitrary code-length tables to the canonical
+// reconstructor: it must never panic, and any accepted code must decode
+// what it encodes.
+func FuzzFromLengths(f *testing.F) {
+	f.Add([]byte{1, 1})
+	f.Add([]byte{1, 2, 2})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{15, 15})
+
+	f.Fuzz(func(t *testing.T, lengths []byte) {
+		if len(lengths) > 64 {
+			lengths = lengths[:64]
+		}
+		ls := make([]uint8, len(lengths))
+		for i, b := range lengths {
+			ls[i] = b % 16
+		}
+		code, err := FromLengths(ls)
+		if err != nil {
+			return
+		}
+		// Round-trip every coded symbol.
+		var w BitWriter
+		var syms []int
+		for s, l := range code.Lengths {
+			if l == 0 {
+				continue
+			}
+			if err := code.Encode(&w, s); err != nil {
+				t.Fatalf("accepted code cannot encode symbol %d: %v", s, err)
+			}
+			syms = append(syms, s)
+		}
+		r := NewBitReader(w.Bytes())
+		for _, want := range syms {
+			got, err := code.Decode(r)
+			if err != nil {
+				t.Fatalf("decode error: %v", err)
+			}
+			if got != want {
+				t.Fatalf("round trip: got %d want %d", got, want)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBits feeds arbitrary bitstreams to a fixed decoder: it must
+// never panic or loop forever.
+func FuzzDecodeBits(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0xa5})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		code, err := Build([]int{5, 3, 2, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewBitReader(stream)
+		for i := 0; i < 1000; i++ {
+			if _, err := code.Decode(r); err != nil {
+				return // clean EOS/corrupt detection
+			}
+		}
+	})
+}

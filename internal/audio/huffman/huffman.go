@@ -1,0 +1,234 @@
+// Package huffman implements the canonical Huffman entropy coder used by
+// the MP3-encoder pipeline's Iterative Encoding stage. Codes are built
+// per frame from the quantized-magnitude histogram and shipped as a
+// 4-bit-per-symbol code-length table, exactly enough for the decoder to
+// rebuild the canonical code.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MaxCodeLen bounds code lengths so lengths fit in 4 bits.
+const MaxCodeLen = 15
+
+// ErrBadTable is returned when a code-length table is not a valid prefix
+// code.
+var ErrBadTable = errors.New("huffman: invalid code-length table")
+
+// ErrCorrupt is returned when a bitstream does not decode.
+var ErrCorrupt = errors.New("huffman: corrupt bitstream")
+
+// Code is a canonical Huffman code over the alphabet 0..n-1.
+type Code struct {
+	// Lengths[s] is the code length of symbol s (0 = symbol unused).
+	Lengths []uint8
+	codes   []uint32
+}
+
+type hnode struct {
+	weight      int
+	symbol      int // -1 for internal
+	left, right *hnode
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int      { return len(h) }
+func (h hheap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h hheap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].symbol < h[j].symbol // deterministic tie-break
+}
+func (h *hheap) Push(x any) { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a canonical code for the given symbol frequencies.
+// Symbols with zero frequency get no code. At least one symbol must have
+// nonzero frequency. Lengths are capped at MaxCodeLen by flattening (rare
+// with sane alphabets).
+func Build(freq []int) (*Code, error) {
+	n := len(freq)
+	if n == 0 {
+		return nil, errors.New("huffman: empty alphabet")
+	}
+	var h hheap
+	for s, f := range freq {
+		if f > 0 {
+			h = append(h, &hnode{weight: f, symbol: s})
+		}
+	}
+	if len(h) == 0 {
+		return nil, errors.New("huffman: no symbols")
+	}
+	lengths := make([]uint8, n)
+	if len(h) == 1 {
+		lengths[h[0].symbol] = 1 // degenerate: one symbol, one bit
+		return fromLengths(lengths)
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hnode)
+		b := heap.Pop(&h).(*hnode)
+		heap.Push(&h, &hnode{weight: a.weight + b.weight, symbol: -1, left: a, right: b})
+	}
+	root := h[0]
+	var walk func(*hnode, uint8)
+	walk = func(nd *hnode, depth uint8) {
+		if nd.symbol >= 0 {
+			lengths[nd.symbol] = depth
+			return
+		}
+		walk(nd.left, depth+1)
+		walk(nd.right, depth+1)
+	}
+	walk(root, 0)
+	for s := range lengths {
+		if lengths[s] > MaxCodeLen {
+			// Depth overflow is possible only with pathological skew;
+			// fall back to a flat fixed-length code.
+			return flatCode(freq)
+		}
+	}
+	return fromLengths(lengths)
+}
+
+// flatCode assigns equal lengths to all used symbols.
+func flatCode(freq []int) (*Code, error) {
+	used := 0
+	for _, f := range freq {
+		if f > 0 {
+			used++
+		}
+	}
+	bits := uint8(1)
+	for 1<<bits < used {
+		bits++
+	}
+	lengths := make([]uint8, len(freq))
+	for s, f := range freq {
+		if f > 0 {
+			lengths[s] = bits
+		}
+	}
+	return fromLengths(lengths)
+}
+
+// FromLengths rebuilds a canonical code from a length table (the decoder
+// side). It validates the Kraft inequality.
+func FromLengths(lengths []uint8) (*Code, error) { return fromLengths(lengths) }
+
+func fromLengths(lengths []uint8) (*Code, error) {
+	// Kraft sum must be <= 1 for decodability.
+	kraft := 0
+	const unit = 1 << MaxCodeLen
+	for _, l := range lengths {
+		if l > MaxCodeLen {
+			return nil, ErrBadTable
+		}
+		if l > 0 {
+			kraft += unit >> l
+		}
+	}
+	if kraft > unit {
+		return nil, ErrBadTable
+	}
+	// Canonical assignment: sort by (length, symbol).
+	type sym struct {
+		s int
+		l uint8
+	}
+	var used []sym
+	for s, l := range lengths {
+		if l > 0 {
+			used = append(used, sym{s, l})
+		}
+	}
+	if len(used) == 0 {
+		return nil, ErrBadTable
+	}
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].l != used[j].l {
+			return used[i].l < used[j].l
+		}
+		return used[i].s < used[j].s
+	})
+	codes := make([]uint32, len(lengths))
+	var code uint32
+	var prevLen uint8
+	for _, u := range used {
+		code <<= (u.l - prevLen)
+		codes[u.s] = code
+		code++
+		prevLen = u.l
+	}
+	out := make([]uint8, len(lengths))
+	copy(out, lengths)
+	return &Code{Lengths: out, codes: codes}, nil
+}
+
+// BitCost returns the encoded size in bits of symbol s, or an error if s
+// has no code.
+func (c *Code) BitCost(s int) (int, error) {
+	if s < 0 || s >= len(c.Lengths) || c.Lengths[s] == 0 {
+		return 0, fmt.Errorf("huffman: symbol %d has no code", s)
+	}
+	return int(c.Lengths[s]), nil
+}
+
+// Encode appends symbol s to the bit writer.
+func (c *Code) Encode(w *BitWriter, s int) error {
+	if s < 0 || s >= len(c.Lengths) || c.Lengths[s] == 0 {
+		return fmt.Errorf("huffman: symbol %d has no code", s)
+	}
+	w.WriteBits(uint64(c.codes[s]), int(c.Lengths[s]))
+	return nil
+}
+
+// Decode reads one symbol from the bit reader.
+func (c *Code) Decode(r *BitReader) (int, error) {
+	var acc uint32
+	var n uint8
+	for n <= MaxCodeLen {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		acc = acc<<1 | uint32(bit)
+		n++
+		for s, l := range c.Lengths {
+			if l == n && c.codes[s] == acc {
+				return s, nil
+			}
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+// TotalBits estimates the encoded size of the frequency histogram under
+// the code, for rate-loop decisions without actually encoding.
+func (c *Code) TotalBits(freq []int) (int, error) {
+	total := 0
+	for s, f := range freq {
+		if f == 0 {
+			continue
+		}
+		cost, err := c.BitCost(s)
+		if err != nil {
+			return 0, err
+		}
+		total += f * cost
+	}
+	return total, nil
+}

@@ -1,0 +1,273 @@
+package huffman
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBitIORoundTrip(t *testing.T) {
+	var w BitWriter
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xdead, 16)
+	w.WriteBit(1)
+	r := NewBitReader(w.Bytes())
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("4-bit read = %b", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xdead {
+		t.Fatalf("16-bit read = %x", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Fatal("bit read")
+	}
+}
+
+func TestBitWriterLen(t *testing.T) {
+	var w BitWriter
+	if w.Len() != 0 {
+		t.Fatal("empty writer length")
+	}
+	w.WriteBits(0, 13)
+	if w.Len() != 13 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestBitReaderEOS(t *testing.T) {
+	r := NewBitReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); !errors.Is(err, ErrEOS) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuickBitIO(t *testing.T) {
+	f := func(vals []uint16, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		var w BitWriter
+		var expect []uint64
+		var ws []int
+		for i := 0; i < n; i++ {
+			width := int(widths[i]%16) + 1
+			v := uint64(vals[i]) & (1<<uint(width) - 1)
+			w.WriteBits(v, width)
+			expect = append(expect, v)
+			ws = append(ws, width)
+		}
+		r := NewBitReader(w.Bytes())
+		for i := range expect {
+			v, err := r.ReadBits(ws[i])
+			if err != nil || v != expect[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+	if _, err := Build([]int{0, 0, 0}); err == nil {
+		t.Error("all-zero frequencies accepted")
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	c, err := Build([]int{0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w BitWriter
+	if err := c.Encode(&w, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Decode(NewBitReader(w.Bytes()))
+	if err != nil || s != 1 {
+		t.Fatalf("decode = %d, %v", s, err)
+	}
+}
+
+func TestSkewedFrequenciesGiveShortCodes(t *testing.T) {
+	freq := []int{1000, 10, 10, 10}
+	c, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lengths[0] >= c.Lengths[1] {
+		t.Fatalf("frequent symbol not shorter: %v", c.Lengths)
+	}
+	// Huffman beats fixed-length on skewed data.
+	total, err := c.TotalBits(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := 2 * (1000 + 30)
+	if total >= fixed {
+		t.Fatalf("huffman %d bits >= fixed %d", total, fixed)
+	}
+}
+
+func TestEncodeDecodeStream(t *testing.T) {
+	r := rng.New(5)
+	freq := make([]int, 16)
+	var syms []int
+	for i := 0; i < 2000; i++ {
+		// Geometric-ish distribution like quantized audio magnitudes.
+		s := 0
+		for s < 15 && r.Bool(0.6) {
+			s++
+		}
+		syms = append(syms, s)
+		freq[s]++
+	}
+	c, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w BitWriter
+	for _, s := range syms {
+		if err := c.Encode(&w, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Decoder rebuilds the code from lengths only (canonical property).
+	dec, err := FromLengths(c.Lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := NewBitReader(w.Bytes())
+	for i, want := range syms {
+		got, err := dec.Decode(br)
+		if err != nil {
+			t.Fatalf("decode error at %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestTotalBitsMatchesActualEncoding(t *testing.T) {
+	freq := []int{50, 30, 12, 8}
+	c, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimate, err := c.TotalBits(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w BitWriter
+	for s, f := range freq {
+		for i := 0; i < f; i++ {
+			if err := c.Encode(&w, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if w.Len() != estimate {
+		t.Fatalf("actual %d bits != estimate %d", w.Len(), estimate)
+	}
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	c, err := Build([]int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w BitWriter
+	if err := c.Encode(&w, 5); err == nil {
+		t.Error("out-of-range symbol accepted")
+	}
+	if err := c.Encode(&w, -1); err == nil {
+		t.Error("negative symbol accepted")
+	}
+	if _, err := c.BitCost(1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromLengthsRejectsOverfullKraft(t *testing.T) {
+	// Three 1-bit codes violate Kraft.
+	if _, err := FromLengths([]uint8{1, 1, 1}); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FromLengths([]uint8{0, 0}); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("all-zero lengths: %v", err)
+	}
+	if _, err := FromLengths([]uint8{16}); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("over-long length: %v", err)
+	}
+}
+
+func TestKraftOptimality(t *testing.T) {
+	// Huffman is optimal: its cost is within one bit/symbol of entropy.
+	freq := []int{40, 20, 20, 10, 10}
+	c, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := c.TotalBits(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known optimal for this distribution: lengths 1,3,3,3,3 or 2,2,2,3,3
+	// => 220 bits over 100 symbols.
+	if total != 220 {
+		t.Fatalf("total = %d, want 220", total)
+	}
+}
+
+// Property: Build + canonical reconstruction round-trips random symbol
+// streams.
+func TestQuickHuffmanRoundTrip(t *testing.T) {
+	f := func(seed uint64, alphabetSel uint8) bool {
+		r := rng.New(seed)
+		alphabet := int(alphabetSel%14) + 2
+		freq := make([]int, alphabet)
+		var syms []int
+		for i := 0; i < 200; i++ {
+			s := r.Intn(alphabet)
+			syms = append(syms, s)
+			freq[s]++
+		}
+		c, err := Build(freq)
+		if err != nil {
+			return false
+		}
+		var w BitWriter
+		for _, s := range syms {
+			if err := c.Encode(&w, s); err != nil {
+				return false
+			}
+		}
+		dec, err := FromLengths(c.Lengths)
+		if err != nil {
+			return false
+		}
+		br := NewBitReader(w.Bytes())
+		for _, want := range syms {
+			got, err := dec.Decode(br)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,292 @@
+// Package quant is the Iterative Encoding stage of the MP3-encoder
+// pipeline (Fig. 4-7): it quantizes one frame of MDCT coefficients under
+// the psychoacoustic model's signal-to-mask ratios, entropy-codes the
+// result, and runs the classic rate loop — raise the global gain until
+// the frame fits its bit budget.
+//
+// Per band b, the allowed quantization-noise energy is
+// E_b · 10^(−SMR_b/10); a uniform quantizer of step s injects ≈ s²/12 of
+// noise per coefficient, so the base step is s_b = √(12·N_b/width_b).
+// Steps are stored as quarter-power-of-two scalefactors, and a global
+// gain shifts all of them together (also in 2^(1/4) increments, as in
+// layer III).
+package quant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/audio/huffman"
+)
+
+// Symbol alphabet: magnitudes 0..14 direct, 15 = escape + 16 raw bits.
+const (
+	alphabet  = 16
+	escapeSym = 15
+	escBits   = 16
+	maxMag    = 1<<escBits - 1
+)
+
+// Bands describes how coefficients split into scalefactor bands: band b
+// covers [Edges[b], Edges[b+1]).
+type Bands struct {
+	Edges []int
+}
+
+// Validate checks that the edges partition [0, coefs).
+func (b *Bands) Validate(coefs int) error {
+	if len(b.Edges) < 2 || b.Edges[0] != 0 || b.Edges[len(b.Edges)-1] != coefs {
+		return fmt.Errorf("quant: edges must span [0,%d]", coefs)
+	}
+	for i := 1; i < len(b.Edges); i++ {
+		if b.Edges[i] <= b.Edges[i-1] {
+			return errors.New("quant: edges not strictly increasing")
+		}
+	}
+	return nil
+}
+
+// Count returns the band count.
+func (b *Bands) Count() int { return len(b.Edges) - 1 }
+
+// Frame is one quantized, entropy-coded frame.
+type Frame struct {
+	// GlobalGain is the rate-loop gain in quarter-powers of two.
+	GlobalGain uint8
+	// Scalefactors are per-band step exponents (quarter-powers of two,
+	// biased by +64 when serialized).
+	Scalefactors []int8
+	// Bits is the payload produced by Encode.
+	Bits []byte
+	// BitLen is the exact significant bit count of Bits.
+	BitLen int
+}
+
+// stepOf converts a scalefactor + gain into a quantizer step.
+func stepOf(sf int8, gain uint8) float64 {
+	return math.Exp2((float64(sf) + float64(gain)) / 4)
+}
+
+// baseScalefactors derives the per-band scalefactors from allowed noise.
+func baseScalefactors(bands *Bands, allowedNoise []float64) []int8 {
+	sfs := make([]int8, bands.Count())
+	for b := range sfs {
+		width := bands.Edges[b+1] - bands.Edges[b]
+		noise := allowedNoise[b]
+		if noise <= 0 {
+			noise = 1e-12
+		}
+		step := math.Sqrt(12 * noise / float64(width))
+		sf := math.Round(4 * math.Log2(step))
+		if sf > 127 {
+			sf = 127
+		}
+		if sf < -128 {
+			sf = -128
+		}
+		sfs[b] = int8(sf)
+	}
+	return sfs
+}
+
+// quantize maps coefficients to integer magnitudes+signs under the given
+// gain. It returns the values, the symbol histogram, and whether any
+// magnitude clamped at the escape ceiling (clamping is gross distortion,
+// so the rate loop treats a clamped gain as unusable).
+func quantize(coef []float64, bands *Bands, sfs []int8, gain uint8) (q []int32, freq []int, clamped bool) {
+	q = make([]int32, len(coef))
+	freq = make([]int, alphabet)
+	for b := 0; b < bands.Count(); b++ {
+		step := stepOf(sfs[b], gain)
+		for i := bands.Edges[b]; i < bands.Edges[b+1]; i++ {
+			r := math.Round(coef[i] / step)
+			if r > maxMag || r < -maxMag {
+				clamped = true
+			}
+			v := int32(math.Max(-maxMag, math.Min(maxMag, r)))
+			q[i] = v
+			mag := v
+			if mag < 0 {
+				mag = -mag
+			}
+			if mag >= escapeSym {
+				freq[escapeSym]++
+			} else {
+				freq[mag]++
+			}
+		}
+	}
+	return q, freq, clamped
+}
+
+// headerBits is the fixed per-frame side information: gain (8) +
+// scalefactors (8 each) + Huffman code lengths (4 bits × alphabet).
+func headerBits(bandCount int) int { return 8 + 8*bandCount + 4*alphabet }
+
+// costBits returns the payload size for a quantization outcome.
+func costBits(q []int32, freq []int) (int, error) {
+	code, err := huffman.Build(freq)
+	if err != nil {
+		return 0, err
+	}
+	total, err := code.TotalBits(freq)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range q {
+		if v != 0 {
+			total++ // sign bit
+		}
+		if v >= escapeSym || v <= -escapeSym {
+			total += escBits
+		}
+	}
+	return total, nil
+}
+
+// EncodeFrame quantizes and entropy-codes one frame of coefficients so
+// that the total (header + payload) fits budgetBits. allowedNoise is the
+// psychoacoustic model's per-band noise allowance in the coefficient
+// domain. The returned frame always fits: the rate loop increases the
+// global gain — coarser steps, fewer bits — until it does.
+func EncodeFrame(coef []float64, bands *Bands, allowedNoise []float64, budgetBits int) (*Frame, error) {
+	if err := bands.Validate(len(coef)); err != nil {
+		return nil, err
+	}
+	if len(allowedNoise) != bands.Count() {
+		return nil, fmt.Errorf("quant: %d noise allowances for %d bands",
+			len(allowedNoise), bands.Count())
+	}
+	hdr := headerBits(bands.Count())
+	if budgetBits <= hdr {
+		return nil, fmt.Errorf("quant: budget %d below header size %d", budgetBits, hdr)
+	}
+	sfs := baseScalefactors(bands, allowedNoise)
+
+	for gain := 0; gain <= 255; gain++ {
+		q, freq, clamped := quantize(coef, bands, sfs, uint8(gain))
+		if clamped {
+			continue // magnitude ceiling hit: step too fine for the data
+		}
+		payload, err := costBits(q, freq)
+		if err != nil {
+			return nil, err
+		}
+		if hdr+payload > budgetBits {
+			continue // rate loop: coarsen and retry
+		}
+		return packFrame(q, freq, bands, sfs, uint8(gain))
+	}
+	// Even all-zero magnitudes need hdr + 1 bit per coefficient.
+	return nil, fmt.Errorf("quant: budget %d bits cannot fit a frame (floor ≈ %d)",
+		budgetBits, hdr+len(coef))
+}
+
+// packFrame serializes the frame bitstream.
+func packFrame(q []int32, freq []int, bands *Bands, sfs []int8, gain uint8) (*Frame, error) {
+	code, err := huffman.Build(freq)
+	if err != nil {
+		return nil, err
+	}
+	var w huffman.BitWriter
+	w.WriteBits(uint64(gain), 8)
+	for _, sf := range sfs {
+		w.WriteBits(uint64(uint8(sf)), 8)
+	}
+	for s := 0; s < alphabet; s++ {
+		w.WriteBits(uint64(code.Lengths[s]), 4)
+	}
+	for _, v := range q {
+		mag := v
+		if mag < 0 {
+			mag = -mag
+		}
+		sym := int(mag)
+		if sym >= escapeSym {
+			sym = escapeSym
+		}
+		if err := code.Encode(&w, sym); err != nil {
+			return nil, err
+		}
+		if sym == escapeSym {
+			w.WriteBits(uint64(mag), escBits)
+		}
+		if v != 0 {
+			bit := uint8(0)
+			if v < 0 {
+				bit = 1
+			}
+			w.WriteBit(bit)
+		}
+	}
+	return &Frame{
+		GlobalGain:   gain,
+		Scalefactors: append([]int8(nil), sfs...),
+		Bits:         w.Bytes(),
+		BitLen:       w.Len(),
+	}, nil
+}
+
+// DecodeFrame inverts EncodeFrame, returning the reconstructed
+// coefficients.
+func DecodeFrame(frameBits []byte, bands *Bands, coefs int) ([]float64, error) {
+	if err := bands.Validate(coefs); err != nil {
+		return nil, err
+	}
+	r := huffman.NewBitReader(frameBits)
+	g, err := r.ReadBits(8)
+	if err != nil {
+		return nil, err
+	}
+	gain := uint8(g)
+	sfs := make([]int8, bands.Count())
+	for b := range sfs {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		sfs[b] = int8(uint8(v))
+	}
+	lengths := make([]uint8, alphabet)
+	for s := range lengths {
+		v, err := r.ReadBits(4)
+		if err != nil {
+			return nil, err
+		}
+		lengths[s] = uint8(v)
+	}
+	code, err := huffman.FromLengths(lengths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, coefs)
+	for b := 0; b < bands.Count(); b++ {
+		step := stepOf(sfs[b], gain)
+		for i := bands.Edges[b]; i < bands.Edges[b+1]; i++ {
+			sym, err := code.Decode(r)
+			if err != nil {
+				return nil, err
+			}
+			mag := int64(sym)
+			if sym == escapeSym {
+				ext, err := r.ReadBits(escBits)
+				if err != nil {
+					return nil, err
+				}
+				mag = int64(ext)
+			}
+			if mag != 0 {
+				sign, err := r.ReadBit()
+				if err != nil {
+					return nil, err
+				}
+				if sign == 1 {
+					mag = -mag
+				}
+			}
+			out[i] = float64(mag) * step
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,272 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/audio/mdct"
+	"repro/internal/audio/psycho"
+	"repro/internal/audio/signal"
+)
+
+// uniformBands splits coefs into n equal bands.
+func uniformBands(coefs, n int) *Bands {
+	edges := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		edges[i] = i * coefs / n
+	}
+	return &Bands{Edges: edges}
+}
+
+func flatNoise(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestBandsValidate(t *testing.T) {
+	good := uniformBands(64, 8)
+	if err := good.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Bands{
+		{Edges: []int{0}},
+		{Edges: []int{1, 64}},
+		{Edges: []int{0, 32}},
+		{Edges: []int{0, 32, 32, 64}},
+		{Edges: []int{0, 40, 30, 64}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(64); err == nil {
+			t.Errorf("bad bands %d accepted", i)
+		}
+	}
+}
+
+func testCoefficients(t *testing.T, m int) []float64 {
+	t.Helper()
+	tr, err := mdct.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := signal.DefaultProgram().Samples(0, 2*m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coef, err := tr.Forward(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coef
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	coef := testCoefficients(t, 256)
+	bands := uniformBands(256, 32)
+	noise := flatNoise(32, 1e-6)
+	f, err := EncodeFrame(coef, bands, noise, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(f.Bits, bands, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction error per coefficient is bounded by its band's
+	// step/2 (+ escape clamping, absent here).
+	for b := 0; b < bands.Count(); b++ {
+		step := stepOf(f.Scalefactors[b], f.GlobalGain)
+		for i := bands.Edges[b]; i < bands.Edges[b+1]; i++ {
+			if math.Abs(got[i]-coef[i]) > step/2+1e-12 {
+				t.Fatalf("coef %d: |%v - %v| > step/2 = %v",
+					i, got[i], coef[i], step/2)
+			}
+		}
+	}
+}
+
+func TestFrameFitsBudget(t *testing.T) {
+	coef := testCoefficients(t, 256)
+	bands := uniformBands(256, 32)
+	noise := flatNoise(32, 1e-9) // demand extreme fidelity
+	for _, budget := range []int{700, 800, 1600, 6400} {
+		f, err := EncodeFrame(coef, bands, noise, budget)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if f.BitLen > budget {
+			t.Fatalf("budget %d: frame is %d bits", budget, f.BitLen)
+		}
+	}
+}
+
+func TestTighterBudgetRaisesGain(t *testing.T) {
+	coef := testCoefficients(t, 256)
+	bands := uniformBands(256, 32)
+	noise := flatNoise(32, 1e-9)
+	tight, err := EncodeFrame(coef, bands, noise, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := EncodeFrame(coef, bands, noise, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.GlobalGain <= loose.GlobalGain {
+		t.Fatalf("tight budget gain %d <= loose gain %d",
+			tight.GlobalGain, loose.GlobalGain)
+	}
+}
+
+func TestLooserBudgetImprovesAccuracy(t *testing.T) {
+	coef := testCoefficients(t, 256)
+	bands := uniformBands(256, 32)
+	noise := flatNoise(32, 1e-9)
+	errOf := func(budget int) float64 {
+		f, err := EncodeFrame(coef, bands, noise, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeFrame(f.Bits, bands, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range coef {
+			d := got[i] - coef[i]
+			sum += d * d
+		}
+		return sum
+	}
+	if tight, loose := errOf(700), errOf(8000); loose >= tight {
+		t.Fatalf("more bits did not reduce error: %v vs %v", loose, tight)
+	}
+}
+
+func TestBudgetBelowHeaderRejected(t *testing.T) {
+	coef := testCoefficients(t, 256)
+	bands := uniformBands(256, 32)
+	if _, err := EncodeFrame(coef, bands, flatNoise(32, 1e-6), 100); err == nil {
+		t.Fatal("sub-header budget accepted")
+	}
+}
+
+func TestMismatchedNoiseRejected(t *testing.T) {
+	coef := testCoefficients(t, 256)
+	bands := uniformBands(256, 32)
+	if _, err := EncodeFrame(coef, bands, flatNoise(16, 1e-6), 4000); err == nil {
+		t.Fatal("wrong noise length accepted")
+	}
+}
+
+func TestSilenceCompressesTiny(t *testing.T) {
+	bands := uniformBands(256, 32)
+	f, err := EncodeFrame(make([]float64, 256), bands, flatNoise(32, 1e-6), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero coefficients: one 1-bit symbol each + header.
+	if f.BitLen > headerBits(32)+256+32 {
+		t.Fatalf("silent frame is %d bits", f.BitLen)
+	}
+	got, err := DecodeFrame(f.Bits, bands, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("silence decoded nonzero at %d: %v", i, v)
+		}
+	}
+}
+
+func TestEscapePath(t *testing.T) {
+	// A huge coefficient with a tiny step forces the escape symbol.
+	coef := make([]float64, 8)
+	coef[0] = 1000
+	coef[3] = -1000
+	bands := &Bands{Edges: []int{0, 8}}
+	f, err := EncodeFrame(coef, bands, []float64{1e-6}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(f.Bits, bands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := stepOf(f.Scalefactors[0], f.GlobalGain)
+	// The magnitude may clamp at maxMag; reconstruction must stay within
+	// step/2 or at the clamp value.
+	for _, i := range []int{0, 3} {
+		if math.Abs(got[i]-coef[i]) > step/2+1e-9 &&
+			math.Abs(math.Abs(got[i])-float64(maxMag)*step) > 1e-9 {
+			t.Fatalf("escape coef %d: got %v want %v (step %v)", i, got[i], coef[i], step)
+		}
+	}
+	if got[3] >= 0 {
+		t.Fatal("sign lost through escape path")
+	}
+}
+
+func TestPerceptualNoiseShaping(t *testing.T) {
+	// Given a generous budget, per-band noise stays within the allowance
+	// the psychoacoustic model granted (up to rounding of scalefactors:
+	// a factor of 2^(1/2) in energy).
+	m := 256
+	coef := testCoefficients(t, m)
+	model, err := psycho.NewModel(2*m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := signal.DefaultProgram().Samples(0, 2*m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := model.Analyze(win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([]int, 33)
+	for b := 0; b < 32; b++ {
+		edges[b], _ = model.BandRange(b)
+	}
+	edges[32] = m
+	bands := &Bands{Edges: edges}
+	// Allowance in the MDCT domain: band energy scaled by the model's
+	// masking ratio.
+	allowed := make([]float64, 32)
+	for b := 0; b < 32; b++ {
+		var e float64
+		for i := edges[b]; i < edges[b+1]; i++ {
+			e += coef[i] * coef[i]
+		}
+		ratio := an.Threshold[b] / math.Max(an.Energy[b], 1e-12)
+		allowed[b] = math.Max(e*ratio, 1e-9)
+	}
+	f, err := EncodeFrame(coef, bands, allowed, 1<<20) // effectively unlimited
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GlobalGain != 0 {
+		t.Fatalf("unlimited budget still raised gain to %d", f.GlobalGain)
+	}
+	got, err := DecodeFrame(f.Bits, bands, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 32; b++ {
+		var noise float64
+		for i := edges[b]; i < edges[b+1]; i++ {
+			d := got[i] - coef[i]
+			noise += d * d
+		}
+		// The s²/12 noise model is an average: the per-coefficient worst
+		// case is s²/4 (3×), and scalefactor rounding to quarter-powers
+		// of two adds up to √2 in energy — a hard ceiling of 3·√2 ≈ 4.25.
+		if noise > allowed[b]*4.3 {
+			t.Fatalf("band %d: noise %v exceeds allowance %v", b, noise, allowed[b])
+		}
+	}
+}

@@ -1,0 +1,715 @@
+// Package core implements on-chip stochastic communication — the thesis'
+// primary contribution (Chapter 3).
+//
+// Every tile of the NoC runs the gossip algorithm of Fig. 3-4 once per
+// broadcast round:
+//
+//	send_buffer ← send_buffer ∪ {m received | CRC_OK(m)}   (deduplicated)
+//	∀ m ∈ send_buffer: m.TTL ← m.TTL − 1
+//	send_buffer ← send_buffer \ {m | m.TTL = 0}             (garbage collect)
+//	for all m ∈ send_buffer, for each output port:
+//	        send m on the port with probability p
+//
+// The engine is a synchronous round-based simulator: deterministic under a
+// seed, with the Chapter 2 fault model (package fault) layered onto every
+// transmission and reception. Tiles host application logic through the
+// Process interface; the IP core is fully decoupled from the communication
+// fabric, which is the architectural point of the thesis ("separation
+// between computation and communication").
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Process is the IP core mapped onto one tile. Implementations receive a
+// Ctx giving access to the tile's mailbox and send port. Round is invoked
+// once per gossip round, after delivery; a Process on a crashed tile is
+// never invoked.
+type Process interface {
+	// Init is called once before round 0.
+	Init(ctx *Ctx)
+	// Round is called once per gossip round.
+	Round(ctx *Ctx)
+}
+
+// Completer is optionally implemented by Processes that know when the
+// application has finished (e.g. the Master after collecting all partial
+// sums). The network reports completion when every Completer is done.
+type Completer interface {
+	Done() bool
+}
+
+// Receiver is optionally implemented by Processes that want messages
+// pushed at the instant of delivery (within the round the packet arrives)
+// instead of polling Delivered on their next Round. Latency-sensitive
+// completion detection should use Receive: the round in which the last
+// result arrives is the application latency the thesis reports.
+type Receiver interface {
+	Receive(ctx *Ctx, p *packet.Packet)
+}
+
+// Config parameterizes one stochastic-communication network.
+type Config struct {
+	// Topo is the interconnect fabric (required).
+	Topo topology.Topology
+	// Fault is the Chapter 2 failure model (zero value = fault free).
+	Fault fault.Model
+	// P is the per-port forwarding probability; p = 1 degenerates to
+	// flooding (latency-optimal, energy-worst).
+	P float64
+	// TTL is the initial time-to-live of newly created messages.
+	TTL uint8
+	// BufferCap bounds the send buffer; 0 means unbounded. On overflow
+	// the oldest buffered message is dropped (§4.2).
+	BufferCap int
+	// MaxRounds aborts a run that has not completed (defaults to 10000).
+	MaxRounds int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// DisableDedup turns off duplicate suppression in the send buffer,
+	// for the ablation study (the thesis keeps exactly one copy).
+	DisableDedup bool
+	// StopSpreadOnDelivery garbage-collects a unicast message everywhere
+	// once its destination has received it — the idealized spread
+	// termination §3.2.2 alludes to ("the spread could be terminated even
+	// earlier in order to reduce the number of messages"). It models a
+	// chip-wide kill signal and is used by the energy-focused
+	// experiments; the default (false) is the pure TTL-bounded protocol.
+	StopSpreadOnDelivery bool
+	// PortWeight, if set, scales the forwarding probability per
+	// (tile, port, message): the effective probability becomes
+	// clamp(P·weight, 0, 1). It enables directed-gossip variants (see
+	// package directed) without touching the protocol loop; nil keeps
+	// the thesis' uniform ports.
+	PortWeight func(from, to packet.TileID, p *packet.Packet) float64
+	// OnDeliver, if set, observes every first-time delivery of a message
+	// to a tile that it addresses (or any tile, for broadcasts).
+	OnDeliver func(t packet.TileID, p *packet.Packet, round int)
+	// OnEvent, if set, receives every protocol event (message creation,
+	// transmissions, CRC rejections, overflow drops, deliveries, TTL
+	// expiries) — the hook package trace builds timelines on. Leaving it
+	// nil costs nothing.
+	OnEvent func(Event)
+	// Observer, if set, is called at the end of every round.
+	Observer func(round int, n *Network)
+}
+
+// EventKind classifies a protocol event.
+type EventKind uint8
+
+// The protocol events, in rough lifecycle order.
+const (
+	// EvCreated: a new message entered its origin tile's send buffer.
+	EvCreated EventKind = iota
+	// EvTransmit: a copy was driven onto the link Tile->Peer.
+	EvTransmit
+	// EvUpset: a reception was discarded as scrambled (CRC failure).
+	EvUpset
+	// EvOverflow: a message was lost to buffer overflow at Tile.
+	EvOverflow
+	// EvDeliver: first-time delivery to an addressed tile.
+	EvDeliver
+	// EvExpire: a buffered copy's TTL reached zero at Tile.
+	EvExpire
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvCreated:
+		return "created"
+	case EvTransmit:
+		return "transmit"
+	case EvUpset:
+		return "upset"
+	case EvOverflow:
+		return "overflow"
+	case EvDeliver:
+		return "deliver"
+	case EvExpire:
+		return "expire"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one protocol occurrence. Msg is zero for events that cannot
+// name a message (an upset-scrambled frame no longer has a trustworthy
+// ID).
+type Event struct {
+	Round int
+	Kind  EventKind
+	Tile  packet.TileID
+	// Peer is the far end of the link for EvTransmit, and the source
+	// tile for EvDeliver.
+	Peer packet.TileID
+	Msg  packet.MsgID
+}
+
+// DefaultTTL is a reasonable message lifetime for 4x4/5x5 grids: enough
+// rounds for a gossip broadcast to cross the network several times over.
+const DefaultTTL = 12
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Topo == nil {
+		return errors.New("core: Config.Topo is required")
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("core: P = %v out of [0,1]", c.P)
+	}
+	if c.TTL == 0 {
+		return errors.New("core: TTL must be >= 1")
+	}
+	if c.BufferCap < 0 {
+		return errors.New("core: negative BufferCap")
+	}
+	return c.Fault.Validate()
+}
+
+// Counters aggregates the observable events of one run.
+type Counters struct {
+	// Transmissions and bit counts (the Eq. 3 inputs).
+	Energy energy.Accounting
+	// UpsetsInjected counts transmissions scrambled in flight.
+	UpsetsInjected int
+	// UpsetsDetected counts receptions discarded by the CRC check (on the
+	// analytic path this equals the injected upsets that reached a live
+	// receiver).
+	UpsetsDetected int
+	// OverflowDrops counts messages lost to buffer overflow.
+	OverflowDrops int
+	// SlippedDeliveries counts receptions delayed by synchronization
+	// skew.
+	SlippedDeliveries int
+	// Deliveries counts first-time deliveries to addressed tiles.
+	Deliveries int
+	// DeliveredPayloadBits is the useful payload delivered, for the
+	// J-per-useful-bit metric.
+	DeliveredPayloadBits int
+	// Duplicates counts received copies suppressed by dedup.
+	Duplicates int
+}
+
+// arrival is a packet copy in flight toward a tile, scheduled to be
+// consumed at a specific round.
+type arrival struct {
+	pkt   *packet.Packet // fast path (nil if frame is set)
+	frame []byte         // literal path: encoded, possibly corrupted
+	upset bool           // fast path: transmission was scrambled
+}
+
+// tile is the per-tile runtime state: the Fig. 3-5 hardware interface.
+type tile struct {
+	id        packet.TileID
+	sendBuf   []*packet.Packet
+	present   map[packet.MsgID]bool // dedup over current buffer contents
+	seen      map[packet.MsgID]bool // delivery-once filter
+	pending   map[int][]arrival     // keyed by absolute arrival round
+	proc      Process
+	rnd       *rng.Stream // forwarding decisions + app randomness
+	mailbox   []*packet.Packet
+	fwdLimit  int // max messages forwarded per round; 0 = unlimited
+	fwdCursor int // round-robin position for rate-limited forwarding
+	router    func(p *packet.Packet) []packet.TileID
+}
+
+// Network is one simulated stochastically-communicating NoC.
+type Network struct {
+	cfg     Config
+	topo    topology.Topology
+	inj     *fault.Injector
+	tiles   []*tile
+	round   int
+	nextID  packet.MsgID
+	cnt     Counters
+	dead    map[packet.MsgID]bool // delivered unicasts, when spread-stop is on
+	started bool
+}
+
+// New builds a network from cfg. Tile crash failures are sampled here,
+// deterministically from cfg.Seed.
+func New(cfg Config) (*Network, error) {
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 10000
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	master := rng.New(cfg.Seed)
+	inj, err := fault.NewInjector(cfg.Topo, cfg.Fault, master.Split(0xfa017))
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, topo: cfg.Topo, inj: inj, dead: map[packet.MsgID]bool{}}
+	n.tiles = make([]*tile, cfg.Topo.Tiles())
+	for i := range n.tiles {
+		n.tiles[i] = &tile{
+			id:      packet.TileID(i),
+			present: map[packet.MsgID]bool{},
+			seen:    map[packet.MsgID]bool{},
+			pending: map[int][]arrival{},
+			rnd:     master.Split(uint64(i) + 1),
+		}
+	}
+	return n, nil
+}
+
+// Attach maps proc onto tile t. It panics if t is out of range (a mapping
+// bug, not a runtime condition).
+func (n *Network) Attach(t packet.TileID, proc Process) {
+	n.tiles[t].proc = proc
+}
+
+// SetForwardLimit caps how many distinct messages tile t may forward per
+// round (0 = unlimited, the default). A limit of 1 models a serializing
+// shared-bus bridge in the Chapter 5 hybrid architectures: excess
+// messages stay buffered — and keep aging — until the bus frees up.
+func (n *Network) SetForwardLimit(t packet.TileID, limit int) {
+	n.tiles[t].fwdLimit = limit
+}
+
+// SetRouter makes tile t a deterministic router: instead of gossiping
+// every buffered message over every port with probability P, it forwards
+// each message exactly once per round to the ports route returns. This is
+// how the Chapter 5 hybrid architectures bridge gossip clusters — the
+// bridge knows cluster addressing and confines traffic to the source and
+// destination clusters. route must be pure; returning nil drops nothing
+// (the message just stays buffered and ages).
+func (n *Network) SetRouter(t packet.TileID, route func(p *packet.Packet) []packet.TileID) {
+	n.tiles[t].router = route
+}
+
+// Aware returns how many tiles know message id — they hold a copy now or
+// have held one (the shaded tiles of the Fig. 3-3 walkthrough).
+func (n *Network) Aware(id packet.MsgID) int {
+	count := 0
+	for _, t := range n.tiles {
+		if t.present[id] || t.seen[id] {
+			count++
+		}
+	}
+	return count
+}
+
+// AwareAt reports whether tile t knows message id (holds or has held a
+// copy).
+func (n *Network) AwareAt(id packet.MsgID, t packet.TileID) bool {
+	if int(t) >= len(n.tiles) {
+		return false
+	}
+	tl := n.tiles[t]
+	return tl.present[id] || tl.seen[id]
+}
+
+// Quiescent reports whether no tile holds a live message and nothing is
+// in flight — the network has drained. Energy comparisons step until
+// quiescence so that every transmission a workload causes is billed.
+func (n *Network) Quiescent() bool {
+	for _, t := range n.tiles {
+		if len(t.sendBuf) > 0 || len(t.pending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain steps the network until it is quiescent or maxRounds more rounds
+// elapse, returning the number of extra rounds taken.
+func (n *Network) Drain(maxRounds int) int {
+	for i := 0; i < maxRounds; i++ {
+		if n.Quiescent() {
+			return i
+		}
+		n.Step()
+	}
+	return maxRounds
+}
+
+// Process returns the process attached to tile t, or nil.
+func (n *Network) Process(t packet.TileID) Process { return n.tiles[t].proc }
+
+// Injector exposes the sampled fault state (read-only use).
+func (n *Network) Injector() *fault.Injector { return n.inj }
+
+// Round returns the index of the round about to execute (or just
+// executed, from within an Observer).
+func (n *Network) Round() int { return n.round }
+
+// Counters returns a snapshot of the run's counters.
+func (n *Network) Counters() Counters { return n.cnt }
+
+// Topology returns the fabric.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Inject creates a new message originating at tile src before the
+// simulation starts (or between rounds), bypassing any Process. It is the
+// entry point for pure-dissemination experiments. The message is silently
+// ignored if src has crashed — a dead tile cannot talk.
+func (n *Network) Inject(src, dst packet.TileID, kind packet.Kind, payload []byte) packet.MsgID {
+	id := n.newMsgID()
+	if !n.inj.TileAlive(src) {
+		return id
+	}
+	// The originator knows its own rumor: never deliver it back to src.
+	n.tiles[src].seen[id] = true
+	n.emit(EvCreated, src, src, id)
+	n.enqueue(n.tiles[src], &packet.Packet{
+		ID: id, Src: src, Dst: dst, Kind: kind, TTL: n.cfg.TTL, Payload: payload,
+	})
+	return id
+}
+
+func (n *Network) newMsgID() packet.MsgID {
+	n.nextID++
+	return n.nextID
+}
+
+// emit publishes a protocol event if a listener is attached.
+func (n *Network) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgID) {
+	if n.cfg.OnEvent != nil {
+		n.cfg.OnEvent(Event{Round: n.round, Kind: kind, Tile: tile, Peer: peer, Msg: msg})
+	}
+}
+
+// enqueue inserts p into t's send buffer, enforcing dedup and capacity.
+func (n *Network) enqueue(t *tile, p *packet.Packet) {
+	if !n.cfg.DisableDedup && t.present[p.ID] {
+		n.cnt.Duplicates++
+		return
+	}
+	if n.cfg.BufferCap > 0 && len(t.sendBuf) >= n.cfg.BufferCap {
+		// Hard overflow: oldest dropped first (§4.2).
+		if len(t.sendBuf) > 0 {
+			n.emit(EvOverflow, t.id, t.id, t.sendBuf[0].ID)
+		}
+		n.dropOldest(t)
+		n.cnt.OverflowDrops++
+	}
+	t.sendBuf = append(t.sendBuf, p)
+	t.present[p.ID] = true
+}
+
+func (n *Network) dropOldest(t *tile) {
+	if len(t.sendBuf) == 0 {
+		return
+	}
+	old := t.sendBuf[0]
+	t.sendBuf = t.sendBuf[1:]
+	delete(t.present, old.ID)
+}
+
+// deliver hands p to t's IP mailbox if it addresses t and has not been
+// delivered here before.
+func (n *Network) deliver(t *tile, p *packet.Packet) {
+	if p.Dst != t.id && p.Dst != packet.Broadcast {
+		return
+	}
+	if t.seen[p.ID] {
+		return
+	}
+	t.seen[p.ID] = true
+	if n.cfg.StopSpreadOnDelivery && p.Dst == t.id {
+		n.dead[p.ID] = true
+	}
+	t.mailbox = append(t.mailbox, p)
+	n.cnt.Deliveries++
+	n.cnt.DeliveredPayloadBits += 8 * len(p.Payload)
+	n.emit(EvDeliver, t.id, p.Src, p.ID)
+	if n.cfg.OnDeliver != nil {
+		n.cfg.OnDeliver(t.id, p, n.round)
+	}
+	if rcv, ok := t.proc.(Receiver); ok {
+		rcv.Receive(&Ctx{net: n, tile: t}, p)
+	}
+}
+
+// Step executes one full gossip round across all tiles. Rounds are
+// numbered from 1; a message forwarded during round r arrives at the far
+// end of the link within round r (one hop per round), so under flooding a
+// message is delivered at round = Manhattan distance, matching the
+// Fig. 3-3 walkthrough.
+func (n *Network) Step() {
+	if !n.started {
+		n.started = true
+		for _, t := range n.tiles {
+			if t.proc != nil && n.inj.TileAlive(t.id) {
+				t.proc.Init(&Ctx{net: n, tile: t})
+			}
+		}
+	}
+	n.round++
+
+	// Phase 1 — computation: run the IP cores; they read the mailbox
+	// filled during the previous round and may create new messages.
+	for _, t := range n.tiles {
+		if t.proc == nil || !n.inj.TileAlive(t.id) {
+			continue
+		}
+		ctx := &Ctx{net: n, tile: t, delivered: t.mailbox}
+		t.proc.Round(ctx)
+		t.mailbox = nil
+	}
+
+	// Phase 2 — aging: decrement TTLs, garbage-collect expired messages.
+	for _, t := range n.tiles {
+		if !n.inj.TileAlive(t.id) {
+			continue
+		}
+		kept := t.sendBuf[:0]
+		for _, p := range t.sendBuf {
+			p.TTL--
+			if p.TTL == 0 || n.dead[p.ID] {
+				delete(t.present, p.ID)
+				n.emit(EvExpire, t.id, t.id, p.ID)
+				continue
+			}
+			kept = append(kept, p)
+		}
+		t.sendBuf = kept
+	}
+
+	// Phase 3 — forwarding: every buffered message goes out on each port
+	// independently with probability P; skew-free copies arrive within
+	// this round, skewed ones slip to later rounds.
+	for _, t := range n.tiles {
+		if !n.inj.TileAlive(t.id) {
+			continue
+		}
+		count := len(t.sendBuf)
+		if t.fwdLimit > 0 && count > t.fwdLimit {
+			count = t.fwdLimit // serializing bridge: TDM slots this round
+		}
+		for i := 0; i < count; i++ {
+			// Round-robin over the buffer so a long-lived message cannot
+			// hog a rate-limited bridge.
+			p := t.sendBuf[(t.fwdCursor+i)%len(t.sendBuf)]
+			if t.router != nil {
+				for _, nb := range t.router(p) {
+					n.transmit(t, nb, p)
+				}
+				continue
+			}
+			for _, nb := range n.topo.Neighbors(t.id) {
+				prob := n.cfg.P
+				if n.cfg.PortWeight != nil {
+					prob *= n.cfg.PortWeight(t.id, nb, p)
+				}
+				if !t.rnd.Bool(prob) {
+					continue
+				}
+				n.transmit(t, nb, p)
+			}
+		}
+		if len(t.sendBuf) > 0 {
+			t.fwdCursor = (t.fwdCursor + count) % len(t.sendBuf)
+		}
+	}
+
+	// Phase 4 — reception: consume the arrivals scheduled for this round,
+	// CRC-check them, merge survivors into the send buffer, deliver.
+	for _, t := range n.tiles {
+		if !n.inj.TileAlive(t.id) {
+			continue
+		}
+		for _, a := range t.pending[n.round] {
+			p := n.receive(t, a)
+			if p == nil || n.dead[p.ID] {
+				continue
+			}
+			// Analytic overflow: with probability POverflow the incoming
+			// packet finds no buffer space and is lost — the "% dropped
+			// packets" swept by Figs. 4-10/4-11. (Oldest-first eviction
+			// applies on the hard-capacity path in enqueue, per §4.2.)
+			if n.inj.OverflowHappens(t.rnd) {
+				n.cnt.OverflowDrops++
+				n.emit(EvOverflow, t.id, t.id, p.ID)
+				continue
+			}
+			n.deliver(t, p)
+			n.enqueue(t, p)
+		}
+		delete(t.pending, n.round)
+	}
+
+	if n.cfg.Observer != nil {
+		n.cfg.Observer(n.round, n)
+	}
+}
+
+// receive turns an arrival into a packet, applying CRC checking. It
+// returns nil if the frame must be discarded.
+func (n *Network) receive(t *tile, a arrival) *packet.Packet {
+	if a.frame != nil {
+		p, err := packet.Decode(a.frame)
+		if err != nil {
+			n.cnt.UpsetsDetected++
+			// A scrambled frame's ID is untrustworthy: report Msg 0.
+			n.emit(EvUpset, t.id, t.id, 0)
+			return nil
+		}
+		return p
+	}
+	if a.upset {
+		n.cnt.UpsetsDetected++
+		n.emit(EvUpset, t.id, t.id, a.pkt.ID)
+		return nil
+	}
+	return a.pkt
+}
+
+// transmit sends one copy of p from tile t toward neighbor nb, applying
+// the transient fault model. The energy of driving the link is spent even
+// when the copy is lost downstream.
+func (n *Network) transmit(t *tile, nb packet.TileID, p *packet.Packet) {
+	n.cnt.Energy.AddTransmission(p.SizeBits())
+	n.emit(EvTransmit, t.id, nb, p.ID)
+	if !n.inj.LinkAlive(t.id, nb) {
+		return // crashed link or dead far-end tile: copy vanishes
+	}
+	slip := n.inj.SyncSlip(t.rnd)
+	if slip > 0 {
+		n.cnt.SlippedDeliveries++
+	}
+	when := n.round + slip
+
+	var a arrival
+	if n.cfg.Fault.LiteralUpsets {
+		frame, err := packet.Encode(p)
+		if err != nil {
+			// Oversized payloads are caught at Inject/Send time; an
+			// encode failure here is a programming error.
+			panic(fmt.Sprintf("core: encode failed in flight: %v", err))
+		}
+		if n.inj.UpsetHappens(t.rnd) {
+			n.inj.CorruptFrame(frame, t.rnd)
+			n.cnt.UpsetsInjected++
+		}
+		a = arrival{frame: frame}
+	} else {
+		a = arrival{pkt: p.ShallowClone()}
+		if n.inj.UpsetHappens(t.rnd) {
+			a.upset = true
+			n.cnt.UpsetsInjected++
+		}
+	}
+	dst := n.tiles[nb]
+	dst.pending[when] = append(dst.pending[when], a)
+}
+
+// Completed reports whether every live Completer process is done. With no
+// Completer attached it returns false (run to MaxRounds).
+func (n *Network) Completed() bool {
+	any := false
+	for _, t := range n.tiles {
+		if t.proc == nil || !n.inj.TileAlive(t.id) {
+			continue
+		}
+		c, ok := t.proc.(Completer)
+		if !ok {
+			continue
+		}
+		any = true
+		if !c.Done() {
+			return false
+		}
+	}
+	return any
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Rounds is the number of rounds executed when the run stopped.
+	Rounds int
+	// Completed reports whether the application-level completion
+	// predicate was satisfied (false = the MaxRounds guillotine fired,
+	// the thesis' "application failed completely" outcome).
+	Completed bool
+	// Counters holds traffic and fault statistics.
+	Counters Counters
+}
+
+// Run steps the network until completion or cfg.MaxRounds.
+func (n *Network) Run() Result {
+	for n.round < n.cfg.MaxRounds {
+		n.Step()
+		if n.Completed() {
+			return Result{Rounds: n.round, Completed: true, Counters: n.cnt}
+		}
+	}
+	return Result{Rounds: n.round, Completed: false, Counters: n.cnt}
+}
+
+// RunWhile steps the network until cond returns false or MaxRounds is
+// reached; it reports Completed = !cond at exit. Used by dissemination
+// experiments with external termination conditions.
+func (n *Network) RunWhile(cond func(*Network) bool) Result {
+	for n.round < n.cfg.MaxRounds {
+		if !cond(n) {
+			return Result{Rounds: n.round, Completed: true, Counters: n.cnt}
+		}
+		n.Step()
+	}
+	return Result{Rounds: n.round, Completed: !cond(n), Counters: n.cnt}
+}
+
+// Ctx is the per-round view a Process has of its tile: the hardware
+// interface of Fig. 3-5 from the IP core's side of the buffers.
+type Ctx struct {
+	net       *Network
+	tile      *tile
+	delivered []*packet.Packet
+}
+
+// Self returns the hosting tile's ID. A zero Ctx (as unit tests hand to
+// Receive implementations directly) reports tile 0.
+func (c *Ctx) Self() packet.TileID {
+	if c.tile == nil {
+		return 0
+	}
+	return c.tile.id
+}
+
+// Round returns the current round index (0 for a zero Ctx).
+func (c *Ctx) Round() int {
+	if c.net == nil {
+		return 0
+	}
+	return c.net.round
+}
+
+// Delivered returns the messages addressed to this tile that arrived since
+// the previous round, each delivered exactly once.
+func (c *Ctx) Delivered() []*packet.Packet { return c.delivered }
+
+// Send creates a new message and hands it to the communication fabric.
+// The IP core neither knows nor cares where dst is — locating it is the
+// gossip layer's job.
+func (c *Ctx) Send(dst packet.TileID, kind packet.Kind, payload []byte) packet.MsgID {
+	id := c.net.newMsgID()
+	// The originator knows its own rumor: never deliver it back.
+	c.tile.seen[id] = true
+	c.net.emit(EvCreated, c.tile.id, c.tile.id, id)
+	c.net.enqueue(c.tile, &packet.Packet{
+		ID: id, Src: c.tile.id, Dst: dst, Kind: kind,
+		TTL: c.net.cfg.TTL, Payload: payload,
+	})
+	return id
+}
+
+// Broadcast creates a message addressed to every tile.
+func (c *Ctx) Broadcast(kind packet.Kind, payload []byte) packet.MsgID {
+	return c.Send(packet.Broadcast, kind, payload)
+}
+
+// Rand returns the tile-local random stream for application use (e.g.
+// randomized workloads); consuming it does not perturb other tiles.
+func (c *Ctx) Rand() *rng.Stream { return c.tile.rnd }

@@ -1,0 +1,657 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// senderProc emits one message to Dst at round 0.
+type senderProc struct {
+	dst     packet.TileID
+	payload []byte
+	sent    bool
+}
+
+func (s *senderProc) Init(*Ctx) {}
+func (s *senderProc) Round(ctx *Ctx) {
+	if !s.sent {
+		ctx.Send(s.dst, 1, s.payload)
+		s.sent = true
+	}
+}
+
+// sinkProc records the round of first delivery via the Receiver hook,
+// which fires at the delivery instant.
+type sinkProc struct {
+	gotRound int
+	got      bool
+}
+
+func (s *sinkProc) Init(*Ctx)  {}
+func (s *sinkProc) Round(*Ctx) {}
+func (s *sinkProc) Done() bool { return s.got }
+func (s *sinkProc) Receive(ctx *Ctx, _ *packet.Packet) {
+	if !s.got {
+		s.got = true
+		s.gotRound = ctx.Round()
+	}
+}
+
+func mustNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func baseCfg(topo topology.Topology, p float64) Config {
+	return Config{Topo: topo, P: p, TTL: DefaultTTL, MaxRounds: 200, Seed: 1}
+}
+
+func TestFloodingLatencyIsManhattan(t *testing.T) {
+	// With p = 1 the algorithm is a deterministic flood; a message
+	// traverses exactly the Manhattan distance in rounds (§4, "optimal
+	// with respect to latency").
+	g := topology.NewGrid(4, 4)
+	src, dst := g.ID(1, 1), g.ID(3, 2) // the thesis' Producer/Consumer tiles
+	cfg := baseCfg(g, 1)
+	n := mustNet(t, cfg)
+	n.Attach(src, &senderProc{dst: dst, payload: []byte("hello")})
+	sink := &sinkProc{}
+	n.Attach(dst, sink)
+	res := n.Run()
+	if !res.Completed {
+		t.Fatal("flood did not complete")
+	}
+	want := g.Manhattan(src, dst)
+	if sink.gotRound != want {
+		t.Fatalf("flood delivery at round %d, want Manhattan distance %d", sink.gotRound, want)
+	}
+}
+
+func TestFloodingReachesEveryTile(t *testing.T) {
+	g := topology.NewGrid(5, 5)
+	reached := map[packet.TileID]int{}
+	cfg := baseCfg(g, 1)
+	cfg.OnDeliver = func(tl packet.TileID, p *packet.Packet, round int) { reached[tl] = round }
+	n := mustNet(t, cfg)
+	n.Inject(g.ID(0, 0), packet.Broadcast, 0, []byte("b"))
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	// Broadcast reaches all tiles except the origin (which never
+	// "receives" its own message).
+	if len(reached) != g.Tiles()-1 {
+		t.Fatalf("broadcast reached %d tiles, want %d", len(reached), g.Tiles()-1)
+	}
+	for tl, round := range reached {
+		if want := g.Manhattan(g.ID(0, 0), tl); round != want {
+			t.Fatalf("tile %d reached at round %d, want %d", tl, round, want)
+		}
+	}
+}
+
+func TestGossipDeliversWHP(t *testing.T) {
+	// p = 0.5 on a 4x4 grid: the thesis reports 5-9 round latencies.
+	// Across seeds, delivery must virtually always happen well within TTL.
+	g := topology.NewGrid(4, 4)
+	delivered := 0
+	for seed := uint64(0); seed < 50; seed++ {
+		cfg := baseCfg(g, 0.5)
+		cfg.Seed = seed
+		n := mustNet(t, cfg)
+		n.Attach(g.ID(1, 1), &senderProc{dst: g.ID(3, 2), payload: []byte("x")})
+		sink := &sinkProc{}
+		n.Attach(g.ID(3, 2), sink)
+		if res := n.Run(); res.Completed {
+			delivered++
+			if sink.gotRound < g.Manhattan(g.ID(1, 1), g.ID(3, 2)) {
+				t.Fatalf("delivery faster than Manhattan distance: %d", sink.gotRound)
+			}
+		}
+	}
+	if delivered < 48 {
+		t.Fatalf("p=0.5 delivered only %d/50", delivered)
+	}
+}
+
+func TestPZeroNeverDelivers(t *testing.T) {
+	g := topology.NewGrid(4, 4)
+	cfg := baseCfg(g, 0)
+	cfg.MaxRounds = 50
+	n := mustNet(t, cfg)
+	n.Attach(0, &senderProc{dst: 15, payload: []byte("x")})
+	sink := &sinkProc{}
+	n.Attach(15, sink)
+	res := n.Run()
+	if res.Completed || sink.got {
+		t.Fatal("p=0 delivered a message")
+	}
+	if res.Counters.Energy.Transmissions != 0 {
+		t.Fatalf("p=0 transmitted %d packets", res.Counters.Energy.Transmissions)
+	}
+}
+
+func TestTTLExpiryStopsSpread(t *testing.T) {
+	// TTL 2: the message lives two rounds in each buffer; with flooding it
+	// can travel at most ~2 hops before every copy expires.
+	g := topology.NewGrid(6, 1)
+	cfg := baseCfg(g, 1)
+	cfg.TTL = 2
+	reached := map[packet.TileID]bool{}
+	cfg.OnDeliver = func(tl packet.TileID, p *packet.Packet, r int) { reached[tl] = true }
+	n := mustNet(t, cfg)
+	n.Inject(0, packet.Broadcast, 0, nil)
+	for i := 0; i < 30; i++ {
+		n.Step()
+	}
+	if reached[5] || reached[4] || reached[3] {
+		t.Fatalf("TTL=2 message traveled too far: %v", reached)
+	}
+	if !reached[1] {
+		t.Fatal("TTL=2 message did not reach the adjacent tile")
+	}
+}
+
+func TestTTLBoundsBufferLifetime(t *testing.T) {
+	g := topology.NewGrid(2, 1)
+	cfg := baseCfg(g, 0) // never forward: message just ages in place
+	cfg.TTL = 3
+	n := mustNet(t, cfg)
+	n.Inject(0, 1, 0, nil)
+	for i := 0; i < 5; i++ {
+		n.Step()
+	}
+	if got := len(n.tiles[0].sendBuf); got != 0 {
+		t.Fatalf("buffer holds %d messages after TTL expiry", got)
+	}
+	if n.tiles[0].present[1] {
+		t.Fatal("present set not cleaned after GC")
+	}
+}
+
+func TestDedupSuppressesDuplicates(t *testing.T) {
+	g := topology.NewGrid(3, 3)
+	cfg := baseCfg(g, 1)
+	n := mustNet(t, cfg)
+	n.Inject(g.ID(1, 1), packet.Broadcast, 0, nil)
+	for i := 0; i < 8; i++ {
+		n.Step()
+	}
+	if n.Counters().Duplicates == 0 {
+		t.Fatal("flooding a grid produced no duplicate receptions")
+	}
+}
+
+func TestDisableDedupIncreasesTraffic(t *testing.T) {
+	run := func(disable bool) int {
+		g := topology.NewGrid(3, 3)
+		cfg := baseCfg(g, 1)
+		cfg.TTL = 5
+		cfg.DisableDedup = disable
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Inject(0, packet.Broadcast, 0, nil)
+		for i := 0; i < 6; i++ {
+			n.Step()
+		}
+		return n.Counters().Energy.Transmissions
+	}
+	with := run(false)
+	without := run(true)
+	if without <= with {
+		t.Fatalf("dedup off (%d tx) not more traffic than on (%d tx)", without, with)
+	}
+}
+
+func TestDeadTileBlocksLine(t *testing.T) {
+	// 0-1-2: tile 1 dead => 2 unreachable no matter how long we run.
+	g := topology.NewGrid(3, 1)
+	cfg := baseCfg(g, 1)
+	cfg.MaxRounds = 60
+	cfg.Fault = fault.Model{DeadTiles: 1, Protect: []packet.TileID{0, 2}}
+	n := mustNet(t, cfg)
+	if n.Injector().TileAlive(1) {
+		t.Fatal("middle tile should be dead")
+	}
+	n.Attach(0, &senderProc{dst: 2, payload: []byte("x")})
+	sink := &sinkProc{}
+	n.Attach(2, sink)
+	if res := n.Run(); res.Completed {
+		t.Fatal("message crossed a dead tile")
+	}
+}
+
+func TestDeadTileToleratedByAlternatePaths(t *testing.T) {
+	// On a 4x4 grid with one dead interior tile, gossip routes around it.
+	g := topology.NewGrid(4, 4)
+	delivered := 0
+	for seed := uint64(0); seed < 30; seed++ {
+		cfg := baseCfg(g, 0.75)
+		cfg.Seed = seed
+		cfg.Fault = fault.Model{DeadTiles: 1, Protect: []packet.TileID{g.ID(0, 0), g.ID(3, 3)}}
+		n := mustNet(t, cfg)
+		n.Attach(g.ID(0, 0), &senderProc{dst: g.ID(3, 3), payload: []byte("x")})
+		sink := &sinkProc{}
+		n.Attach(g.ID(3, 3), sink)
+		if n.Run().Completed {
+			delivered++
+		}
+	}
+	if delivered < 28 {
+		t.Fatalf("only %d/30 runs tolerated one dead tile", delivered)
+	}
+}
+
+func TestUpsetsAllScrambledBlocksDelivery(t *testing.T) {
+	g := topology.NewGrid(4, 4)
+	cfg := baseCfg(g, 1)
+	cfg.MaxRounds = 40
+	cfg.Fault = fault.Model{PUpset: 1}
+	n := mustNet(t, cfg)
+	n.Attach(0, &senderProc{dst: 15, payload: []byte("x")})
+	sink := &sinkProc{}
+	n.Attach(15, sink)
+	res := n.Run()
+	if res.Completed {
+		t.Fatal("delivery with 100% upsets")
+	}
+	if res.Counters.UpsetsDetected == 0 {
+		t.Fatal("no upsets detected despite PUpset=1")
+	}
+}
+
+func TestLiteralUpsetsDetectedByCRC(t *testing.T) {
+	g := topology.NewGrid(3, 3)
+	cfg := baseCfg(g, 1)
+	cfg.MaxRounds = 30
+	cfg.Fault = fault.Model{PUpset: 0.5, LiteralUpsets: true}
+	n := mustNet(t, cfg)
+	n.Attach(0, &senderProc{dst: 8, payload: []byte("payload")})
+	sink := &sinkProc{}
+	n.Attach(8, sink)
+	res := n.Run()
+	if !res.Completed {
+		t.Fatal("50% upsets prevented delivery under flooding")
+	}
+	c := res.Counters
+	if c.UpsetsInjected == 0 || c.UpsetsDetected == 0 {
+		t.Fatalf("literal upsets not exercised: %+v", c)
+	}
+	// CRC-16 may miss a scrambled frame with probability ~2^-16; in a
+	// short run every injected upset that reached a live tile must be
+	// caught.
+	if c.UpsetsDetected > c.UpsetsInjected {
+		t.Fatalf("detected %d > injected %d", c.UpsetsDetected, c.UpsetsInjected)
+	}
+}
+
+func TestBufferCapDropsOldest(t *testing.T) {
+	g := topology.NewGrid(2, 1)
+	cfg := baseCfg(g, 0)
+	cfg.BufferCap = 2
+	cfg.TTL = 100
+	n := mustNet(t, cfg)
+	id1 := n.Inject(0, 1, 0, []byte("a"))
+	n.Inject(0, 1, 0, []byte("b"))
+	n.Inject(0, 1, 0, []byte("c"))
+	if got := len(n.tiles[0].sendBuf); got != 2 {
+		t.Fatalf("buffer holds %d, cap 2", got)
+	}
+	if n.tiles[0].present[id1] {
+		t.Fatal("oldest message not the one dropped")
+	}
+	if n.Counters().OverflowDrops != 1 {
+		t.Fatalf("OverflowDrops = %d", n.Counters().OverflowDrops)
+	}
+}
+
+func TestAnalyticOverflowCountsDrops(t *testing.T) {
+	g := topology.NewGrid(3, 3)
+	cfg := baseCfg(g, 1)
+	cfg.MaxRounds = 20
+	cfg.Fault = fault.Model{POverflow: 1}
+	n := mustNet(t, cfg)
+	n.Inject(0, packet.Broadcast, 0, nil)
+	for i := 0; i < 10; i++ {
+		n.Step()
+	}
+	if n.Counters().OverflowDrops == 0 {
+		t.Fatal("POverflow=1 produced no overflow drops")
+	}
+}
+
+func TestSyncSlipDelaysDelivery(t *testing.T) {
+	g := topology.NewGrid(2, 1)
+	var withSlip, without int
+	for seed := uint64(0); seed < 40; seed++ {
+		for _, sigma := range []float64{0, 3} {
+			cfg := baseCfg(g, 1)
+			cfg.Seed = seed
+			cfg.TTL = 30
+			cfg.Fault = fault.Model{SigmaSync: sigma}
+			n := mustNet(t, cfg)
+			n.Attach(0, &senderProc{dst: 1, payload: nil})
+			sink := &sinkProc{}
+			n.Attach(1, sink)
+			if !n.Run().Completed {
+				t.Fatalf("sync error prevented termination (σ=%v)", sigma)
+			}
+			if sigma == 0 {
+				without += sink.gotRound
+			} else {
+				withSlip += sink.gotRound
+			}
+		}
+	}
+	if withSlip <= without {
+		t.Fatalf("σ=3 total latency %d not above σ=0 latency %d", withSlip, without)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		g := topology.NewGrid(4, 4)
+		cfg := baseCfg(g, 0.5)
+		cfg.Seed = 77
+		cfg.Fault = fault.Model{DeadTiles: 2, PUpset: 0.2, Protect: []packet.TileID{0, 15}}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Attach(0, &senderProc{dst: 15, payload: []byte("d")})
+		sink := &sinkProc{}
+		n.Attach(15, sink)
+		return n.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	tx := map[int]bool{}
+	for seed := uint64(0); seed < 5; seed++ {
+		g := topology.NewGrid(4, 4)
+		cfg := baseCfg(g, 0.5)
+		cfg.Seed = seed
+		n := mustNet(t, cfg)
+		n.Attach(0, &senderProc{dst: 15, payload: []byte("d")})
+		sink := &sinkProc{}
+		n.Attach(15, sink)
+		tx[n.Run().Counters.Energy.Transmissions] = true
+	}
+	if len(tx) < 2 {
+		t.Fatal("five seeds produced identical traffic — RNG not wired through")
+	}
+}
+
+func TestEnergyAccountingConsistent(t *testing.T) {
+	g := topology.NewGrid(3, 3)
+	cfg := baseCfg(g, 1)
+	n := mustNet(t, cfg)
+	n.Inject(0, packet.Broadcast, 0, []byte("abc"))
+	for i := 0; i < 6; i++ {
+		n.Step()
+	}
+	c := n.Counters()
+	sizeBits := (&packet.Packet{Payload: []byte("abc")}).SizeBits()
+	if c.Energy.Bits != c.Energy.Transmissions*sizeBits {
+		t.Fatalf("bits %d != transmissions %d × size %d", c.Energy.Bits, c.Energy.Transmissions, sizeBits)
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	g := topology.NewGrid(4, 4)
+	reached := map[packet.TileID]bool{}
+	cfg := baseCfg(g, 1)
+	cfg.OnDeliver = func(tl packet.TileID, p *packet.Packet, r int) { reached[tl] = true }
+	n := mustNet(t, cfg)
+	n.Inject(0, packet.Broadcast, 0, nil)
+	res := n.RunWhile(func(*Network) bool { return len(reached) < g.Tiles()-1 })
+	if !res.Completed {
+		t.Fatal("RunWhile did not complete")
+	}
+	if res.Rounds != 6 { // diameter of 4x4 grid
+		t.Fatalf("full broadcast took %d rounds, want 6 (diameter)", res.Rounds)
+	}
+}
+
+func TestMaxRoundsGuillotine(t *testing.T) {
+	g := topology.NewGrid(2, 2)
+	cfg := baseCfg(g, 0.5)
+	cfg.MaxRounds = 7
+	n := mustNet(t, cfg)
+	res := n.RunWhile(func(*Network) bool { return true })
+	if res.Completed || res.Rounds != 7 {
+		t.Fatalf("guillotine: %+v", res)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	g := topology.NewGrid(2, 2)
+	bad := []Config{
+		{Topo: nil, P: 0.5, TTL: 5},
+		{Topo: g, P: -1, TTL: 5},
+		{Topo: g, P: 2, TTL: 5},
+		{Topo: g, P: 0.5, TTL: 0},
+		{Topo: g, P: 0.5, TTL: 5, BufferCap: -1},
+		{Topo: g, P: 0.5, TTL: 5, Fault: fault.Model{PUpset: 3}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInjectFromDeadTileIgnored(t *testing.T) {
+	g := topology.NewGrid(2, 1)
+	cfg := baseCfg(g, 1)
+	cfg.Fault = fault.Model{DeadTiles: 1, Protect: []packet.TileID{1}}
+	n := mustNet(t, cfg)
+	n.Inject(0, 1, 0, nil) // tile 0 is dead
+	for i := 0; i < 5; i++ {
+		n.Step()
+	}
+	if n.Counters().Energy.Transmissions != 0 {
+		t.Fatal("dead tile transmitted")
+	}
+}
+
+func TestDeadProcessNeverRuns(t *testing.T) {
+	g := topology.NewGrid(2, 1)
+	cfg := baseCfg(g, 1)
+	cfg.Fault = fault.Model{DeadTiles: 1, Protect: []packet.TileID{1}}
+	cfg.MaxRounds = 5
+	n := mustNet(t, cfg)
+	s := &senderProc{dst: 1}
+	n.Attach(0, s)
+	n.Run()
+	if s.sent {
+		t.Fatal("process on dead tile executed")
+	}
+}
+
+func TestDeliveryExactlyOnce(t *testing.T) {
+	g := topology.NewGrid(3, 3)
+	count := map[packet.MsgID]int{}
+	cfg := baseCfg(g, 1)
+	cfg.TTL = 20
+	cfg.OnDeliver = func(tl packet.TileID, p *packet.Packet, r int) {
+		if tl == 8 {
+			count[p.ID]++
+		}
+	}
+	n := mustNet(t, cfg)
+	n.Inject(0, 8, 0, nil)
+	for i := 0; i < 25; i++ {
+		n.Step()
+	}
+	for id, c := range count {
+		if c != 1 {
+			t.Fatalf("message %d delivered %d times", id, c)
+		}
+	}
+	if len(count) != 1 {
+		t.Fatalf("expected 1 delivered message, got %d", len(count))
+	}
+}
+
+func TestObserverCalledEveryRound(t *testing.T) {
+	g := topology.NewGrid(2, 2)
+	calls := 0
+	cfg := baseCfg(g, 0.5)
+	cfg.Observer = func(round int, n *Network) {
+		calls++
+		if round != calls {
+			t.Fatalf("observer round %d on call %d", round, calls)
+		}
+	}
+	n := mustNet(t, cfg)
+	for i := 0; i < 4; i++ {
+		n.Step()
+	}
+	if calls != 4 {
+		t.Fatalf("observer called %d times", calls)
+	}
+}
+
+func TestBroadcastHelper(t *testing.T) {
+	g := topology.NewGrid(2, 2)
+	n := mustNet(t, baseCfg(g, 1))
+	got := map[packet.TileID]bool{}
+	n.cfg.OnDeliver = func(tl packet.TileID, p *packet.Packet, r int) { got[tl] = true }
+
+	bcast := &broadcastOnce{}
+	n.Attach(0, bcast)
+	for i := 0; i < 5; i++ {
+		n.Step()
+	}
+	if len(got) != 3 {
+		t.Fatalf("Broadcast reached %d tiles, want 3", len(got))
+	}
+}
+
+type broadcastOnce struct{ sent bool }
+
+func (b *broadcastOnce) Init(*Ctx) {}
+func (b *broadcastOnce) Round(ctx *Ctx) {
+	if !b.sent {
+		ctx.Broadcast(2, []byte("all"))
+		b.sent = true
+	}
+}
+
+func TestCompletedFalseWithoutCompleters(t *testing.T) {
+	g := topology.NewGrid(2, 2)
+	n := mustNet(t, baseCfg(g, 0.5))
+	n.Attach(0, &senderProc{dst: 1})
+	if n.Completed() {
+		t.Fatal("Completed true with no Completer attached")
+	}
+}
+
+func TestStopSpreadOnDelivery(t *testing.T) {
+	run := func(stop bool) (tx int, delivered bool) {
+		g := topology.NewGrid(5, 5)
+		gotIt := false
+		cfg := baseCfg(g, 0.75)
+		cfg.TTL = 20
+		cfg.StopSpreadOnDelivery = stop
+		cfg.OnDeliver = func(tl packet.TileID, p *packet.Packet, r int) {
+			if tl == g.ID(4, 4) {
+				gotIt = true
+			}
+		}
+		n := mustNet(t, cfg)
+		n.Inject(0, g.ID(4, 4), 0, nil)
+		for i := 0; i < 60 && !n.Quiescent(); i++ {
+			n.Step()
+		}
+		return n.Counters().Energy.Transmissions, gotIt
+	}
+	txOff, okOff := run(false)
+	txOn, okOn := run(true)
+	if !okOff || !okOn {
+		t.Fatalf("delivery failed: off=%v on=%v", okOff, okOn)
+	}
+	if txOn >= txOff {
+		t.Fatalf("spread termination saved nothing: %d vs %d transmissions", txOn, txOff)
+	}
+}
+
+func TestQuiescentAndDrain(t *testing.T) {
+	g := topology.NewGrid(3, 3)
+	n := mustNet(t, baseCfg(g, 1))
+	if !n.Quiescent() {
+		t.Fatal("fresh network not quiescent")
+	}
+	n.Inject(0, packet.Broadcast, 0, nil)
+	if n.Quiescent() {
+		t.Fatal("network with a buffered message quiescent")
+	}
+	extra := n.Drain(100)
+	if !n.Quiescent() {
+		t.Fatal("Drain did not reach quiescence")
+	}
+	// The message lives TTL rounds; drain takes about that long.
+	if extra == 0 || extra > DefaultTTL+3 {
+		t.Fatalf("drain took %d rounds", extra)
+	}
+}
+
+func TestRouterForwardsDeterministically(t *testing.T) {
+	// Line 0-1-2 where tile 1 is a router always pushing toward tile 2.
+	g := topology.NewGrid(3, 1)
+	cfg := baseCfg(g, 0) // gossip probability 0: only the router moves data
+	cfg.TTL = 10
+	n := mustNet(t, cfg)
+	n.SetRouter(1, func(p *packet.Packet) []packet.TileID {
+		return []packet.TileID{2}
+	})
+	// Hand tile 1 the message directly (Inject places it at the source).
+	n.Inject(1, 2, 0, nil)
+	sink := &sinkProc{}
+	n.Attach(2, sink)
+	res := n.Run()
+	if !res.Completed {
+		t.Fatal("router did not deliver")
+	}
+	if sink.gotRound != 1 {
+		t.Fatalf("router delivery at round %d, want 1", sink.gotRound)
+	}
+}
+
+func TestForwardLimitSerializes(t *testing.T) {
+	// A tile holding many messages with limit 1 emits at most one
+	// message's copies per round.
+	g := topology.NewGrid(2, 1)
+	cfg := baseCfg(g, 1)
+	cfg.TTL = 30
+	n := mustNet(t, cfg)
+	n.SetForwardLimit(0, 1)
+	for i := 0; i < 5; i++ {
+		n.Inject(0, 1, 0, nil)
+	}
+	n.Step()
+	// One message, one port => exactly 1 transmission in round 1.
+	if tx := n.Counters().Energy.Transmissions; tx != 1 {
+		t.Fatalf("limited tile transmitted %d in one round", tx)
+	}
+	// Round-robin: across 5 rounds, all 5 distinct messages get a slot.
+	for i := 0; i < 4; i++ {
+		n.Step()
+	}
+	if got := len(n.tiles[1].seen); got != 5 {
+		t.Fatalf("round-robin delivered %d/5 distinct messages", got)
+	}
+}

@@ -1,0 +1,192 @@
+package crc
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestChecksum16KnownVector(t *testing.T) {
+	// "123456789" is the standard CRC check string; CRC-16/CCITT-FALSE
+	// of it is 0x29B1.
+	if got := Checksum16([]byte("123456789")); got != 0x29b1 {
+		t.Fatalf("Checksum16(check string) = %#04x, want 0x29b1", got)
+	}
+}
+
+func TestChecksum16Empty(t *testing.T) {
+	if got := Checksum16(nil); got != 0xffff {
+		t.Fatalf("Checksum16(nil) = %#04x, want 0xffff (initial state)", got)
+	}
+}
+
+func TestChecksum32MatchesStdlib(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		[]byte("123456789"),
+		[]byte("on-chip stochastic communication"),
+		make([]byte, 1024),
+	}
+	for _, c := range cases {
+		if got, want := Checksum32(c), crc32.ChecksumIEEE(c); got != want {
+			t.Errorf("Checksum32(%q) = %#08x, want %#08x", c, got, want)
+		}
+	}
+}
+
+func TestSerialMatchesTable16(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		n := r.Intn(64)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = byte(r.Uint64())
+		}
+		if got, want := ChecksumSerial16(data), Checksum16(data); got != want {
+			t.Fatalf("serial %#04x != table %#04x for %v", got, want, data)
+		}
+	}
+}
+
+func TestSerialMatchesTable32(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 200; i++ {
+		n := r.Intn(64)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = byte(r.Uint64())
+		}
+		if got, want := ChecksumSerial32(data), Checksum32(data); got != want {
+			t.Fatalf("serial %#08x != table %#08x for %v", got, want, data)
+		}
+	}
+}
+
+func TestShiftRegisterReset(t *testing.T) {
+	s := NewShiftRegister16()
+	s.ClockByte(0xa5)
+	s.Reset()
+	if s.Sum() != 0xffff {
+		t.Fatalf("after Reset, Sum = %#04x", s.Sum())
+	}
+}
+
+// Property: the table-driven and bit-serial CRC-16 agree on arbitrary input.
+func TestQuickSerialEquivalence16(t *testing.T) {
+	f := func(data []byte) bool {
+		return Checksum16(data) == ChecksumSerial16(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CRC-32 agrees with the stdlib on arbitrary input.
+func TestQuickStdlibEquivalence32(t *testing.T) {
+	f := func(data []byte) bool {
+		return Checksum32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any single-bit error is detected by CRC-16.
+func TestSingleBitErrorsDetected(t *testing.T) {
+	data := []byte("stochastic communication packet payload")
+	want := Checksum16(data)
+	for i := range data {
+		for b := 0; b < 8; b++ {
+			corrupted := make([]byte, len(data))
+			copy(corrupted, data)
+			corrupted[i] ^= 1 << uint(b)
+			if Checksum16(corrupted) == want {
+				t.Fatalf("single-bit error at byte %d bit %d undetected", i, b)
+			}
+		}
+	}
+}
+
+// Property: any burst error up to 16 bits is detected by CRC-16 (a
+// guarantee of any degree-16 generator polynomial with a nonzero constant
+// term).
+func TestBurstErrorsDetected16(t *testing.T) {
+	r := rng.New(3)
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	want := Checksum16(data)
+	for trial := 0; trial < 500; trial++ {
+		burstLen := 1 + r.Intn(16) // bits
+		start := r.Intn(len(data)*8 - burstLen)
+		corrupted := make([]byte, len(data))
+		copy(corrupted, data)
+		// Flip the first and last bits of the burst so the burst length
+		// is exactly burstLen, and random bits in between.
+		flip := func(bit int) { corrupted[bit/8] ^= 1 << uint(7-bit%8) }
+		flip(start)
+		if burstLen > 1 {
+			flip(start + burstLen - 1)
+			for b := start + 1; b < start+burstLen-1; b++ {
+				if r.Bool(0.5) {
+					flip(b)
+				}
+			}
+		}
+		if Checksum16(corrupted) == want {
+			t.Fatalf("burst error (len %d at %d) undetected", burstLen, start)
+		}
+	}
+}
+
+func TestRandomErrorsDetectionRate(t *testing.T) {
+	// Random corruption should evade CRC-16 with probability ~2^-16;
+	// in 20000 trials we expect ~0.3 misses, so >5 means a broken code.
+	r := rng.New(4)
+	data := make([]byte, 24)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	want := Checksum16(data)
+	misses := 0
+	for trial := 0; trial < 20000; trial++ {
+		corrupted := make([]byte, len(data))
+		for i := range corrupted {
+			corrupted[i] = byte(r.Uint64())
+		}
+		if Checksum16(corrupted) == want {
+			misses++
+		}
+	}
+	if misses > 5 {
+		t.Fatalf("random corruption evaded CRC-16 %d/20000 times", misses)
+	}
+}
+
+func BenchmarkChecksum16(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		_ = Checksum16(data)
+	}
+}
+
+func BenchmarkChecksumSerial16(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		_ = ChecksumSerial16(data)
+	}
+}
+
+func BenchmarkChecksum32(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		_ = Checksum32(data)
+	}
+}

@@ -1,0 +1,48 @@
+// Package directed implements destination-biased stochastic communication,
+// a natural extension the thesis leaves open: keep the gossip protocol —
+// probabilistic, replicated, CRC-guarded — but skew the per-port
+// forwarding probability toward the destination. It interpolates between
+// pure gossip (bias 0: uniform ports, maximal robustness, maximal
+// redundancy) and XY-like directionality (high bias: near-minimal paths,
+// but sideways probability stays nonzero, so crashes are still routed
+// around — unlike the brittle deterministic baseline in package
+// xyrouting).
+//
+// The bias is expressed through core.Config.PortWeight: a port that
+// reduces the Manhattan distance to the packet's destination gets weight
+// 1+bias; one that increases it gets weight max(0, 1−bias); neutral ports
+// (equal distance, broadcasts) keep weight 1.
+package directed
+
+import (
+	"errors"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// ErrBadBias is returned for bias outside [0, 1].
+var ErrBadBias = errors.New("directed: bias must be in [0, 1]")
+
+// GridBias returns a core.Config.PortWeight for grid g with the given
+// bias in [0, 1].
+func GridBias(g *topology.Grid, bias float64) (func(from, to packet.TileID, p *packet.Packet) float64, error) {
+	if bias < 0 || bias > 1 {
+		return nil, ErrBadBias
+	}
+	return func(from, to packet.TileID, p *packet.Packet) float64 {
+		if p.Dst == packet.Broadcast {
+			return 1
+		}
+		dFrom := g.Manhattan(from, p.Dst)
+		dTo := g.Manhattan(to, p.Dst)
+		switch {
+		case dTo < dFrom:
+			return 1 + bias
+		case dTo > dFrom:
+			return 1 - bias
+		default:
+			return 1
+		}
+	}, nil
+}

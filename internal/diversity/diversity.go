@@ -1,0 +1,275 @@
+// Package diversity builds the on-chip-diversity communication
+// architectures of thesis Chapter 5 (Fig. 5-2) and runs the Fig. 5-3
+// comparison: the same application (acoustic beamforming, after [42])
+// mapped onto
+//
+//   - a flat stochastically-communicating NoC,
+//   - a hierarchical NoC: four gossip clusters bridged by a central
+//     crossbar router, and
+//   - bus-connected NoCs: the same four clusters bridged by a shared bus
+//     that serializes (one message per round crosses it).
+//
+// The thesis' finding, which the comparison harness reproduces in shape:
+// the hierarchical NoC has the lowest number of message transmissions
+// (lowest power), the flat NoC has slightly better latency, and the
+// bus-connected hybrid is less efficient than both.
+package diversity
+
+import (
+	"fmt"
+
+	"repro/internal/apps/beamform"
+	"repro/internal/audio/signal"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Kind names one of the Fig. 5-2 architectures.
+type Kind int
+
+const (
+	// FlatNoC is a single 8×8 gossip mesh.
+	FlatNoC Kind = iota
+	// HierarchicalNoC is four 4×4 gossip clusters joined by a central
+	// crossbar router node.
+	HierarchicalNoC
+	// BusConnectedNoCs is four 4×4 gossip clusters joined by a shared
+	// bus node that forwards one message per round.
+	BusConnectedNoCs
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case FlatNoC:
+		return "flat-noc"
+	case HierarchicalNoC:
+		return "hierarchical-noc"
+	case BusConnectedNoCs:
+		return "bus-connected-nocs"
+	default:
+		return fmt.Sprintf("diversity.Kind(%d)", int(k))
+	}
+}
+
+// clusterSide is the side of each cluster sub-grid.
+const clusterSide = 4
+
+// Architecture is a built fabric plus the placement metadata the
+// comparison needs.
+type Architecture struct {
+	Kind Kind
+	Topo topology.Topology
+	// Clusters[c] lists the compute tiles of cluster c (quadrants for
+	// the flat mesh).
+	Clusters [][]packet.TileID
+	// Bridge is the router/bus node, or NoBridge for the flat mesh.
+	Bridge packet.TileID
+	// BridgeLimit is the bridge's per-round forward budget (0 =
+	// crossbar/unlimited).
+	BridgeLimit int
+	// DefaultTTL is the smallest message lifetime that reliably
+	// completes the Fig. 5-3 workload on this fabric — a designer sizes
+	// the TTL per architecture, and the serializing bus needs a much
+	// larger one to survive its queueing delay.
+	DefaultTTL uint8
+}
+
+// NoBridge marks architectures without a bridge node.
+const NoBridge packet.TileID = 0xfffe
+
+// Build constructs the architecture of the given kind.
+func Build(kind Kind) *Architecture {
+	switch kind {
+	case FlatNoC:
+		g := topology.NewGrid(2*clusterSide, 2*clusterSide)
+		arch := &Architecture{Kind: kind, Topo: g, Bridge: NoBridge, DefaultTTL: 20}
+		for c := 0; c < 4; c++ {
+			baseX, baseY := (c%2)*clusterSide, (c/2)*clusterSide
+			var tiles []packet.TileID
+			for y := 0; y < clusterSide; y++ {
+				for x := 0; x < clusterSide; x++ {
+					tiles = append(tiles, g.ID(baseX+x, baseY+y))
+				}
+			}
+			arch.Clusters = append(arch.Clusters, tiles)
+		}
+		return arch
+	case HierarchicalNoC, BusConnectedNoCs:
+		// Four 4×4 clusters (tiles c*16..c*16+15) + bridge node 64.
+		n := 4*clusterSide*clusterSide + 1
+		g := topology.NewGraph(n)
+		bridge := packet.TileID(n - 1)
+		arch := &Architecture{Kind: kind, Topo: g, Bridge: bridge, DefaultTTL: 28}
+		if kind == BusConnectedNoCs {
+			arch.BridgeLimit = 1
+			arch.DefaultTTL = 72 // must survive the bus queue
+		}
+		for c := 0; c < 4; c++ {
+			base := c * clusterSide * clusterSide
+			var tiles []packet.TileID
+			id := func(x, y int) packet.TileID {
+				return packet.TileID(base + y*clusterSide + x)
+			}
+			for y := 0; y < clusterSide; y++ {
+				for x := 0; x < clusterSide; x++ {
+					tiles = append(tiles, id(x, y))
+					if x+1 < clusterSide {
+						mustLink(g, id(x, y), id(x+1, y))
+					}
+					if y+1 < clusterSide {
+						mustLink(g, id(x, y), id(x, y+1))
+					}
+				}
+			}
+			// Gateway: the cluster's (1,1) tile links to the bridge.
+			mustLink(g, id(1, 1), bridge)
+			arch.Clusters = append(arch.Clusters, tiles)
+		}
+		return arch
+	default:
+		panic(fmt.Sprintf("diversity: unknown kind %d", int(kind)))
+	}
+}
+
+func mustLink(g *topology.Graph, a, b packet.TileID) {
+	if err := g.AddLink(a, b); err != nil {
+		panic(err)
+	}
+}
+
+// ClusterTile returns cluster c's tile at local coordinate (x, y).
+func (a *Architecture) ClusterTile(c, x, y int) packet.TileID {
+	return a.Clusters[c][y*clusterSide+x]
+}
+
+// Result is one architecture's measured outcome for the Fig. 5-3 bars.
+type Result struct {
+	Kind Kind
+	// LatencyRounds is the application completion latency.
+	LatencyRounds int
+	// Transmissions is the total number of message transmissions (the
+	// Fig. 5-3 right-hand bars, ∝ communication power).
+	Transmissions int
+	// Completed is false if the run hit MaxRounds.
+	Completed bool
+}
+
+// CompareConfig parameterizes the Fig. 5-3 comparison.
+type CompareConfig struct {
+	// P is the gossip forwarding probability (default 0.75).
+	P float64
+	// TTL overrides the architecture's DefaultTTL when nonzero.
+	TTL uint8
+	// Blocks is the number of beamforming blocks to stream (default 2).
+	Blocks int
+	// MaxRounds bounds each run (default 3000).
+	MaxRounds int
+	// Seed drives all runs.
+	Seed uint64
+	// Fault optionally injects the Chapter 2 model.
+	Fault fault.Model
+}
+
+func (c *CompareConfig) withDefaults() CompareConfig {
+	out := *c
+	if out.P == 0 {
+		out.P = 0.75
+	}
+	if out.Blocks == 0 {
+		out.Blocks = 2
+	}
+	if out.MaxRounds == 0 {
+		out.MaxRounds = 3000
+	}
+	return out
+}
+
+// RunBeamforming maps the beamforming array onto arch — two sensors per
+// cluster, aggregator in cluster 0 — runs it to completion, and then
+// drains the network so every transmission the workload caused is billed.
+func RunBeamforming(arch *Architecture, cfg CompareConfig) (*Result, error) {
+	c := cfg.withDefaults()
+	ttl := c.TTL
+	if ttl == 0 {
+		ttl = arch.DefaultTTL
+	}
+	net, err := core.New(core.Config{
+		Topo: arch.Topo, P: c.P, TTL: ttl,
+		MaxRounds: c.MaxRounds, Seed: c.Seed, Fault: c.Fault,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if arch.Bridge != NoBridge {
+		if arch.BridgeLimit > 0 {
+			net.SetForwardLimit(arch.Bridge, arch.BridgeLimit)
+		}
+		net.SetRouter(arch.Bridge, clusterRouter(arch))
+	}
+
+	// Identical logical placement across architectures: aggregator at
+	// cluster 0's (3,3) — which for the flat mesh is the chip center —
+	// and two sensors, at (0,0) and (2,0), in every cluster.
+	agg := arch.ClusterTile(0, 3, 3)
+	var sensors []packet.TileID
+	var delays []int
+	for cl := 0; cl < 4; cl++ {
+		sensors = append(sensors, arch.ClusterTile(cl, 0, 0), arch.ClusterTile(cl, 2, 0))
+		delays = append(delays, 3*(2*cl), 3*(2*cl+1))
+	}
+	src := &signal.Synth{
+		SampleRate: 16000,
+		Tones:      []signal.Tone{{Freq: 500, Amp: 0.5}},
+	}
+	app, err := beamform.Setup(net, agg, sensors, delays, src, 0.05, 64, c.Blocks, 10)
+	if err != nil {
+		return nil, err
+	}
+	res := net.Run()
+	_ = app
+	net.Drain(4 * int(ttl))
+	return &Result{
+		Kind:          arch.Kind,
+		LatencyRounds: res.Rounds,
+		Transmissions: net.Counters().Energy.Transmissions,
+		Completed:     res.Completed,
+	}, nil
+}
+
+// clusterRouter returns the bridge's deterministic routing function: a
+// message addressed to a tile in cluster c goes to cluster c's gateway
+// only; broadcasts fan out to every gateway. Gossip thereby stays
+// confined to the source and destination clusters — the hybrid
+// architectures' entire efficiency argument.
+func clusterRouter(arch *Architecture) func(p *packet.Packet) []packet.TileID {
+	gateways := make([]packet.TileID, len(arch.Clusters))
+	for c := range arch.Clusters {
+		gateways[c] = arch.ClusterTile(c, 1, 1)
+	}
+	return func(p *packet.Packet) []packet.TileID {
+		if p.Dst == packet.Broadcast {
+			return gateways
+		}
+		cluster := int(p.Dst) / (clusterSide * clusterSide)
+		if cluster < 0 || cluster >= len(gateways) {
+			return nil
+		}
+		return gateways[cluster : cluster+1]
+	}
+}
+
+// Compare runs all three architectures under the same config.
+func Compare(cfg CompareConfig) ([]*Result, error) {
+	var out []*Result
+	for _, kind := range []Kind{FlatNoC, HierarchicalNoC, BusConnectedNoCs} {
+		res, err := RunBeamforming(Build(kind), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", kind, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

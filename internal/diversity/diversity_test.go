@@ -1,0 +1,136 @@
+package diversity
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+func TestBuildFlat(t *testing.T) {
+	a := Build(FlatNoC)
+	if a.Topo.Tiles() != 64 {
+		t.Fatalf("flat tiles = %d", a.Topo.Tiles())
+	}
+	if a.Bridge != NoBridge {
+		t.Fatal("flat mesh has a bridge")
+	}
+	if len(a.Clusters) != 4 {
+		t.Fatalf("clusters = %d", len(a.Clusters))
+	}
+	seen := map[packet.TileID]bool{}
+	for _, cl := range a.Clusters {
+		if len(cl) != 16 {
+			t.Fatalf("cluster size = %d", len(cl))
+		}
+		for _, tile := range cl {
+			if seen[tile] {
+				t.Fatalf("tile %d in two clusters", tile)
+			}
+			seen[tile] = true
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("clusters cover %d tiles", len(seen))
+	}
+}
+
+func TestBuildHierarchical(t *testing.T) {
+	for _, kind := range []Kind{HierarchicalNoC, BusConnectedNoCs} {
+		a := Build(kind)
+		if a.Topo.Tiles() != 65 {
+			t.Fatalf("%v tiles = %d", kind, a.Topo.Tiles())
+		}
+		if a.Bridge == NoBridge {
+			t.Fatalf("%v has no bridge", kind)
+		}
+		// The bridge connects exactly the four gateways.
+		if deg := len(a.Topo.Neighbors(a.Bridge)); deg != 4 {
+			t.Fatalf("%v bridge degree = %d", kind, deg)
+		}
+		// Whole fabric is connected.
+		_, n := topology.ConnectedComponents(a.Topo, topology.AllAlive, topology.AllLinksAlive)
+		if n != 1 {
+			t.Fatalf("%v has %d components", kind, n)
+		}
+		// Removing the bridge disconnects the clusters: it is the only
+		// inter-cluster path.
+		alive := func(tl packet.TileID) bool { return tl != a.Bridge }
+		_, n = topology.ConnectedComponents(a.Topo, alive, topology.AllLinksAlive)
+		if n != 4 {
+			t.Fatalf("%v without bridge has %d components, want 4", kind, n)
+		}
+	}
+	if Build(HierarchicalNoC).BridgeLimit != 0 {
+		t.Fatal("hierarchical crossbar has a limit")
+	}
+	if Build(BusConnectedNoCs).BridgeLimit != 1 {
+		t.Fatal("bus bridge limit != 1")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if FlatNoC.String() != "flat-noc" || !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestClusterTile(t *testing.T) {
+	a := Build(FlatNoC)
+	g := a.Topo.(*topology.Grid)
+	// Cluster 3 is the bottom-right quadrant; its (0,0) is grid (4,4).
+	if got, want := a.ClusterTile(3, 0, 0), g.ID(4, 4); got != want {
+		t.Fatalf("ClusterTile = %d, want %d", got, want)
+	}
+}
+
+func TestRunBeamformingCompletes(t *testing.T) {
+	for _, kind := range []Kind{FlatNoC, HierarchicalNoC, BusConnectedNoCs} {
+		res, err := RunBeamforming(Build(kind), CompareConfig{Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v did not complete in %d rounds", kind, res.LatencyRounds)
+		}
+		if res.Transmissions == 0 {
+			t.Fatalf("%v recorded no traffic", kind)
+		}
+	}
+}
+
+// TestFig53Shape is the Chapter 5 result: hierarchical minimizes
+// transmissions, flat minimizes latency, and the bus-connected hybrid is
+// the least efficient of the three.
+func TestFig53Shape(t *testing.T) {
+	var flat, hier, bus *Result
+	// Average over a few seeds to wash out gossip noise.
+	var fl, hl, bl, ft, ht, bt float64
+	const runs = 3
+	for seed := uint64(0); seed < runs; seed++ {
+		results, err := Compare(CompareConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, hier, bus = results[0], results[1], results[2]
+		if !flat.Completed || !hier.Completed || !bus.Completed {
+			t.Fatalf("seed %d: incomplete run(s): %+v %+v %+v", seed, flat, hier, bus)
+		}
+		fl += float64(flat.LatencyRounds)
+		hl += float64(hier.LatencyRounds)
+		bl += float64(bus.LatencyRounds)
+		ft += float64(flat.Transmissions)
+		ht += float64(hier.Transmissions)
+		bt += float64(bus.Transmissions)
+	}
+	if ht >= ft {
+		t.Errorf("hierarchical transmissions %.0f not below flat %.0f", ht/runs, ft/runs)
+	}
+	if fl >= hl {
+		t.Errorf("flat latency %.0f not below hierarchical %.0f", fl/runs, hl/runs)
+	}
+	if bl <= hl {
+		t.Errorf("bus latency %.0f not above hierarchical %.0f", bl/runs, hl/runs)
+	}
+}

@@ -1,0 +1,343 @@
+package experiments
+
+// Extension studies beyond the thesis' figures: the deterministic-routing
+// strawman quantified, the mapping sensitivity §4.1.3 remarks on, and the
+// grid-topology spreading curve backing the thesis' claim that gossip
+// "can be disseminated explosively fast" on meshes too.
+
+import (
+	"fmt"
+
+	"repro/internal/apps/pisum"
+	"repro/internal/core"
+	"repro/internal/directed"
+	"repro/internal/fault"
+	"repro/internal/mapping"
+	"repro/internal/packet"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/xyrouting"
+)
+
+// setupPiAt wires the standard π workload with the master at a chosen
+// tile, for placement studies.
+func setupPiAt(net *core.Network, master packet.TileID, slaves [][]packet.TileID) (*pisum.App, error) {
+	return pisum.Setup(net, master, slaves, 8000)
+}
+
+// Protocol names a communication scheme in the robustness study.
+type Protocol string
+
+// The compared protocols.
+const (
+	ProtoGossip   Protocol = "gossip-p0.75"
+	ProtoDirected Protocol = "directed-gossip"
+	ProtoXY       Protocol = "xy-routing"
+)
+
+// RobustnessRow is one (protocol, dead tiles) cell.
+type RobustnessRow struct {
+	Protocol     Protocol
+	DeadTiles    int
+	DeliveryRate float64
+	Latency      stats.Summary
+}
+
+type studySink struct {
+	got      bool
+	gotRound int
+}
+
+func (s *studySink) Init(*core.Ctx)  {}
+func (s *studySink) Round(*core.Ctx) {}
+func (s *studySink) Done() bool      { return s.got }
+func (s *studySink) Receive(ctx *core.Ctx, _ *packet.Packet) {
+	if !s.got {
+		s.got = true
+		s.gotRound = ctx.Round()
+	}
+}
+
+// RobustnessStudy quantifies the thesis' introduction: static routing
+// "would fail if even a single tile on the path is faulty", while
+// stochastic communication keeps delivering. One message crosses a 6×6
+// grid corner-to-corner under an increasing number of crashed tiles.
+func RobustnessStudy(deadTiles []int, runs int, seed uint64) ([]RobustnessRow, error) {
+	g := topology.NewGrid(6, 6)
+	src, dst := g.ID(0, 0), g.ID(5, 5)
+	bias, err := directed.GridBias(g, 0.7)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []RobustnessRow
+	for _, proto := range []Protocol{ProtoGossip, ProtoDirected, ProtoXY} {
+		for _, dead := range deadTiles {
+			var lat stats.Online
+			delivered := 0
+			for r := 0; r < runs; r++ {
+				cfg := core.Config{
+					Topo: g, TTL: 24, MaxRounds: 120,
+					Seed:  seed + uint64(r)*101,
+					Fault: fault.Model{DeadTiles: dead, Protect: []packet.TileID{src, dst}},
+				}
+				switch proto {
+				case ProtoGossip:
+					cfg.P = 0.75
+				case ProtoDirected:
+					cfg.P = 0.75
+					cfg.PortWeight = bias
+				case ProtoXY:
+					cfg.P = 0 // routers bypass the gossip probability
+				}
+				net, err := core.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if proto == ProtoXY {
+					if err := xyrouting.Install(net); err != nil {
+						return nil, err
+					}
+				}
+				sink := &studySink{}
+				net.Attach(dst, sink)
+				net.Inject(src, dst, 1, []byte("r"))
+				res := net.RunWhile(func(*core.Network) bool { return !sink.got })
+				if res.Completed {
+					delivered++
+					lat.Add(float64(sink.gotRound))
+				}
+			}
+			rows = append(rows, RobustnessRow{
+				Protocol: proto, DeadTiles: dead,
+				DeliveryRate: float64(delivered) / float64(runs),
+				Latency:      stats.Summarize(&lat),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// MappingRow is one placement strategy's outcome.
+type MappingRow struct {
+	Strategy string
+	Latency  stats.Summary
+	CommCost int
+}
+
+// MappingStudy backs §4.1.3's remark that "the mapping phase of the
+// system-level design has to take into account the communication
+// performance": the Master–Slave workload with the master placed at the
+// center (communication-aware) vs at a corner (naive), measured at
+// p = 0.5.
+func MappingStudy(runs int, seed uint64) ([]MappingRow, error) {
+	grid := topology.NewGrid(5, 5)
+	strategies := []struct {
+		name   string
+		master packet.TileID
+	}{
+		{"center (comm-aware)", grid.ID(2, 2)},
+		{"corner (naive)", grid.ID(0, 0)},
+	}
+	// The communication graph: master <-> 8 slaves, uniform volume.
+	tg := &mapping.Graph{Tasks: []mapping.Task{{Name: "master", Replicas: 1}}}
+	for k := 0; k < 8; k++ {
+		tg.Tasks = append(tg.Tasks, mapping.Task{Name: fmt.Sprintf("s%d", k), Replicas: 2})
+		tg.Edges = append(tg.Edges, mapping.Edge{From: 0, To: k + 1, Volume: 1})
+	}
+
+	var rows []MappingRow
+	for _, st := range strategies {
+		var lat stats.Online
+		var slaves [][]packet.TileID
+		var free []packet.TileID
+		for i := 0; i < grid.Tiles(); i++ {
+			if packet.TileID(i) != st.master {
+				free = append(free, packet.TileID(i))
+			}
+		}
+		for k := 0; k < 8; k++ {
+			slaves = append(slaves, []packet.TileID{free[2*k], free[2*k+1]})
+		}
+		placement := &mapping.Placement{TilesOf: [][]packet.TileID{{st.master}}}
+		placement.TilesOf = append(placement.TilesOf, slaves...)
+
+		for r := 0; r < runs; r++ {
+			net, err := core.New(core.Config{
+				Topo: grid, P: 0.5, TTL: core.DefaultTTL, MaxRounds: 200,
+				Seed: seed + uint64(r)*211,
+			})
+			if err != nil {
+				return nil, err
+			}
+			app, err := setupPiAt(net, st.master, slaves)
+			if err != nil {
+				return nil, err
+			}
+			res := net.Run()
+			if !res.Completed {
+				continue
+			}
+			_ = app
+			lat.Add(float64(res.Rounds))
+		}
+		rows = append(rows, MappingRow{
+			Strategy: st.name,
+			Latency:  stats.Summarize(&lat),
+			CommCost: mapping.CommCost(tg, grid, placement),
+		})
+	}
+	return rows, nil
+}
+
+// GridSpreadRow is one round of the grid spreading curve.
+type GridSpreadRow struct {
+	Round     int
+	AwareMean float64
+}
+
+// GridSpread measures the broadcast dissemination curve on an n×n grid —
+// the empirical counterpart of Fig. 3-1 for the mesh topology, which the
+// thesis calls "the first evidence that gossip protocols can be applied
+// to SoC communication". The curve is sigmoid like the fully connected
+// case, just stretched by the mesh diameter.
+func GridSpread(side int, p float64, runs int, seed uint64) ([]GridSpreadRow, error) {
+	g := topology.NewGrid(side, side)
+	maxRounds := 6 * side
+	sums := make([]float64, maxRounds)
+	for r := 0; r < runs; r++ {
+		net, err := core.New(core.Config{
+			Topo: g, P: p, TTL: uint8(min(255, maxRounds)), MaxRounds: maxRounds + 1,
+			Seed: seed + uint64(r)*307,
+		})
+		if err != nil {
+			return nil, err
+		}
+		center := g.ID(side/2, side/2)
+		id := net.Inject(center, packet.Broadcast, 0, nil)
+		for round := 0; round < maxRounds; round++ {
+			net.Step()
+			sums[round] += float64(net.Aware(id))
+		}
+	}
+	rows := make([]GridSpreadRow, maxRounds)
+	for i := range rows {
+		rows[i] = GridSpreadRow{Round: i + 1, AwareMean: sums[i] / float64(runs)}
+	}
+	return rows, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BimodalRow is one histogram bin of the bimodal-delivery study.
+type BimodalRow struct {
+	// CoverageLo/Hi bound the bin ([lo, hi) fraction of tiles reached).
+	CoverageLo, CoverageHi float64
+	// Fraction of runs landing in the bin.
+	Fraction float64
+}
+
+// BimodalStudy tests the reliability interpretation the thesis cites from
+// Birman et al. [4]: gossip multicast delivers "to almost all or almost
+// none" of the nodes. In the TTL-bounded on-chip protocol the source
+// retransmits every round of the message lifetime, so an epidemic cannot
+// die young from transient losses; the mechanism that produces the
+// bimodal outcome on-chip is crash partitioning — §4.1.3's "entire
+// regions of the NoC are isolated". A broadcast is launched from the
+// center of a grid whose tiles crash independently with probability
+// pcrash (near the site-percolation threshold); coverage is measured
+// over the surviving tiles, and its distribution splits into an
+// "almost all" mode (source inside the giant component) and a low mode
+// (source trapped in a fragment), with little mass in between.
+func BimodalStudy(runs int, pcrash float64, seed uint64) ([]BimodalRow, error) {
+	const side = 6
+	const bins = 10
+	counts := make([]int, bins)
+	for r := 0; r < runs; r++ {
+		g := topology.NewGrid(side, side)
+		center := g.ID(side/2, side/2)
+		net, err := core.New(core.Config{
+			Topo: g, P: 0.75, TTL: 30, MaxRounds: 80,
+			Seed:  seed + uint64(r)*127,
+			Fault: fault.Model{PTileCrash: pcrash, Protect: []packet.TileID{center}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		alive := 0
+		for i := 0; i < g.Tiles(); i++ {
+			if net.Injector().TileAlive(packet.TileID(i)) {
+				alive++
+			}
+		}
+		id := net.Inject(center, packet.Broadcast, 0, nil)
+		net.Drain(80)
+		coverage := float64(net.Aware(id)) / float64(alive)
+		bin := int(coverage * bins)
+		if bin >= bins {
+			bin = bins - 1
+		}
+		counts[bin]++
+	}
+	rows := make([]BimodalRow, bins)
+	for i := range rows {
+		rows[i] = BimodalRow{
+			CoverageLo: float64(i) / bins,
+			CoverageHi: float64(i+1) / bins,
+			Fraction:   float64(counts[i]) / float64(runs),
+		}
+	}
+	return rows, nil
+}
+
+// TTLRow is one TTL setting's outcome.
+type TTLRow struct {
+	TTL           uint8
+	DeliveryRate  float64
+	Transmissions stats.Summary
+	Latency       stats.Summary
+}
+
+// TTLStudy quantifies §3.3.1's bandwidth knob: "the total number of
+// packets sent in the network ... can be controlled by varying the
+// message TTL". One unicast crosses a 5×5 grid at p = 0.5 per TTL
+// setting; longer lifetimes buy delivery probability with bandwidth.
+func TTLStudy(ttls []uint8, runs int, seed uint64) ([]TTLRow, error) {
+	g := topology.NewGrid(5, 5)
+	src, dst := g.ID(0, 0), g.ID(4, 4)
+	var rows []TTLRow
+	for _, ttl := range ttls {
+		var tx, lat stats.Online
+		delivered := 0
+		for r := 0; r < runs; r++ {
+			sink := &studySink{}
+			net, err := core.New(core.Config{
+				Topo: g, P: 0.5, TTL: ttl, MaxRounds: 3 * int(ttl),
+				Seed: seed + uint64(r)*503,
+			})
+			if err != nil {
+				return nil, err
+			}
+			net.Attach(dst, sink)
+			net.Inject(src, dst, 1, []byte("t"))
+			net.Drain(3 * int(ttl))
+			tx.Add(float64(net.Counters().Energy.Transmissions))
+			if sink.got {
+				delivered++
+				lat.Add(float64(sink.gotRound))
+			}
+		}
+		rows = append(rows, TTLRow{
+			TTL:           ttl,
+			DeliveryRate:  float64(delivered) / float64(runs),
+			Transmissions: stats.Summarize(&tx),
+			Latency:       stats.Summarize(&lat),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"repro/internal/gossip"
+	"repro/internal/rng"
+)
+
+// Fig31Row is one round of the Fig. 3-1 spreading curve.
+type Fig31Row struct {
+	Round int
+	// Theory is I(t) from the Eq. 1 recursion.
+	Theory float64
+	// SimMean is the mean informed count over the repeated simulations.
+	SimMean float64
+}
+
+// Fig31 reproduces Fig. 3-1: message spreading in a 1000-node fully
+// connected network, theory vs. simulation, for the given number of
+// repeated runs.
+func Fig31(runs int, seed uint64) []Fig31Row {
+	const n, rounds = 1000, 20
+	theory := gossip.TheoreticalSpread(n, rounds)
+	sums := make([]float64, rounds+1)
+	for r := 0; r < runs; r++ {
+		curve := gossip.SimulateSpread(n, rounds, rng.New(seed+uint64(r)))
+		for i := 0; i <= rounds; i++ {
+			if i < len(curve) {
+				sums[i] += float64(curve[i])
+			} else {
+				sums[i] += float64(n)
+			}
+		}
+	}
+	out := make([]Fig31Row, rounds+1)
+	for i := range out {
+		out[i] = Fig31Row{Round: i, Theory: theory[i], SimMean: sums[i] / float64(runs)}
+	}
+	return out
+}
+
+// Fig33Result is the Producer–Consumer walkthrough of Fig. 3-3.
+type Fig33Result struct {
+	// DeliveryRound is when the Consumer first received the message.
+	DeliveryRound int
+	// AwarePerRound[r] is how many tiles knew the message after round
+	// r+1 (the figure's shaded tiles).
+	AwarePerRound []int
+	// ManhattanDistance is the flooding lower bound.
+	ManhattanDistance int
+}
+
+// Fig33 reproduces the Fig. 3-3 example: Producer on (paper) tile 6,
+// Consumer on tile 12 of a 4×4 NoC, p = 0.5.
+func Fig33(seed uint64) (Fig33Result, error) {
+	return producerConsumerTrace(seed, 0.5)
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"repro/internal/diversity"
+	"repro/internal/stats"
+)
+
+// Fig53Row is one architecture's bar pair in Fig. 5-3.
+type Fig53Row struct {
+	Arch          diversity.Kind
+	Latency       stats.Summary
+	Transmissions stats.Summary
+	CompletedAll  bool
+}
+
+// Fig53 reproduces Fig. 5-3: the beamforming application on the three
+// on-chip-diversity architectures, averaged over `runs` seeds. Expected
+// shape: the hierarchical NoC has the fewest message transmissions, the
+// flat NoC the best latency, and the bus-connected hybrid is the least
+// efficient on both axes.
+func Fig53(runs int, seed uint64) ([]Fig53Row, error) {
+	type acc struct {
+		lat, tx stats.Online
+		all     bool
+	}
+	accs := map[diversity.Kind]*acc{
+		diversity.FlatNoC:          {all: true},
+		diversity.HierarchicalNoC:  {all: true},
+		diversity.BusConnectedNoCs: {all: true},
+	}
+	for r := 0; r < runs; r++ {
+		results, err := diversity.Compare(diversity.CompareConfig{Seed: seed + uint64(r)})
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			a := accs[res.Kind]
+			a.lat.Add(float64(res.LatencyRounds))
+			a.tx.Add(float64(res.Transmissions))
+			a.all = a.all && res.Completed
+		}
+	}
+	var rows []Fig53Row
+	for _, kind := range []diversity.Kind{diversity.FlatNoC, diversity.HierarchicalNoC, diversity.BusConnectedNoCs} {
+		a := accs[kind]
+		rows = append(rows, Fig53Row{
+			Arch:          kind,
+			Latency:       stats.Summarize(&a.lat),
+			Transmissions: stats.Summarize(&a.tx),
+			CompletedAll:  a.all,
+		})
+	}
+	return rows, nil
+}

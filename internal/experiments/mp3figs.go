@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"repro/internal/apps/mp3"
+	"repro/internal/audio/encoder"
+	"repro/internal/audio/signal"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// MP3Frames is the stream length used by the §4.2 experiments.
+const MP3Frames = 16
+
+// mp3Run executes one MP3 pipeline run and reports latency, energy,
+// output metrics and completion.
+type mp3Run struct {
+	Rounds    int
+	Completed bool
+	EnergyJ   float64
+	Output    *mp3.Output
+}
+
+func runMP3(cfg core.Config, seed uint64) (*mp3Run, error) {
+	cfg.Topo = topology.NewGrid(4, 4)
+	cfg.Seed = seed
+	if cfg.TTL == 0 {
+		// Sparse forwarding (p = 0.25) needs longer-lived messages than
+		// the grid default to bridge the pipeline hops reliably.
+		cfg.TTL = 20
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 1500
+	}
+	net, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := mp3.Setup(net, mp3.DefaultTiles(), encoder.Config{},
+		signal.DefaultProgram(), MP3Frames)
+	if err != nil {
+		return nil, err
+	}
+	res := net.Run()
+	return &mp3Run{
+		Rounds:    res.Rounds,
+		Completed: res.Completed,
+		EnergyJ:   res.Counters.Energy.EnergyJ(energy.NoCLink025),
+		Output:    pipe.Output(),
+	}, nil
+}
+
+// Fig48Cell is one point of the Fig. 4-8 latency contour.
+type Fig48Cell struct {
+	P, PUpset      float64
+	Latency        stats.Summary
+	CompletionRate float64
+}
+
+// Fig48 reproduces Fig. 4-8: MP3 encoding latency (rounds) over the
+// (p, p_upset) plane. The thesis' shape: best at (p=1, upset=0), rising
+// toward low p / high upsets, DNF in the worst corner.
+func Fig48(ps, upsets []float64, runs int, seed uint64) ([]Fig48Cell, error) {
+	var cells []Fig48Cell
+	for _, p := range ps {
+		for _, pu := range upsets {
+			var lat stats.Online
+			completed := 0
+			for r := 0; r < runs; r++ {
+				run, err := runMP3(core.Config{
+					P: p, Fault: fault.Model{PUpset: pu},
+				}, seed+uint64(r)*31)
+				if err != nil {
+					return nil, err
+				}
+				if run.Completed {
+					completed++
+					lat.Add(float64(run.Rounds))
+				}
+			}
+			cells = append(cells, Fig48Cell{
+				P: p, PUpset: pu,
+				Latency:        stats.Summarize(&lat),
+				CompletionRate: float64(completed) / float64(runs),
+			})
+		}
+	}
+	return cells, nil
+}
+
+// Fig49Row is one point of the Fig. 4-9 energy curve.
+type Fig49Row struct {
+	P       float64
+	EnergyJ stats.Summary
+}
+
+// Fig49 reproduces Fig. 4-9: MP3 communication energy versus the
+// forwarding probability p — approximately linear, because the total
+// number of transmitted packets is dictated by p.
+func Fig49(ps []float64, runs int, seed uint64) ([]Fig49Row, error) {
+	var rows []Fig49Row
+	for _, p := range ps {
+		var en stats.Online
+		for r := 0; r < runs; r++ {
+			run, err := runMP3(core.Config{P: p}, seed+uint64(r)*37)
+			if err != nil {
+				return nil, err
+			}
+			if run.Completed {
+				en.Add(run.EnergyJ)
+			}
+		}
+		rows = append(rows, Fig49Row{P: p, EnergyJ: stats.Summarize(&en)})
+	}
+	return rows, nil
+}
+
+// Fig410Row is one x-value of either Fig. 4-10 panel.
+type Fig410Row struct {
+	// X is p_overflow (left panel) or σ_synchr (right panel).
+	X              float64
+	Latency        stats.Summary
+	CompletionRate float64
+}
+
+// Fig410Overflow reproduces the left panel of Fig. 4-10: MP3 latency vs.
+// the fraction of packets dropped to buffer overflow. Latency stays flat
+// until the "point A" cliff where losses become fatal.
+func Fig410Overflow(drops []float64, runs int, seed uint64) ([]Fig410Row, error) {
+	return fig410sweep(drops, runs, seed, func(x float64) fault.Model {
+		return fault.Model{POverflow: x}
+	})
+}
+
+// Fig410Sync reproduces the right panel of Fig. 4-10: MP3 latency vs. the
+// synchronization-error level σ_synchr (relative to T_R). The mean stays
+// flat; the spread grows.
+func Fig410Sync(sigmas []float64, runs int, seed uint64) ([]Fig410Row, error) {
+	return fig410sweep(sigmas, runs, seed, func(x float64) fault.Model {
+		return fault.Model{SigmaSync: x}
+	})
+}
+
+func fig410sweep(xs []float64, runs int, seed uint64, mk func(float64) fault.Model) ([]Fig410Row, error) {
+	var rows []Fig410Row
+	for _, x := range xs {
+		var lat stats.Online
+		completed := 0
+		for r := 0; r < runs; r++ {
+			run, err := runMP3(core.Config{P: 0.75, Fault: mk(x)}, seed+uint64(r)*41)
+			if err != nil {
+				return nil, err
+			}
+			if run.Completed {
+				completed++
+				lat.Add(float64(run.Rounds))
+			}
+		}
+		rows = append(rows, Fig410Row{
+			X: x, Latency: stats.Summarize(&lat),
+			CompletionRate: float64(completed) / float64(runs),
+		})
+	}
+	return rows, nil
+}
+
+// Fig411Row is one x-value of either Fig. 4-11 panel.
+type Fig411Row struct {
+	X float64
+	// BitrateBps is the sustained output bit-rate (mean over runs).
+	BitrateBps stats.Summary
+	// JitterRounds is the output inter-arrival jitter (the error bars).
+	JitterRounds stats.Summary
+}
+
+// Fig411Overflow reproduces the left panel of Fig. 4-11: output bit-rate
+// vs. dropped-packet fraction — sustained well past 60 %.
+func Fig411Overflow(drops []float64, runs int, seed uint64) ([]Fig411Row, error) {
+	return fig411sweep(drops, runs, seed, func(x float64) fault.Model {
+		return fault.Model{POverflow: x}
+	})
+}
+
+// Fig411Sync reproduces the right panel of Fig. 4-11: output bit-rate vs.
+// σ_synchr — the rate holds, only the jitter grows.
+func Fig411Sync(sigmas []float64, runs int, seed uint64) ([]Fig411Row, error) {
+	return fig411sweep(sigmas, runs, seed, func(x float64) fault.Model {
+		return fault.Model{SigmaSync: x}
+	})
+}
+
+func fig411sweep(xs []float64, runs int, seed uint64, mk func(float64) fault.Model) ([]Fig411Row, error) {
+	var rows []Fig411Row
+	for _, x := range xs {
+		var br, jit stats.Online
+		for r := 0; r < runs; r++ {
+			run, err := runMP3(core.Config{P: 0.75, Fault: mk(x)}, seed+uint64(r)*43)
+			if err != nil {
+				return nil, err
+			}
+			// Bit-rate is measured whether or not the run completed: a
+			// stalled encoding shows up as missing bits, exactly as the
+			// thesis' monitoring would see it.
+			br.Add(run.Output.BitrateBps())
+			jit.Add(run.Output.JitterRounds())
+		}
+		rows = append(rows, Fig411Row{
+			X: x, BitrateBps: stats.Summarize(&br), JitterRounds: stats.Summarize(&jit),
+		})
+	}
+	return rows, nil
+}

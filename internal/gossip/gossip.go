@@ -1,0 +1,129 @@
+// Package gossip implements the randomized rumor-spreading theory of
+// thesis §3.1 (after Pittel, "On spreading a rumor", and Demers et al.).
+//
+// In a fully connected network of n nodes, one initiator knows a rumor at
+// round 0. Every informed node passes the rumor to one uniformly random
+// other node per round. The number of informed nodes I(t) is tightly
+// approximated by the deterministic recursion
+//
+//	I(t+1) = n − (n − I(t))·e^(−I(t)/n),     I(0) = 1,       (Eq. 1)
+//
+// and the number of rounds to inform everyone is
+//
+//	S_n = log2 n + ln n + O(1)  as n → ∞,
+//
+// so a broadcast completes in O(log n) rounds w.h.p. — the foundation for
+// stopping the on-chip spread after O(ln n) rounds via the TTL.
+package gossip
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// TheoreticalSpread evaluates the Eq. 1 recursion, returning I(0..rounds)
+// (length rounds+1). n must be >= 1.
+func TheoreticalSpread(n, rounds int) []float64 {
+	out := make([]float64, rounds+1)
+	out[0] = 1
+	nf := float64(n)
+	for t := 0; t < rounds; t++ {
+		i := out[t]
+		out[t+1] = nf - (nf-i)*math.Exp(-i/nf)
+	}
+	return out
+}
+
+// ExpectedRounds returns the Pittel estimate S_n ≈ log2 n + ln n of the
+// number of rounds until all n nodes are informed.
+func ExpectedRounds(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n)) + math.Log(float64(n))
+}
+
+// SimulateSpread runs one push-gossip epidemic over a fully connected
+// network of n nodes and returns the informed count after each round,
+// starting with I(0) = 1, until everyone is informed or maxRounds passes.
+func SimulateSpread(n, maxRounds int, r *rng.Stream) []int {
+	informed := make([]bool, n)
+	informed[0] = true
+	count := 1
+	curve := []int{1}
+	for t := 0; t < maxRounds && count < n; t++ {
+		// All informed nodes choose their targets simultaneously (the
+		// round-synchronous model of §3.1): snapshot first.
+		var snapshot []int
+		for i, in := range informed {
+			if in {
+				snapshot = append(snapshot, i)
+			}
+		}
+		for _, i := range snapshot {
+			// Choose a confidant uniformly among the other n-1 nodes.
+			j := r.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			if !informed[j] {
+				informed[j] = true
+				count++
+			}
+		}
+		curve = append(curve, count)
+	}
+	return curve
+}
+
+// RoundsToInform runs SimulateSpread and returns the number of rounds
+// needed to inform all n nodes, or -1 if maxRounds was insufficient.
+func RoundsToInform(n, maxRounds int, r *rng.Stream) int {
+	curve := SimulateSpread(n, maxRounds, r)
+	if curve[len(curve)-1] < n {
+		return -1
+	}
+	return len(curve) - 1
+}
+
+// SimulateSpreadPushPull runs the push–pull variant (Karp et al.,
+// "Randomized rumor spreading" [26]): per round, every informed node
+// pushes to a random partner AND every uninformed node pulls from a
+// random partner. The pull phase collapses the tail of the epidemic —
+// the last stragglers find the rumor themselves — cutting total rounds
+// to ≈ log₃n + O(log log n), noticeably below push-only's
+// log₂n + ln n. It is the natural upgrade path for an on-chip gossip
+// fabric whose links are bidirectional anyway.
+func SimulateSpreadPushPull(n, maxRounds int, r *rng.Stream) []int {
+	informed := make([]bool, n)
+	informed[0] = true
+	count := 1
+	curve := []int{1}
+	for t := 0; t < maxRounds && count < n; t++ {
+		next := make([]bool, n)
+		copy(next, informed)
+		for i := 0; i < n; i++ {
+			// Choose a partner uniformly among the other nodes.
+			j := r.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			if informed[i] && !informed[j] {
+				next[j] = true // push
+			}
+			if !informed[i] && informed[j] {
+				next[i] = true // pull
+			}
+		}
+		count = 0
+		for _, in := range next {
+			if in {
+				count++
+			}
+		}
+		informed = next
+		curve = append(curve, count)
+	}
+	return curve
+}

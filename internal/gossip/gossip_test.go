@@ -1,0 +1,178 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestTheoreticalSpreadMonotone(t *testing.T) {
+	curve := TheoreticalSpread(1000, 30)
+	if curve[0] != 1 {
+		t.Fatalf("I(0) = %v", curve[0])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] <= curve[i-1] && curve[i-1] < 999.9999 {
+			t.Fatalf("I not strictly increasing at %d: %v -> %v", i, curve[i-1], curve[i])
+		}
+		if curve[i] > 1000 {
+			t.Fatalf("I(%d) = %v exceeds n", i, curve[i])
+		}
+	}
+}
+
+func TestTheoreticalSpreadSaturates(t *testing.T) {
+	// Fig. 3-1: in a 1000-node network, fewer than 20 rounds reach
+	// everyone.
+	curve := TheoreticalSpread(1000, 20)
+	if last := curve[20]; last < 999 {
+		t.Fatalf("I(20) = %v, want > 999 (Fig. 3-1 shape)", last)
+	}
+}
+
+func TestTheoreticalSpreadExponentialPhase(t *testing.T) {
+	// Early rounds nearly double the informed set: I(t+1)/I(t) ≈ 2 while
+	// I << n.
+	curve := TheoreticalSpread(100000, 10)
+	for i := 0; i < 8; i++ {
+		ratio := curve[i+1] / curve[i]
+		if ratio < 1.9 || ratio > 2.0 {
+			t.Fatalf("growth ratio at round %d = %v, want ~2", i, ratio)
+		}
+	}
+}
+
+func TestExpectedRounds(t *testing.T) {
+	// log2(1000) + ln(1000) ≈ 9.97 + 6.91 ≈ 16.87.
+	got := ExpectedRounds(1000)
+	if math.Abs(got-16.87) > 0.05 {
+		t.Fatalf("ExpectedRounds(1000) = %v", got)
+	}
+	if ExpectedRounds(1) != 0 || ExpectedRounds(0) != 0 {
+		t.Fatal("degenerate n should give 0")
+	}
+}
+
+func TestSimulateSpreadCompletes(t *testing.T) {
+	r := rng.New(1)
+	curve := SimulateSpread(1000, 50, r)
+	if curve[len(curve)-1] != 1000 {
+		t.Fatalf("spread did not complete: %v", curve[len(curve)-1])
+	}
+	// Fig. 3-1: under 20 rounds for n=1000 is typical; allow slack but
+	// catch gross breakage.
+	if len(curve)-1 > 30 {
+		t.Fatalf("spread took %d rounds", len(curve)-1)
+	}
+}
+
+func TestSimulateSpreadMonotone(t *testing.T) {
+	r := rng.New(2)
+	curve := SimulateSpread(500, 100, r)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("informed count decreased at round %d", i)
+		}
+		if curve[i] > 2*curve[i-1] {
+			t.Fatalf("informed more than doubled at round %d: %d -> %d (push gossip can at most double)",
+				i, curve[i-1], curve[i])
+		}
+	}
+}
+
+func TestSimulateMatchesTheory(t *testing.T) {
+	// Average simulated curves should track the deterministic
+	// approximation (Eq. 1) closely — "I(t) is very close to its
+	// deterministic approximation ... with probability 1".
+	const n, rounds, runs = 1000, 20, 100
+	theory := TheoreticalSpread(n, rounds)
+	sums := make([]float64, rounds+1)
+	for seed := uint64(0); seed < runs; seed++ {
+		curve := SimulateSpread(n, rounds, rng.New(seed))
+		for i := range sums {
+			if i < len(curve) {
+				sums[i] += float64(curve[i])
+			} else {
+				sums[i] += float64(n)
+			}
+		}
+	}
+	for i := range sums {
+		mean := sums[i] / runs
+		// Within 10% of theory (or 10 nodes for the tiny early rounds).
+		tol := math.Max(0.10*theory[i], 10)
+		if math.Abs(mean-theory[i]) > tol {
+			t.Fatalf("round %d: simulated mean %.1f vs theory %.1f", i, mean, theory[i])
+		}
+	}
+}
+
+func TestRoundsToInformNearPittel(t *testing.T) {
+	const n = 1000
+	var o stats.Online
+	for seed := uint64(0); seed < 50; seed++ {
+		rounds := RoundsToInform(n, 100, rng.New(seed))
+		if rounds < 0 {
+			t.Fatal("spread failed in 100 rounds")
+		}
+		o.Add(float64(rounds))
+	}
+	want := ExpectedRounds(n)
+	if math.Abs(o.Mean()-want) > 3 {
+		t.Fatalf("mean rounds %.2f vs Pittel estimate %.2f", o.Mean(), want)
+	}
+}
+
+func TestRoundsToInformInsufficientBudget(t *testing.T) {
+	if got := RoundsToInform(1000, 2, rng.New(1)); got != -1 {
+		t.Fatalf("RoundsToInform with tiny budget = %d, want -1", got)
+	}
+}
+
+func TestSimulateSpreadSingleNode(t *testing.T) {
+	curve := SimulateSpread(1, 10, rng.New(1))
+	if len(curve) != 1 || curve[0] != 1 {
+		t.Fatalf("n=1 curve: %v", curve)
+	}
+}
+
+func BenchmarkSimulateSpread1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SimulateSpread(1000, 50, rng.New(uint64(i)))
+	}
+}
+
+func TestPushPullCompletes(t *testing.T) {
+	curve := SimulateSpreadPushPull(1000, 50, rng.New(21))
+	if curve[len(curve)-1] != 1000 {
+		t.Fatalf("push-pull incomplete: %d", curve[len(curve)-1])
+	}
+}
+
+func TestPushPullBeatsPushOnly(t *testing.T) {
+	// Averaged over seeds, push-pull needs strictly fewer rounds than
+	// push-only on the same population.
+	const n, runs = 1000, 30
+	var pushSum, ppSum float64
+	for seed := uint64(0); seed < runs; seed++ {
+		push := SimulateSpread(n, 100, rng.New(seed))
+		pp := SimulateSpreadPushPull(n, 100, rng.New(seed+1000))
+		pushSum += float64(len(push) - 1)
+		ppSum += float64(len(pp) - 1)
+	}
+	if ppSum >= pushSum {
+		t.Fatalf("push-pull mean %.1f rounds not below push-only %.1f",
+			ppSum/runs, pushSum/runs)
+	}
+}
+
+func TestPushPullMonotone(t *testing.T) {
+	curve := SimulateSpreadPushPull(300, 100, rng.New(5))
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("informed count decreased at round %d", i)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package hamming implements a Hamming(8,4) SEC-DED block code — single
+// error correction, double error detection — the representative forward
+// error correction (FEC) scheme the thesis weighs against its own
+// error-detection/multiple-transmission design in Chapter 3: "FEC ... is
+// less reliable than ARQ and incurs significant additional processing
+// complexity". The comparison study in internal/experiments puts numbers
+// on that trade-off.
+//
+// Each data nibble is expanded to one code byte: four data bits, three
+// Hamming parity bits, and an overall parity bit. The decoder corrects
+// any single-bit error per byte and flags (without miscorrecting) any
+// double-bit error.
+package hamming
+
+import "errors"
+
+// ErrDetected is returned when a block has an uncorrectable (double-bit)
+// error.
+var ErrDetected = errors.New("hamming: uncorrectable error detected")
+
+// Overhead is the encoding expansion factor: 2 code bytes per data byte.
+const Overhead = 2
+
+// encodeNibble expands 4 data bits into an 8-bit SEC-DED codeword with
+// layout [p1 p2 d1 p4 d2 d3 d4 P] (bit 7 = p1 ... bit 0 = overall P).
+func encodeNibble(d byte) byte {
+	d1 := d >> 3 & 1
+	d2 := d >> 2 & 1
+	d3 := d >> 1 & 1
+	d4 := d & 1
+	p1 := d1 ^ d2 ^ d4
+	p2 := d1 ^ d3 ^ d4
+	p4 := d2 ^ d3 ^ d4
+	cw := p1<<7 | p2<<6 | d1<<5 | p4<<4 | d2<<3 | d3<<2 | d4<<1
+	// Overall parity over the 7 Hamming bits (even parity).
+	var par byte
+	for i := 1; i <= 7; i++ {
+		par ^= cw >> uint(i) & 1
+	}
+	return cw | par
+}
+
+// decodeByte inverts encodeNibble, correcting single-bit errors. The
+// second return is true when a correction happened; ErrDetected reports
+// double-bit errors.
+func decodeByte(cw byte) (nibble byte, corrected bool, err error) {
+	// Positions 1..7 (MSB-first layout): index i holds codeword bit 8-i.
+	bit := func(pos int) byte { return cw >> uint(8-pos) & 1 }
+	s1 := bit(1) ^ bit(3) ^ bit(5) ^ bit(7)
+	s2 := bit(2) ^ bit(3) ^ bit(6) ^ bit(7)
+	s4 := bit(4) ^ bit(5) ^ bit(6) ^ bit(7)
+	syndrome := int(s4)<<2 | int(s2)<<1 | int(s1)
+	var overall byte
+	for i := 0; i < 8; i++ {
+		overall ^= cw >> uint(i) & 1
+	}
+	switch {
+	case syndrome == 0 && overall == 0:
+		// Clean.
+	case syndrome != 0 && overall == 1:
+		// Single-bit error among positions 1..7: correct it.
+		cw ^= 1 << uint(8-syndrome)
+		corrected = true
+	case syndrome == 0 && overall == 1:
+		// The overall parity bit itself flipped.
+		cw ^= 1
+		corrected = true
+	default:
+		// syndrome != 0 && overall == 0: double-bit error.
+		return 0, false, ErrDetected
+	}
+	d1 := cw >> 5 & 1
+	d2 := cw >> 3 & 1
+	d3 := cw >> 2 & 1
+	d4 := cw >> 1 & 1
+	return d1<<3 | d2<<2 | d3<<1 | d4, corrected, nil
+}
+
+// Encode expands data into its SEC-DED representation (2 bytes per input
+// byte: high nibble first).
+func Encode(data []byte) []byte {
+	out := make([]byte, 0, Overhead*len(data))
+	for _, b := range data {
+		out = append(out, encodeNibble(b>>4), encodeNibble(b&0x0f))
+	}
+	return out
+}
+
+// Decode inverts Encode, correcting up to one flipped bit per code byte.
+// It returns the data, the number of corrected bits, and ErrDetected if
+// any block had an uncorrectable error.
+func Decode(code []byte) (data []byte, corrected int, err error) {
+	if len(code)%2 != 0 {
+		return nil, 0, errors.New("hamming: odd code length")
+	}
+	data = make([]byte, 0, len(code)/2)
+	for i := 0; i < len(code); i += 2 {
+		hi, c1, err := decodeByte(code[i])
+		if err != nil {
+			return nil, corrected, err
+		}
+		if c1 {
+			corrected++
+		}
+		lo, c2, err := decodeByte(code[i+1])
+		if err != nil {
+			return nil, corrected, err
+		}
+		if c2 {
+			corrected++
+		}
+		data = append(data, hi<<4|lo)
+	}
+	return data, corrected, nil
+}

@@ -1,0 +1,137 @@
+package hamming
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRoundTripClean(t *testing.T) {
+	data := []byte("on-chip stochastic communication")
+	code := Encode(data)
+	if len(code) != Overhead*len(data) {
+		t.Fatalf("code length %d", len(code))
+	}
+	got, corrected, err := Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected != 0 {
+		t.Fatalf("clean decode corrected %d bits", corrected)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %q", got)
+	}
+}
+
+func TestEverySingleBitErrorCorrected(t *testing.T) {
+	data := []byte{0x00, 0xff, 0xa5, 0x3c}
+	code := Encode(data)
+	for bit := 0; bit < 8*len(code); bit++ {
+		bad := append([]byte(nil), code...)
+		bad[bit/8] ^= 1 << uint(7-bit%8)
+		got, corrected, err := Decode(bad)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if corrected != 1 {
+			t.Fatalf("bit %d: corrected = %d", bit, corrected)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("bit %d: wrong data %x", bit, got)
+		}
+	}
+}
+
+func TestDoubleBitErrorDetected(t *testing.T) {
+	data := []byte{0x5a}
+	code := Encode(data)
+	// Flip two bits within the same code byte: must be detected, never
+	// silently miscorrected.
+	misdecoded := 0
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			bad := append([]byte(nil), code...)
+			bad[0] ^= 1<<uint(7-a) | 1<<uint(7-b)
+			got, _, err := Decode(bad)
+			if errors.Is(err, ErrDetected) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("bits %d,%d: %v", a, b, err)
+			}
+			if !bytes.Equal(got, data) {
+				misdecoded++
+			}
+		}
+	}
+	if misdecoded > 0 {
+		t.Fatalf("%d double-bit errors silently miscorrected", misdecoded)
+	}
+}
+
+func TestOddLengthRejected(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("odd code length accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		got, corrected, err := Decode(Encode(data))
+		return err == nil && corrected == 0 && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSingleBitPerBlockAlwaysRecovered(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 500; trial++ {
+		data := make([]byte, 1+r.Intn(16))
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		code := Encode(data)
+		// Flip at most one bit in each code byte.
+		flips := 0
+		for i := range code {
+			if r.Bool(0.5) {
+				code[i] ^= 1 << uint(r.Intn(8))
+				flips++
+			}
+		}
+		got, corrected, err := Decode(code)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if corrected != flips {
+			t.Fatalf("trial %d: corrected %d of %d flips", trial, corrected, flips)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("data corrupted despite correction")
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	data := make([]byte, 64)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Encode(data)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	code := Encode(make([]byte, 64))
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(code); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

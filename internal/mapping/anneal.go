@@ -1,0 +1,156 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// AnnealConfig parameterizes the simulated-annealing mapper.
+type AnnealConfig struct {
+	// Iterations is the number of proposed swaps (default 20000).
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule,
+	// expressed in units of communication cost (defaults 1/4 and 1/1000
+	// of the initial cost).
+	StartTemp, EndTemp float64
+}
+
+// Anneal improves a placement by simulated annealing over tile swaps,
+// minimizing the Σ volume×distance objective — the optimization the
+// energy-aware mapping literature [21] formulates, here as the global
+// refinement pass on top of the greedy constructor. It is deterministic
+// in r and returns a new placement (the input is not mutated).
+func Anneal(g *Graph, topo topology.Topology, start *Placement, cfg AnnealConfig, r *rng.Stream) (*Placement, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 20000
+	}
+	dist := hopMatrix(topo)
+
+	// Flatten the placement into instance -> tile, remembering which task
+	// each instance belongs to.
+	type inst struct {
+		task int
+		tile packet.TileID
+	}
+	var insts []inst
+	for task, tiles := range start.TilesOf {
+		for _, tl := range tiles {
+			insts = append(insts, inst{task: task, tile: tl})
+		}
+	}
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("mapping: empty placement")
+	}
+	occupied := map[packet.TileID]int{} // tile -> instance index (-1 free)
+	for i, in := range insts {
+		occupied[in.tile] = i
+	}
+	var freeTiles []packet.TileID
+	for t := 0; t < topo.Tiles(); t++ {
+		if _, ok := occupied[packet.TileID(t)]; !ok {
+			freeTiles = append(freeTiles, packet.TileID(t))
+		}
+	}
+
+	rebuild := func() *Placement {
+		p := &Placement{TilesOf: make([][]packet.TileID, len(g.Tasks))}
+		for _, in := range insts {
+			p.TilesOf[in.task] = append(p.TilesOf[in.task], in.tile)
+		}
+		return p
+	}
+	// cost evaluates Σ volume × nearest-replica-pair distance against the
+	// precomputed hop matrix (CommCost would re-run all-pairs BFS on
+	// every call, far too slow inside the annealing loop).
+	taskTiles := func(task int) []packet.TileID {
+		var out []packet.TileID
+		for _, in := range insts {
+			if in.task == task {
+				out = append(out, in.tile)
+			}
+		}
+		return out
+	}
+	cost := func() int {
+		total := 0
+		for _, e := range g.Edges {
+			bestD := -1
+			for _, a := range taskTiles(e.From) {
+				for _, b := range taskTiles(e.To) {
+					if d := dist[a][b]; bestD < 0 || d < bestD {
+						bestD = d
+					}
+				}
+			}
+			if bestD > 0 {
+				total += e.Volume * bestD
+			}
+		}
+		return total
+	}
+
+	cur := cost()
+	best := cur
+	bestInsts := append([]inst(nil), insts...)
+
+	startTemp := cfg.StartTemp
+	if startTemp == 0 {
+		startTemp = math.Max(1, float64(cur)/4)
+	}
+	endTemp := cfg.EndTemp
+	if endTemp == 0 {
+		endTemp = math.Max(0.01, float64(cur)/1000)
+	}
+	cooling := math.Pow(endTemp/startTemp, 1/float64(cfg.Iterations))
+	temp := startTemp
+
+	for it := 0; it < cfg.Iterations; it++ {
+		// Propose: either swap two instances, or move one instance to a
+		// free tile.
+		i := r.Intn(len(insts))
+		var undo func()
+		if len(freeTiles) > 0 && r.Bool(0.5) {
+			fi := r.Intn(len(freeTiles))
+			oldTile := insts[i].tile
+			newTile := freeTiles[fi]
+			insts[i].tile = newTile
+			freeTiles[fi] = oldTile
+			undo = func() {
+				insts[i].tile = oldTile
+				freeTiles[fi] = newTile
+			}
+		} else {
+			j := r.Intn(len(insts))
+			if i == j {
+				temp *= cooling
+				continue
+			}
+			insts[i].tile, insts[j].tile = insts[j].tile, insts[i].tile
+			undo = func() {
+				insts[i].tile, insts[j].tile = insts[j].tile, insts[i].tile
+			}
+		}
+		next := cost()
+		delta := float64(next - cur)
+		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
+			cur = next
+			if cur < best {
+				best = cur
+				bestInsts = append(bestInsts[:0], insts...)
+			}
+		} else {
+			undo()
+		}
+		temp *= cooling
+	}
+
+	insts = bestInsts
+	return rebuild(), nil
+}

@@ -1,0 +1,38 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the frame decoder: it must never
+// panic, and any frame it accepts must re-encode to an equivalent frame
+// (decoder outputs are always canonical).
+func FuzzDecode(f *testing.F) {
+	good, _ := Encode(&Packet{ID: 7, Src: 1, Dst: 2, Kind: 3, TTL: 4, Payload: []byte("seed")})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, headerLen+crcLen))
+	corrupted := append([]byte(nil), good...)
+	corrupted[0] ^= 0xff
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		re, err := Encode(p)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		q, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if q.ID != p.ID || q.Src != p.Src || q.Dst != p.Dst ||
+			q.Kind != p.Kind || q.TTL != p.TTL || !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatal("decode/encode/decode not idempotent")
+		}
+	})
+}

@@ -1,0 +1,161 @@
+// Package packet defines the wire format of stochastic-NoC packets and the
+// data-upset error models of thesis Chapter 2.
+//
+// A packet carries a globally unique message ID (used by tiles to
+// deduplicate the many gossip copies in flight), source and destination
+// tile IDs, an application-defined kind tag, a TTL, an opaque payload and a
+// CRC-16 over all immutable fields. The TTL is deliberately excluded from
+// CRC coverage: it is decremented at every hop, and covering it would force
+// every router to re-encode the checksum, which the Fig. 3-5 tile does not
+// do.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/crc"
+)
+
+// TileID identifies a tile in the network. The value Broadcast addresses
+// every tile (used by pure-dissemination workloads such as Fig. 3-1).
+type TileID uint16
+
+// Broadcast is the destination value meaning "every tile".
+const Broadcast TileID = 0xffff
+
+// MsgID is a network-unique message identity. Tiles deduplicate on it, so
+// two packets with equal MsgID must be copies of the same logical message.
+type MsgID uint64
+
+// Kind tags a packet with an application-defined message class (e.g. "work
+// request", "partial sum", "MDCT frame").
+type Kind uint8
+
+// Packet is one logical message as it travels through the NoC.
+type Packet struct {
+	ID      MsgID
+	Src     TileID
+	Dst     TileID
+	Kind    Kind
+	TTL     uint8
+	Payload []byte
+}
+
+// headerLen is the encoded size of the fixed header:
+// ID(8) + Src(2) + Dst(2) + Kind(1) + TTL(1) + payload length(2).
+const headerLen = 16
+
+// crcLen is the trailing checksum size.
+const crcLen = 2
+
+// MaxPayload is the largest payload Encode accepts.
+const MaxPayload = 0xffff
+
+// ErrTooLarge is returned by Encode for oversized payloads.
+var ErrTooLarge = errors.New("packet: payload exceeds MaxPayload")
+
+// ErrTruncated is returned by Decode for inputs shorter than a header.
+var ErrTruncated = errors.New("packet: truncated frame")
+
+// ErrCRC is returned by Decode when the checksum does not match; this is
+// how a tile observes a data upset.
+var ErrCRC = errors.New("packet: CRC mismatch (data upset)")
+
+// EncodedLen returns the wire size in bytes of a packet with the given
+// payload length.
+func EncodedLen(payloadLen int) int { return headerLen + payloadLen + crcLen }
+
+// SizeBits returns the wire size in bits of p, the S term of the energy
+// model E = N_packets * S * E_bit (thesis Eq. 3).
+func (p *Packet) SizeBits() int { return 8 * EncodedLen(len(p.Payload)) }
+
+// ShallowClone returns a copy of p sharing the payload slice. Forwarding
+// engines use it for in-flight copies: the header (notably the TTL) is
+// copied by value, and payloads are immutable once a packet is created,
+// so sharing is safe and avoids copying kilobyte payloads per hop.
+func (p *Packet) ShallowClone() *Packet {
+	q := *p
+	return &q
+}
+
+// Clone returns a deep copy of p, for callers that intend to mutate the
+// payload.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return &q
+}
+
+// String implements fmt.Stringer for debugging and traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{id=%d %d->%d kind=%d ttl=%d len=%d}",
+		p.ID, p.Src, p.Dst, p.Kind, p.TTL, len(p.Payload))
+}
+
+// Encode serializes p into a wire frame: header, payload, CRC-16 computed
+// over everything except the TTL byte.
+func Encode(p *Packet) ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, EncodedLen(len(p.Payload)))
+	binary.BigEndian.PutUint64(buf[0:8], uint64(p.ID))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(p.Src))
+	binary.BigEndian.PutUint16(buf[10:12], uint16(p.Dst))
+	buf[12] = byte(p.Kind)
+	buf[13] = p.TTL
+	binary.BigEndian.PutUint16(buf[14:16], uint16(len(p.Payload)))
+	copy(buf[headerLen:], p.Payload)
+	sum := frameCRC(buf)
+	binary.BigEndian.PutUint16(buf[len(buf)-crcLen:], sum)
+	return buf, nil
+}
+
+// frameCRC computes the CRC-16 over a frame, skipping the mutable TTL byte
+// and the checksum slot itself.
+func frameCRC(frame []byte) uint16 {
+	body := frame[:len(frame)-crcLen]
+	s := crc.NewShiftRegister16()
+	// Cheaper than allocating a TTL-less copy: clock the bytes around it.
+	for i, b := range body {
+		if i == 13 { // TTL byte
+			continue
+		}
+		s.ClockByte(b)
+	}
+	return s.Sum()
+}
+
+// Decode parses a wire frame, verifying the CRC. A CRC failure returns
+// (nil, ErrCRC): the caller (tile) silently discards the frame — the core
+// behaviour of the error-detection/multiple-transmission scheme.
+func Decode(frame []byte) (*Packet, error) {
+	if len(frame) < headerLen+crcLen {
+		return nil, ErrTruncated
+	}
+	payloadLen := int(binary.BigEndian.Uint16(frame[14:16]))
+	if len(frame) != EncodedLen(payloadLen) {
+		return nil, ErrTruncated
+	}
+	want := binary.BigEndian.Uint16(frame[len(frame)-crcLen:])
+	if frameCRC(frame) != want {
+		return nil, ErrCRC
+	}
+	p := &Packet{
+		ID:   MsgID(binary.BigEndian.Uint64(frame[0:8])),
+		Src:  TileID(binary.BigEndian.Uint16(frame[8:10])),
+		Dst:  TileID(binary.BigEndian.Uint16(frame[10:12])),
+		Kind: Kind(frame[12]),
+		TTL:  frame[13],
+	}
+	if payloadLen > 0 {
+		p.Payload = make([]byte, payloadLen)
+		copy(p.Payload, frame[headerLen:headerLen+payloadLen])
+	}
+	return p, nil
+}

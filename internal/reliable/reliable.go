@@ -1,0 +1,197 @@
+// Package reliable implements the thesis' §4.2.3 remark as a real
+// protocol: "If the application requires strong reliability guarantees,
+// these can be implemented by a higher level protocol built on top of the
+// stochastic communication."
+//
+// The layer is a sequence-numbered, acknowledged, retransmitting
+// endpoint. Each data message carries (source, sequence); the receiver
+// acknowledges every sequence it has seen and suppresses duplicates, so
+// the application observes exactly-once delivery; the sender re-injects a
+// fresh gossip message — with a fresh TTL — for every sequence that is
+// not acknowledged within a retry window. Gossip remains the only
+// transport: the layer needs no routing, only patience, and it converts
+// the w.h.p. guarantee of the stochastic layer into a sure one (for any
+// failure pattern that leaves source and destination connected).
+package reliable
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+
+	"repro/internal/apps/codec"
+)
+
+// Wire kinds used by the layer. Applications multiplex their own payload
+// kind inside the data header, so a single pair suffices.
+const (
+	KindData packet.Kind = 250
+	KindAck  packet.Kind = 251
+)
+
+// DefaultRetryRounds is the default ACK wait before retransmission.
+const DefaultRetryRounds = 12
+
+// Endpoint is one tile's reliable-transport state. Embed it in a
+// core.Process: call HandlePacket from Receive, Tick from Round, and Send
+// instead of ctx.Send.
+type Endpoint struct {
+	// RetryRounds is the ACK timeout (defaults to DefaultRetryRounds).
+	RetryRounds int
+	// MaxRetries bounds retransmissions per message (0 = unlimited).
+	MaxRetries int
+
+	nextSeq  uint64
+	pending  map[uint64]*pendingMsg
+	acked    map[uint64]bool
+	seen     map[msgKey]bool
+	retrans  int
+	duplica  int
+	acksSent int
+}
+
+type msgKey struct {
+	src packet.TileID
+	seq uint64
+}
+
+type pendingMsg struct {
+	dst      packet.TileID
+	kind     packet.Kind
+	payload  []byte
+	lastSent int
+	retries  int
+}
+
+// NewEndpoint returns an Endpoint with default timing.
+func NewEndpoint() *Endpoint {
+	return &Endpoint{
+		RetryRounds: DefaultRetryRounds,
+		pending:     map[uint64]*pendingMsg{},
+		acked:       map[uint64]bool{},
+		seen:        map[msgKey]bool{},
+	}
+}
+
+// encodeData wraps (seq, innerKind, payload).
+func encodeData(seq uint64, kind packet.Kind, payload []byte) []byte {
+	return codec.NewWriter(9 + len(payload)).
+		U64(seq).U16(uint16(kind)).Raw(payload).Bytes()
+}
+
+// Send transmits payload reliably to dst. The inner kind is preserved and
+// handed back to the receiver by HandlePacket. It returns the sequence
+// number for tracking.
+func (e *Endpoint) Send(ctx *core.Ctx, dst packet.TileID, kind packet.Kind, payload []byte) uint64 {
+	seq := e.nextSeq
+	e.nextSeq++
+	e.pending[seq] = &pendingMsg{
+		dst: dst, kind: kind,
+		payload:  append([]byte(nil), payload...),
+		lastSent: ctx.Round(),
+	}
+	ctx.Send(dst, KindData, encodeData(seq, kind, payload))
+	return seq
+}
+
+// Tick retransmits every unacknowledged message whose retry window has
+// expired. Call it once per Round.
+func (e *Endpoint) Tick(ctx *core.Ctx) {
+	retry := e.RetryRounds
+	if retry <= 0 {
+		retry = DefaultRetryRounds
+	}
+	for seq, pm := range e.pending {
+		if ctx.Round()-pm.lastSent < retry {
+			continue
+		}
+		if e.MaxRetries > 0 && pm.retries >= e.MaxRetries {
+			continue // exhausted; Failed() reports it
+		}
+		pm.retries++
+		pm.lastSent = ctx.Round()
+		e.retrans++
+		ctx.Send(pm.dst, KindData, encodeData(seq, pm.kind, pm.payload))
+	}
+}
+
+// Delivery is an application payload surfaced by HandlePacket.
+type Delivery struct {
+	Src     packet.TileID
+	Seq     uint64
+	Kind    packet.Kind
+	Payload []byte
+}
+
+// ErrNotReliable is returned by HandlePacket for packets that do not
+// belong to this layer; the caller should process them itself.
+var ErrNotReliable = errors.New("reliable: not a reliable-layer packet")
+
+// HandlePacket processes one delivered packet. For data it acknowledges
+// and, on first sight, returns the Delivery; duplicates return (nil,
+// nil). For ACKs it settles the pending message and returns (nil, nil).
+// Non-layer packets return ErrNotReliable.
+func (e *Endpoint) HandlePacket(ctx *core.Ctx, p *packet.Packet) (*Delivery, error) {
+	switch p.Kind {
+	case KindData:
+		r := codec.NewReader(p.Payload)
+		seq := r.U64()
+		innerKind := packet.Kind(r.U16())
+		payload := r.Rest()
+		if r.Err() != nil {
+			return nil, nil // malformed: ignore, sender will retry
+		}
+		// Always (re-)acknowledge, even duplicates: the ACK itself may
+		// have been lost.
+		ack := codec.NewWriter(8).U64(seq).Bytes()
+		ctx.Send(p.Src, KindAck, ack)
+		e.acksSent++
+		key := msgKey{src: p.Src, seq: seq}
+		if e.seen[key] {
+			e.duplica++
+			return nil, nil
+		}
+		e.seen[key] = true
+		return &Delivery{Src: p.Src, Seq: seq, Kind: innerKind, Payload: payload}, nil
+	case KindAck:
+		r := codec.NewReader(p.Payload)
+		seq := r.U64()
+		if r.Err() != nil {
+			return nil, nil
+		}
+		if _, ok := e.pending[seq]; ok {
+			delete(e.pending, seq)
+			e.acked[seq] = true
+		}
+		return nil, nil
+	default:
+		return nil, ErrNotReliable
+	}
+}
+
+// Acked reports whether sequence seq has been acknowledged.
+func (e *Endpoint) Acked(seq uint64) bool { return e.acked[seq] }
+
+// Outstanding returns the number of unacknowledged messages.
+func (e *Endpoint) Outstanding() int { return len(e.pending) }
+
+// Failed returns the sequences that exhausted MaxRetries.
+func (e *Endpoint) Failed() []uint64 {
+	if e.MaxRetries == 0 {
+		return nil
+	}
+	var out []uint64
+	for seq, pm := range e.pending {
+		if pm.retries >= e.MaxRetries {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
+// Stats returns (retransmissions, duplicate receptions, acks sent) for
+// overhead analysis.
+func (e *Endpoint) Stats() (retransmissions, duplicates, acks int) {
+	return e.retrans, e.duplica, e.acksSent
+}

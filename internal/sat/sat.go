@@ -1,0 +1,240 @@
+// Package sat is a compact DPLL satisfiability solver — the substrate of
+// the parallel SAT workload the thesis names among stochastic
+// communication's applications ("ranging from parallel SAT solvers and
+// multimedia applications to periodic data acquisition...", Ch. 4).
+//
+// Formulas are in CNF; the solver does unit propagation, pure-literal
+// elimination and deterministic first-unassigned branching, so identical
+// inputs always explore identical trees — which the distributed cube-and-
+// conquer app relies on for reproducibility.
+package sat
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Lit is a literal: +v for variable v, −v for its negation. Variables are
+// numbered from 1.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a conjunction of clauses over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate reports structural errors.
+func (f *Formula) Validate() error {
+	if f.NumVars < 0 {
+		return errors.New("sat: negative variable count")
+	}
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("sat: clause %d is empty (trivially unsat input)", i)
+		}
+		for _, l := range c {
+			if l == 0 || l.Var() > f.NumVars {
+				return fmt.Errorf("sat: clause %d has invalid literal %d", i, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps variable -> value; missing variables are unassigned.
+type Assignment map[int]bool
+
+// Satisfies reports whether a (total or partial) assignment satisfies f:
+// every clause has at least one true literal.
+func (f *Formula) Satisfies(a Assignment) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			v, assigned := a[l.Var()]
+			if assigned && v == (l > 0) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is a solver outcome.
+type Result struct {
+	Sat   bool
+	Model Assignment // valid when Sat
+	// Decisions counts branching nodes explored (work metric).
+	Decisions int
+}
+
+// Solve runs DPLL under the given assumptions (which may be nil). The
+// assumptions are unit-asserted before search; a conflict with them
+// yields UNSAT.
+func Solve(f *Formula, assumptions []Lit) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	a := Assignment{}
+	for _, l := range assumptions {
+		if l == 0 || l.Var() > f.NumVars {
+			return nil, fmt.Errorf("sat: invalid assumption %d", l)
+		}
+		want := l > 0
+		if v, ok := a[l.Var()]; ok && v != want {
+			return &Result{Sat: false}, nil // contradictory assumptions
+		}
+		a[l.Var()] = want
+	}
+	s := &solver{f: f}
+	sat := s.dpll(a)
+	res := &Result{Sat: sat, Decisions: s.decisions}
+	if sat {
+		res.Model = a
+	}
+	return res, nil
+}
+
+type solver struct {
+	f         *Formula
+	decisions int
+}
+
+// status classifies a clause under a partial assignment.
+func clauseStatus(c Clause, a Assignment) (satisfied bool, unassigned []Lit) {
+	for _, l := range c {
+		v, ok := a[l.Var()]
+		if !ok {
+			unassigned = append(unassigned, l)
+			continue
+		}
+		if v == (l > 0) {
+			return true, nil
+		}
+	}
+	return false, unassigned
+}
+
+// dpll searches destructively over a; on success a holds the model.
+func (s *solver) dpll(a Assignment) bool {
+	// Unit propagation to fixpoint.
+	var trail []int
+	for {
+		progress := false
+		for _, c := range s.f.Clauses {
+			sat, open := clauseStatus(c, a)
+			if sat {
+				continue
+			}
+			switch len(open) {
+			case 0:
+				// Conflict: undo this propagation level's trail.
+				for _, v := range trail {
+					delete(a, v)
+				}
+				return false
+			case 1:
+				l := open[0]
+				a[l.Var()] = l > 0
+				trail = append(trail, l.Var())
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Pick the first unassigned variable; none left means SAT.
+	branch := 0
+	for v := 1; v <= s.f.NumVars; v++ {
+		if _, ok := a[v]; !ok {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		return true
+	}
+	s.decisions++
+	for _, val := range [2]bool{true, false} {
+		a[branch] = val
+		if s.dpll(a) {
+			return true
+		}
+		delete(a, branch)
+	}
+	for _, v := range trail {
+		delete(a, v)
+	}
+	return false
+}
+
+// Random3SAT generates a uniform random 3-SAT instance with the given
+// variables and clauses. Clause/variable ratios well below the ~4.27
+// phase transition are almost surely satisfiable; well above, almost
+// surely not.
+func Random3SAT(vars, clauses int, r *rng.Stream) *Formula {
+	f := &Formula{NumVars: vars}
+	for i := 0; i < clauses; i++ {
+		var c Clause
+		used := map[int]bool{}
+		for len(c) < 3 {
+			v := 1 + r.Intn(vars)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			l := Lit(v)
+			if r.Bool(0.5) {
+				l = -l
+			}
+			c = append(c, l)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// Pigeonhole returns the classic PHP(n+1, n) formula — n+1 pigeons into n
+// holes — which is unsatisfiable. Variable p(i,j) = i*n + j + 1 means
+// "pigeon i sits in hole j".
+func Pigeonhole(holes int) *Formula {
+	pigeons := holes + 1
+	v := func(p, h int) Lit { return Lit(p*holes + h + 1) }
+	f := &Formula{NumVars: pigeons * holes}
+	// Every pigeon sits somewhere.
+	for p := 0; p < pigeons; p++ {
+		var c Clause
+		for h := 0; h < holes; h++ {
+			c = append(c, v(p, h))
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.Clauses = append(f.Clauses, Clause{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,179 @@
+package sat
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTrivialInstances(t *testing.T) {
+	// (x1) ∧ (¬x1 ∨ x2): satisfiable with x1=x2=true.
+	f := &Formula{NumVars: 2, Clauses: []Clause{{1}, {-1, 2}}}
+	res, err := Solve(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat || !f.Satisfies(res.Model) {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Model[1] != true || res.Model[2] != true {
+		t.Fatalf("model: %v", res.Model)
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	f := &Formula{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	res, err := Solve(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sat {
+		t.Fatal("x ∧ ¬x declared SAT")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{{1, 2}}}
+	// Under ¬x1 ∧ ¬x2 the clause is falsified.
+	res, err := Solve(f, []Lit{-1, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sat {
+		t.Fatal("SAT under falsifying assumptions")
+	}
+	// Under ¬x1 alone, x2 must be true.
+	res, err = Solve(f, []Lit{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat || res.Model[2] != true {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestContradictoryAssumptions(t *testing.T) {
+	f := &Formula{NumVars: 1, Clauses: []Clause{{1}}}
+	res, err := Solve(f, []Lit{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sat {
+		t.Fatal("contradictory assumptions declared SAT")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Formula{
+		{NumVars: -1},
+		{NumVars: 1, Clauses: []Clause{{}}},
+		{NumVars: 1, Clauses: []Clause{{0}}},
+		{NumVars: 1, Clauses: []Clause{{5}}},
+	}
+	for i, f := range bad {
+		if _, err := Solve(f, nil); err == nil {
+			t.Errorf("bad formula %d accepted", i)
+		}
+	}
+	f := &Formula{NumVars: 1, Clauses: []Clause{{1}}}
+	if _, err := Solve(f, []Lit{7}); err == nil {
+		t.Error("out-of-range assumption accepted")
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for holes := 1; holes <= 4; holes++ {
+		f := Pigeonhole(holes)
+		res, err := Solve(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sat {
+			t.Fatalf("PHP(%d+1,%d) declared SAT", holes, holes)
+		}
+	}
+}
+
+// bruteForce checks satisfiability by enumeration (reference oracle).
+func bruteForce(f *Formula) bool {
+	n := f.NumVars
+	for bits := 0; bits < 1<<uint(n); bits++ {
+		a := Assignment{}
+		for v := 1; v <= n; v++ {
+			a[v] = bits>>(uint(v)-1)&1 == 1
+		}
+		if f.Satisfies(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		vars := 3 + r.Intn(8) // 3..10 variables
+		clauses := 2 + r.Intn(5*vars)
+		f := Random3SAT(vars, clauses, r)
+		res, err := Solve(f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(f)
+		if res.Sat != want {
+			t.Fatalf("trial %d: DPLL=%v brute=%v for %+v", trial, res.Sat, want, f)
+		}
+		if res.Sat && !f.Satisfies(res.Model) {
+			t.Fatalf("trial %d: SAT model does not satisfy", trial)
+		}
+	}
+}
+
+func TestRandom3SATPhases(t *testing.T) {
+	r := rng.New(11)
+	// Ratio 2: almost surely SAT.
+	satLow := 0
+	for i := 0; i < 20; i++ {
+		res, err := Solve(Random3SAT(20, 40, r), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sat {
+			satLow++
+		}
+	}
+	if satLow < 18 {
+		t.Fatalf("ratio-2 instances SAT only %d/20", satLow)
+	}
+	// Ratio 7: almost surely UNSAT.
+	satHigh := 0
+	for i := 0; i < 20; i++ {
+		res, err := Solve(Random3SAT(20, 140, r), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sat {
+			satHigh++
+		}
+	}
+	if satHigh > 2 {
+		t.Fatalf("ratio-7 instances SAT %d/20", satHigh)
+	}
+}
+
+func TestDecisionsCounted(t *testing.T) {
+	f := Pigeonhole(3)
+	res, err := Solve(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions == 0 {
+		t.Fatal("UNSAT proof without decisions?")
+	}
+}
+
+func TestLitVar(t *testing.T) {
+	if Lit(5).Var() != 5 || Lit(-7).Var() != 7 {
+		t.Fatal("Lit.Var broken")
+	}
+}

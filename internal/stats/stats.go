@@ -1,0 +1,203 @@
+// Package stats provides the descriptive statistics used to aggregate
+// repeated stochastic-simulation runs ("all of the results presented ...
+// are averages obtained after several repeated simulations", §4.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates moments incrementally using Welford's algorithm, so
+// long simulations never hold their samples in memory.
+type Online struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasSamples bool
+}
+
+// Add incorporates one sample.
+func (o *Online) Add(x float64) {
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+	if !o.hasSamples || x < o.min {
+		o.min = x
+	}
+	if !o.hasSamples || x > o.max {
+		o.max = x
+	}
+	o.hasSamples = true
+}
+
+// N returns the number of samples.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (o *Online) Max() float64 { return o.max }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval on the mean.
+func (o *Online) CI95() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return 1.96 * o.StdDev() / math.Sqrt(float64(o.n))
+}
+
+// Summary is a value snapshot of an Online accumulator, convenient for
+// experiment result tables.
+type Summary struct {
+	N         int
+	Mean      float64
+	StdDev    float64
+	Min, Max  float64
+	CI95Width float64
+}
+
+// Summarize snapshots o.
+func Summarize(o *Online) Summary {
+	return Summary{
+		N: o.N(), Mean: o.Mean(), StdDev: o.StdDev(),
+		Min: o.Min(), Max: o.Max(), CI95Width: o.CI95(),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g ±%.3g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Max, s.CI95Width)
+}
+
+// OfSlice computes a Summary of xs directly.
+func OfSlice(xs []float64) Summary {
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	return Summarize(&o)
+}
+
+// Median returns the median of xs (the average of the two middle elements
+// for even lengths). It returns 0 for empty input.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th quantile of xs by linear interpolation between
+// closest ranks. q is clamped to [0, 1]; empty input yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram counts samples into uniform-width bins over [lo, hi]. Samples
+// outside the range are clamped into the edge bins, which is what the
+// latency-distribution plots want.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+	total  int
+}
+
+// NewHistogram returns a histogram with the given range and bin count.
+// It panics for bins <= 0 or hi <= lo (programming errors).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, bins)}
+}
+
+// Add counts one sample.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+	}
+	h.Bins[idx]++
+	h.total++
+}
+
+// Total returns the number of samples counted.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(h.total)
+}
+
+// LinReg fits y = a + b·x by ordinary least squares and returns the
+// intercept, slope and coefficient of determination R². It needs at
+// least two distinct x values; otherwise it returns zeros.
+func LinReg(xs, ys []float64) (a, b, r2 float64) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1 // constant y: the fit is exact
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return a, b, r2
+}

@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestOnlineBasics(t *testing.T) {
+	var o Online
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Fatalf("N = %d", o.N())
+	}
+	if !almostEq(o.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", o.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if !almostEq(o.Variance(), 32.0/7, 1e-12) {
+		t.Fatalf("Variance = %v", o.Variance())
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.StdDev() != 0 || o.CI95() != 0 {
+		t.Fatal("empty accumulator non-zero")
+	}
+}
+
+func TestOnlineSingleSample(t *testing.T) {
+	var o Online
+	o.Add(3.5)
+	if o.Mean() != 3.5 || o.Variance() != 0 || o.CI95() != 0 {
+		t.Fatalf("single sample: mean=%v var=%v", o.Mean(), o.Variance())
+	}
+	if o.Min() != 3.5 || o.Max() != 3.5 {
+		t.Fatal("single-sample min/max wrong")
+	}
+}
+
+func TestOnlineNegativeValues(t *testing.T) {
+	var o Online
+	o.Add(-5)
+	o.Add(5)
+	if o.Mean() != 0 || o.Min() != -5 || o.Max() != 5 {
+		t.Fatalf("negative handling: %+v", Summarize(&o))
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Online
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 2))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var o Online
+	o.Add(1)
+	o.Add(2)
+	s := Summarize(&o).String()
+	if !strings.Contains(s, "n=2") {
+		t.Fatalf("Summary.String() = %q", s)
+	}
+}
+
+func TestOfSlice(t *testing.T) {
+	s := OfSlice([]float64{1, 2, 3})
+	if s.N != 3 || !almostEq(s.Mean, 2, 1e-12) {
+		t.Fatalf("OfSlice: %+v", s)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if Median([]float64{3}) != 3 {
+		t.Error("Median single")
+	}
+	if got := Median([]float64{1, 3, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Quantile(xs, 0); got != 0 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 10 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.9); !almostEq(got, 9, 1e-12) {
+		t.Errorf("q0.9 = %v", got)
+	}
+	if got := Quantile(xs, -2); got != 0 {
+		t.Errorf("q<0 = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 5, 7, 9, 9.9} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Bins[0] != 2 { // 0.5 and 1 land in [0,2)
+		t.Fatalf("bin 0 = %d", h.Bins[0])
+	}
+	if h.Bins[4] != 2 { // 9 and 9.9
+		t.Fatalf("bin 4 = %d", h.Bins[4])
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(-5)
+	h.Add(42)
+	if h.Bins[0] != 1 || h.Bins[1] != 1 {
+		t.Fatalf("outliers not clamped: %v", h.Bins)
+	}
+}
+
+func TestHistogramFraction(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram Fraction != 0")
+	}
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	if !almostEq(h.Fraction(0), 2.0/3, 1e-12) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+// Property: Online matches a direct two-pass computation.
+func TestQuickOnlineMatchesDirect(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var o Online
+		sum := 0.0
+		for _, x := range clean {
+			o.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		var ss float64
+		for _, x := range clean {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(clean)-1)
+		scale := math.Max(1, math.Abs(mean))
+		return almostEq(o.Mean(), mean, 1e-6*scale) &&
+			almostEq(o.Variance(), variance, 1e-4*math.Max(1, variance))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(clean, qa) <= Quantile(clean, qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinRegExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2 := LinReg(xs, ys)
+	if !almostEq(a, 1, 1e-12) || !almostEq(b, 2, 1e-12) || !almostEq(r2, 1, 1e-12) {
+		t.Fatalf("a=%v b=%v r2=%v", a, b, r2)
+	}
+}
+
+func TestLinRegNoisy(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0.1, 0.9, 2.2, 2.8, 4.1, 4.9}
+	_, b, r2 := LinReg(xs, ys)
+	if b < 0.9 || b > 1.1 {
+		t.Fatalf("slope = %v", b)
+	}
+	if r2 < 0.98 {
+		t.Fatalf("r2 = %v", r2)
+	}
+}
+
+func TestLinRegDegenerate(t *testing.T) {
+	if _, _, r2 := LinReg([]float64{1}, []float64{2}); r2 != 0 {
+		t.Fatal("single point fit")
+	}
+	if _, _, r2 := LinReg([]float64{2, 2, 2}, []float64{1, 2, 3}); r2 != 0 {
+		t.Fatal("vertical data fit")
+	}
+	a, b, r2 := LinReg([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if a != 5 || b != 0 || r2 != 1 {
+		t.Fatalf("constant y: a=%v b=%v r2=%v", a, b, r2)
+	}
+	if _, _, r2 := LinReg([]float64{1, 2}, []float64{1}); r2 != 0 {
+		t.Fatal("length mismatch fit")
+	}
+}

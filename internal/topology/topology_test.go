@@ -1,0 +1,267 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+)
+
+func TestGridStructure(t *testing.T) {
+	g := NewGrid(4, 4)
+	if g.Tiles() != 16 {
+		t.Fatalf("Tiles = %d", g.Tiles())
+	}
+	// Corner tile 0 has exactly 2 neighbors.
+	if n := len(g.Neighbors(0)); n != 2 {
+		t.Fatalf("corner degree = %d", n)
+	}
+	// Edge tile 1 has 3 neighbors.
+	if n := len(g.Neighbors(1)); n != 3 {
+		t.Fatalf("edge degree = %d", n)
+	}
+	// Interior tile 5 has 4 neighbors.
+	if n := len(g.Neighbors(5)); n != 4 {
+		t.Fatalf("interior degree = %d", n)
+	}
+}
+
+func TestGridLinkCount(t *testing.T) {
+	// A W x H mesh has W(H-1) + H(W-1) links.
+	g := NewGrid(5, 5)
+	if got, want := len(g.Links()), 5*4+5*4; got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+}
+
+func TestGridCoordRoundTrip(t *testing.T) {
+	g := NewGrid(7, 3)
+	for id := 0; id < g.Tiles(); id++ {
+		x, y := g.Coord(packet.TileID(id))
+		if g.ID(x, y) != packet.TileID(id) {
+			t.Fatalf("coord round trip failed for %d", id)
+		}
+		if x < 0 || x >= 7 || y < 0 || y >= 3 {
+			t.Fatalf("coord out of range for %d: (%d,%d)", id, x, y)
+		}
+	}
+}
+
+func TestGridManhattan(t *testing.T) {
+	g := NewGrid(4, 4)
+	// The thesis example: Producer at tile 6 (paper's tile numbering is
+	// 1-based; ours is 0-based, so tile 5), Consumer at tile 12 -> 11.
+	if d := g.Manhattan(5, 11); d != 3 {
+		t.Fatalf("Manhattan(5,11) = %d, want 3", d)
+	}
+	if d := g.Manhattan(0, 15); d != 6 {
+		t.Fatalf("Manhattan(0,15) = %d, want 6", d)
+	}
+	if d := g.Manhattan(7, 7); d != 0 {
+		t.Fatalf("Manhattan(x,x) = %d", d)
+	}
+}
+
+func TestGridManhattanMatchesBFS(t *testing.T) {
+	g := NewGrid(5, 4)
+	for s := 0; s < g.Tiles(); s++ {
+		dist := BFSDistances(g, packet.TileID(s), AllAlive, AllLinksAlive)
+		for d := 0; d < g.Tiles(); d++ {
+			if dist[d] != g.Manhattan(packet.TileID(s), packet.TileID(d)) {
+				t.Fatalf("BFS %d->%d = %d, Manhattan = %d",
+					s, d, dist[d], g.Manhattan(packet.TileID(s), packet.TileID(d)))
+			}
+		}
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	g := NewFullyConnected(16)
+	for i := 0; i < 16; i++ {
+		if n := len(g.Neighbors(packet.TileID(i))); n != 15 {
+			t.Fatalf("degree of %d = %d", i, n)
+		}
+	}
+	if got, want := len(g.Links()), 16*15/2; got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := NewRing(8)
+	for i := 0; i < 8; i++ {
+		if n := len(g.Neighbors(packet.TileID(i))); n != 2 {
+			t.Fatalf("ring degree = %d", n)
+		}
+	}
+	if d := Diameter(g, AllAlive, AllLinksAlive); d != 4 {
+		t.Fatalf("ring(8) diameter = %d, want 4", d)
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := NewTorus(4, 4)
+	for i := 0; i < 16; i++ {
+		if n := len(g.Neighbors(packet.TileID(i))); n != 4 {
+			t.Fatalf("torus degree of %d = %d", i, n)
+		}
+	}
+	// Torus diameter is floor(W/2)+floor(H/2).
+	if d := Diameter(g, AllAlive, AllLinksAlive); d != 4 {
+		t.Fatalf("torus(4,4) diameter = %d, want 4", d)
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddLink(0, 0); err == nil {
+		t.Error("self-link accepted")
+	}
+	if err := g.AddLink(0, 5); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	if err := g.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(1, 0); err == nil {
+		t.Error("duplicate link accepted")
+	}
+}
+
+func TestHasLink(t *testing.T) {
+	g := NewGrid(3, 3)
+	if !g.HasLink(0, 1) || !g.HasLink(1, 0) {
+		t.Error("adjacent link missing")
+	}
+	if g.HasLink(0, 8) {
+		t.Error("phantom diagonal link")
+	}
+	if g.HasLink(200, 0) {
+		t.Error("out-of-range HasLink true")
+	}
+}
+
+func TestBFSWithDeadTile(t *testing.T) {
+	// 3x1 line: killing the middle tile disconnects the ends.
+	g := NewGrid(3, 1)
+	alive := func(t packet.TileID) bool { return t != 1 }
+	dist := BFSDistances(g, 0, alive, AllLinksAlive)
+	if dist[2] != -1 {
+		t.Fatalf("tile 2 reachable through dead tile: dist=%d", dist[2])
+	}
+	if Reachable(g, 0, 2, alive, AllLinksAlive) {
+		t.Fatal("Reachable through dead tile")
+	}
+}
+
+func TestBFSWithDeadLink(t *testing.T) {
+	g := NewGrid(2, 1)
+	deadLink := func(a, b packet.TileID) bool { return false }
+	if Reachable(g, 0, 1, AllAlive, deadLink) {
+		t.Fatal("Reachable through dead link")
+	}
+}
+
+func TestBFSDeadSource(t *testing.T) {
+	g := NewGrid(2, 2)
+	alive := func(t packet.TileID) bool { return t != 0 }
+	dist := BFSDistances(g, 0, alive, AllLinksAlive)
+	for i, d := range dist {
+		if d != -1 {
+			t.Fatalf("dist[%d] = %d with dead source", i, d)
+		}
+	}
+}
+
+func TestReachableSelf(t *testing.T) {
+	g := NewGrid(2, 2)
+	if !Reachable(g, 1, 1, AllAlive, AllLinksAlive) {
+		t.Fatal("tile not reachable from itself")
+	}
+	dead := func(t packet.TileID) bool { return t != 1 }
+	if Reachable(g, 1, 1, dead, AllLinksAlive) {
+		t.Fatal("dead tile reachable from itself")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGrid(4, 1) // line 0-1-2-3
+	alive := func(t packet.TileID) bool { return t != 1 }
+	comp, n := ConnectedComponents(g, alive, AllLinksAlive)
+	if n != 2 {
+		t.Fatalf("components = %d, want 2", n)
+	}
+	if comp[1] != -1 {
+		t.Fatalf("dead tile assigned component %d", comp[1])
+	}
+	if comp[0] == comp[2] || comp[2] != comp[3] {
+		t.Fatalf("bad components: %v", comp)
+	}
+}
+
+func TestDiameterGrid(t *testing.T) {
+	if d := Diameter(NewGrid(4, 4), AllAlive, AllLinksAlive); d != 6 {
+		t.Fatalf("grid(4,4) diameter = %d, want 6", d)
+	}
+	if d := Diameter(NewGrid(5, 5), AllAlive, AllLinksAlive); d != 8 {
+		t.Fatalf("grid(5,5) diameter = %d, want 8", d)
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	if err := g.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := Diameter(g, AllAlive, AllLinksAlive); d != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", d)
+	}
+}
+
+func TestDiameterAllDead(t *testing.T) {
+	g := NewGrid(2, 2)
+	dead := func(packet.TileID) bool { return false }
+	if d := Diameter(g, dead, AllLinksAlive); d != -1 {
+		t.Fatalf("all-dead diameter = %d, want -1", d)
+	}
+}
+
+func TestGridPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGrid(0, 3) did not panic")
+		}
+	}()
+	NewGrid(0, 3)
+}
+
+// Property: in any grid, the neighbor relation is symmetric.
+func TestQuickGridSymmetry(t *testing.T) {
+	f := func(w, h uint8) bool {
+		width, height := int(w%6)+1, int(h%6)+1
+		g := NewGrid(width, height)
+		for a := 0; a < g.Tiles(); a++ {
+			for _, b := range g.Neighbors(packet.TileID(a)) {
+				if !g.HasLink(b, packet.TileID(a)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a healthy grid is always a single connected component.
+func TestQuickGridConnected(t *testing.T) {
+	f := func(w, h uint8) bool {
+		g := NewGrid(int(w%7)+1, int(h%7)+1)
+		_, n := ConnectedComponents(g, AllAlive, AllLinksAlive)
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

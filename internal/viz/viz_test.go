@@ -1,0 +1,71 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+func TestFrameGlyphs(t *testing.T) {
+	grid := topology.NewGrid(3, 3)
+	var protect []packet.TileID
+	for i := 0; i < grid.Tiles(); i++ {
+		if packet.TileID(i) != 4 {
+			protect = append(protect, packet.TileID(i))
+		}
+	}
+	net, err := core.New(core.Config{
+		Topo: grid, P: 1, TTL: 10, MaxRounds: 50, Seed: 1,
+		Fault: fault.Model{DeadTiles: 1, Protect: protect}, // kill the center
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := net.Inject(0, 8, 1, nil)
+
+	// Before any round: only the source knows.
+	f := Frame(net, grid, id, 0, 8)
+	lines := strings.Split(strings.TrimRight(f, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("frame has %d lines:\n%s", len(lines), f)
+	}
+	if lines[0][0] != byte(GlyphSrcHit) {
+		t.Fatalf("source glyph = %c", lines[0][0])
+	}
+	if lines[1][2] != byte(GlyphDead) { // tile 4 at (1,1)
+		t.Fatalf("dead glyph = %c\n%s", lines[1][2], f)
+	}
+	if lines[2][4] != byte(GlyphDst) {
+		t.Fatalf("destination glyph = %c", lines[2][4])
+	}
+
+	// Flood until the destination is reached (the message is still
+	// live, so every surviving tile holds a copy; after TTL expiry the
+	// fabric legitimately forgets).
+	for i := 0; i < 6; i++ {
+		net.Step()
+	}
+	f = Frame(net, grid, id, 0, 8)
+	if !strings.ContainsRune(f, GlyphDstHit) {
+		t.Fatalf("destination never marked reached:\n%s", f)
+	}
+	if strings.ContainsRune(f, GlyphBlank) {
+		t.Fatalf("unaware tiles remain after flooding:\n%s", f)
+	}
+	if !strings.ContainsRune(f, GlyphDead) {
+		t.Fatal("dead tile glyph vanished")
+	}
+}
+
+func TestLegendMentionsAllGlyphs(t *testing.T) {
+	l := Legend()
+	for _, g := range []rune{GlyphSrc, GlyphDst, GlyphDstHit, GlyphAware, GlyphBlank, GlyphDead} {
+		if !strings.ContainsRune(l, g) {
+			t.Fatalf("legend missing %c: %s", g, l)
+		}
+	}
+}
