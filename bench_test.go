@@ -17,12 +17,23 @@ import (
 	"repro/internal/reliable"
 	"repro/internal/rng"
 	"repro/internal/sat"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
+// bmc is the per-iteration Monte Carlo config used by the figure
+// benchmarks: sequential (the benchmark loop is the measurement; worker
+// startup would only add noise) with the iteration index as master seed.
+func bmc(replicas int, seed uint64) sim.Config {
+	return sim.Config{Replicas: replicas, Workers: 1, Seed: seed}
+}
+
 func BenchmarkFig31RumorSpreading(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig31(10, uint64(i))
+		rows, err := experiments.Fig31(bmc(10, uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if rows[20].SimMean < 999 {
 			b.Fatal("spread incomplete")
 		}
@@ -50,7 +61,7 @@ func BenchmarkFig33ProducerConsumer(b *testing.B) {
 
 func BenchmarkFig44MasterSlave(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig44(experiments.MasterSlave, []int{0, 2}, 3, uint64(i)); err != nil {
+		if _, err := experiments.Fig44(experiments.MasterSlave, []int{0, 2}, bmc(3, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +69,7 @@ func BenchmarkFig44MasterSlave(b *testing.B) {
 
 func BenchmarkFig44FFT2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig44(experiments.FFT2, []int{0, 2}, 3, uint64(i)); err != nil {
+		if _, err := experiments.Fig44(experiments.FFT2, []int{0, 2}, bmc(3, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +77,7 @@ func BenchmarkFig44FFT2(b *testing.B) {
 
 func BenchmarkFig45Surface(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig45([]int{0, 4}, []float64{0, 0.5, 0.9}, 2, uint64(i)); err != nil {
+		if _, err := experiments.Fig45([]int{0, 4}, []float64{0, 0.5, 0.9}, bmc(2, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -78,7 +89,7 @@ func BenchmarkFig46BusComparison(b *testing.B) {
 	var latRatio float64
 	completed := 0
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig46(3, uint64(i))
+		res, err := experiments.Fig46(bmc(3, uint64(i)))
 		if err != nil {
 			continue
 		}
@@ -92,7 +103,7 @@ func BenchmarkFig46BusComparison(b *testing.B) {
 
 func BenchmarkFig48MP3Latency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig48([]float64{1, 0.5}, []float64{0, 0.4}, 1, uint64(i)); err != nil {
+		if _, err := experiments.Fig48([]float64{1, 0.5}, []float64{0, 0.4}, bmc(1, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -100,7 +111,7 @@ func BenchmarkFig48MP3Latency(b *testing.B) {
 
 func BenchmarkFig49MP3Energy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig49([]float64{0.5, 1}, 1, uint64(i)); err != nil {
+		if _, err := experiments.Fig49([]float64{0.5, 1}, bmc(1, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -108,7 +119,7 @@ func BenchmarkFig49MP3Energy(b *testing.B) {
 
 func BenchmarkFig410Overflow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig410Overflow([]float64{0, 0.5}, 1, uint64(i)); err != nil {
+		if _, err := experiments.Fig410Overflow([]float64{0, 0.5}, bmc(1, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -116,7 +127,7 @@ func BenchmarkFig410Overflow(b *testing.B) {
 
 func BenchmarkFig410Sync(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig410Sync([]float64{0, 1.5}, 1, uint64(i)); err != nil {
+		if _, err := experiments.Fig410Sync([]float64{0, 1.5}, bmc(1, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,7 +135,7 @@ func BenchmarkFig410Sync(b *testing.B) {
 
 func BenchmarkFig411BitRate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig411Overflow([]float64{0, 0.5}, 1, uint64(i)); err != nil {
+		if _, err := experiments.Fig411Overflow([]float64{0, 0.5}, bmc(1, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,7 +143,7 @@ func BenchmarkFig411BitRate(b *testing.B) {
 
 func BenchmarkFig53Diversity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig53(1, uint64(i)); err != nil {
+		if _, err := experiments.Fig53(bmc(1, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -243,6 +254,39 @@ func benchStopSpread(b *testing.B, stop bool) {
 	b.ReportMetric(tx/float64(b.N), "transmissions")
 }
 
+// ---- Monte Carlo runner (internal/sim) ----
+
+// benchRunner pushes the same 8-replica broadcast batch through the sim
+// runner at a fixed worker count, so Sequential vs Parallel isolates the
+// pool's dispatch overhead/speed-up on identical work. (On a single-core
+// host the parallel variant measures pure overhead.)
+func benchRunner(b *testing.B, workers int) {
+	b.Helper()
+	grid := topology.NewGrid(5, 5)
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{Replicas: 8, Workers: workers, Seed: uint64(i)}
+		_, err := sim.Run(cfg, func(replica int, seed uint64) (int, error) {
+			net, err := core.New(core.Config{
+				Topo: grid, P: 0.75, TTL: core.DefaultTTL, MaxRounds: 100, Seed: seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			net.Inject(0, stochnoc.Broadcast, 0, make([]byte, 16))
+			for r := 0; r < 30 && !net.Quiescent(); r++ {
+				net.Step()
+			}
+			return net.Counters().Energy.Transmissions, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunnerSequential(b *testing.B) { benchRunner(b, 1) }
+func BenchmarkRunnerParallel(b *testing.B)  { benchRunner(b, 4) }
+
 // Engine comparison: the synchronous round kernel vs the goroutine-per-
 // tile engine on the same delivery task.
 func BenchmarkEngineSync(b *testing.B) {
@@ -302,7 +346,7 @@ func BenchmarkEngineAsync(b *testing.B) {
 // The robustness study (gossip vs directed vs XY under crashes).
 func BenchmarkExtRobustness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RobustnessStudy([]int{0, 2}, 5, uint64(i)); err != nil {
+		if _, err := experiments.RobustnessStudy([]int{0, 2}, bmc(5, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,9 +4,12 @@
 // Usage:
 //
 //	figures [-fig all|3-1|3-3|4-4|4-5|4-6|4-8|4-9|4-10|4-11|5-3]
-//	        [-runs N] [-seed S] [-quick]
+//	        [-runs N] [-seed S] [-workers W] [-quick]
 //
-// -quick shrinks sweep resolutions for a fast smoke run.
+// -quick shrinks sweep resolutions for a fast smoke run. -workers sets
+// the Monte Carlo replica pool (0 = GOMAXPROCS); results are identical
+// for every worker count — replicas are seeded by index, not by
+// scheduling order.
 package main
 
 import (
@@ -18,14 +21,22 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 var (
-	figFlag  = flag.String("fig", "all", "figure to regenerate (e.g. 4-4, ext-robustness) or 'all'")
-	runsFlag = flag.Int("runs", 10, "repeated simulations per configuration")
-	seedFlag = flag.Uint64("seed", 2003, "master seed")
-	quick    = flag.Bool("quick", false, "reduced sweep resolution")
+	figFlag     = flag.String("fig", "all", "figure to regenerate (e.g. 4-4, ext-robustness) or 'all'")
+	runsFlag    = flag.Int("runs", 10, "repeated simulations per configuration")
+	seedFlag    = flag.Uint64("seed", 2003, "master seed")
+	workersFlag = flag.Int("workers", 0, "parallel replica workers (0 = GOMAXPROCS)")
+	quick       = flag.Bool("quick", false, "reduced sweep resolution")
 )
+
+// mc builds the sim.Config for a figure that wants `runs` replicas per
+// configuration.
+func mc(runs int) sim.Config {
+	return sim.Config{Replicas: runs, Workers: *workersFlag, Seed: *seedFlag}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -81,7 +92,10 @@ func table(header string, rows func(w *tabwriter.Writer)) {
 }
 
 func fig31() error {
-	rows := experiments.Fig31(*runsFlag*10, *seedFlag)
+	rows, err := experiments.Fig31(mc(*runsFlag * 10))
+	if err != nil {
+		return err
+	}
 	fmt.Println("Message spreading, 1000-node fully connected network (Fig. 3-1)")
 	table("round\ttheory I(t)\tsimulated mean", func(w *tabwriter.Writer) {
 		for _, r := range rows {
@@ -116,7 +130,7 @@ func fig44() error {
 		dead = []int{0, 2}
 	}
 	for _, app := range []experiments.CaseApp{experiments.FFT2, experiments.MasterSlave} {
-		rows, err := experiments.Fig44(app, dead, *runsFlag, *seedFlag)
+		rows, err := experiments.Fig44(app, dead, mc(*runsFlag))
 		if err != nil {
 			return err
 		}
@@ -124,7 +138,7 @@ func fig44() error {
 		table("p\tdead tiles\tlatency [rounds]\tenergy [J/bit]\tcompletion", func(w *tabwriter.Writer) {
 			for _, r := range rows {
 				fmt.Fprintf(w, "%.2f\t%d\t%.1f ±%.1f\t%.3g\t%.0f%%\n",
-					r.P, r.DeadTiles, r.Result.Latency.Mean, r.Result.Latency.StdDev,
+					r.P, r.DeadTiles, r.Result.Rounds.Mean, r.Result.Rounds.StdDev,
 					r.Result.EnergyPerBit.Mean, 100*r.Result.CompletionRate)
 			}
 		})
@@ -140,7 +154,7 @@ func fig45() error {
 		dead = []int{0, 4}
 		upsets = []float64{0, 0.5, 0.9}
 	}
-	cells, err := experiments.Fig45(dead, upsets, *runsFlag, *seedFlag)
+	cells, err := experiments.Fig45(dead, upsets, mc(*runsFlag))
 	if err != nil {
 		return err
 	}
@@ -148,15 +162,15 @@ func fig45() error {
 	table("dead tiles\tp_upset\tlatency [rounds]\tcompletion", func(w *tabwriter.Writer) {
 		for _, c := range cells {
 			fmt.Fprintf(w, "%d\t%.2f\t%.1f ±%.1f\t%.0f%%\n",
-				c.DeadTiles, c.PUpset, c.Latency.Mean, c.Latency.StdDev,
-				100*c.CompletionRate)
+				c.DeadTiles, c.PUpset, c.Result.Rounds.Mean, c.Result.Rounds.StdDev,
+				100*c.Result.CompletionRate)
 		}
 	})
 	return nil
 }
 
 func fig46() error {
-	res, err := experiments.Fig46(3, *seedFlag)
+	res, err := experiments.Fig46(mc(3))
 	if err != nil {
 		return err
 	}
@@ -183,7 +197,7 @@ func fig48() error {
 		ps = []float64{0.5, 1}
 		upsets = []float64{0, 0.6}
 	}
-	cells, err := experiments.Fig48(ps, upsets, *runsFlag/2+1, *seedFlag)
+	cells, err := experiments.Fig48(ps, upsets, mc(*runsFlag/2+1))
 	if err != nil {
 		return err
 	}
@@ -205,7 +219,7 @@ func fig49() error {
 	if *quick {
 		ps = []float64{0.25, 0.5, 1}
 	}
-	rows, err := experiments.Fig49(ps, *runsFlag/2+1, *seedFlag)
+	rows, err := experiments.Fig49(ps, mc(*runsFlag/2+1))
 	if err != nil {
 		return err
 	}
@@ -225,7 +239,7 @@ func fig410() error {
 		drops = []float64{0, 0.4, 0.9}
 		sigmas = []float64{0, 1.5}
 	}
-	over, err := experiments.Fig410Overflow(drops, *runsFlag/2+1, *seedFlag)
+	over, err := experiments.Fig410Overflow(drops, mc(*runsFlag/2+1))
 	if err != nil {
 		return err
 	}
@@ -239,7 +253,7 @@ func fig410() error {
 			fmt.Fprintf(w, "%.0f%%\t%s\t%.0f%%\n", 100*r.X, lat, 100*r.CompletionRate)
 		}
 	})
-	syncRows, err := experiments.Fig410Sync(sigmas, *runsFlag/2+1, *seedFlag)
+	syncRows, err := experiments.Fig410Sync(sigmas, mc(*runsFlag/2+1))
 	if err != nil {
 		return err
 	}
@@ -260,7 +274,7 @@ func fig411() error {
 		drops = []float64{0, 0.5}
 		sigmas = []float64{0, 1.5}
 	}
-	over, err := experiments.Fig411Overflow(drops, *runsFlag/2+1, *seedFlag)
+	over, err := experiments.Fig411Overflow(drops, mc(*runsFlag/2+1))
 	if err != nil {
 		return err
 	}
@@ -270,7 +284,7 @@ func fig411() error {
 			fmt.Fprintf(w, "%.0f%%\t%.0f\t%.2f\n", 100*r.X, r.BitrateBps.Mean, r.JitterRounds.Mean)
 		}
 	})
-	syncRows, err := experiments.Fig411Sync(sigmas, *runsFlag/2+1, *seedFlag)
+	syncRows, err := experiments.Fig411Sync(sigmas, mc(*runsFlag/2+1))
 	if err != nil {
 		return err
 	}
@@ -284,7 +298,7 @@ func fig411() error {
 }
 
 func fig53() error {
-	rows, err := experiments.Fig53(*runsFlag/2+1, *seedFlag)
+	rows, err := experiments.Fig53(mc(*runsFlag/2 + 1))
 	if err != nil {
 		return err
 	}
@@ -300,7 +314,7 @@ func fig53() error {
 }
 
 func extRobustness() error {
-	rows, err := experiments.RobustnessStudy([]int{0, 1, 2, 3, 4}, *runsFlag*2, *seedFlag)
+	rows, err := experiments.RobustnessStudy([]int{0, 1, 2, 3, 4}, mc(*runsFlag*2))
 	if err != nil {
 		return err
 	}
@@ -318,7 +332,7 @@ func extRobustness() error {
 }
 
 func extMapping() error {
-	rows, err := experiments.MappingStudy(*runsFlag, *seedFlag)
+	rows, err := experiments.MappingStudy(mc(*runsFlag))
 	if err != nil {
 		return err
 	}
@@ -332,7 +346,7 @@ func extMapping() error {
 }
 
 func extSpread() error {
-	rows, err := experiments.GridSpread(6, 0.75, *runsFlag*2, *seedFlag)
+	rows, err := experiments.GridSpread(6, 0.75, mc(*runsFlag*2))
 	if err != nil {
 		return err
 	}
@@ -349,7 +363,7 @@ func extSpread() error {
 }
 
 func extBimodal() error {
-	rows, err := experiments.BimodalStudy(*runsFlag*30, 0.40, *seedFlag)
+	rows, err := experiments.BimodalStudy(0.40, mc(*runsFlag*30))
 	if err != nil {
 		return err
 	}
@@ -363,7 +377,7 @@ func extBimodal() error {
 }
 
 func extTTL() error {
-	rows, err := experiments.TTLStudy([]uint8{4, 6, 8, 12, 16, 24, 32}, *runsFlag*3, *seedFlag)
+	rows, err := experiments.TTLStudy([]uint8{4, 6, 8, 12, 16, 24, 32}, mc(*runsFlag*3))
 	if err != nil {
 		return err
 	}
@@ -382,7 +396,7 @@ func extTTL() error {
 
 func extFEC() error {
 	rows, err := experiments.FECStudy([]float64{0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.08},
-		*runsFlag*300, *seedFlag)
+		mc(*runsFlag*300))
 	if err != nil {
 		return err
 	}

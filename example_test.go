@@ -74,3 +74,36 @@ func ExampleReferencePi() {
 	fmt.Printf("%.6f\n", stochnoc.ReferencePi(1000000))
 	// Output: 3.141593
 }
+
+// ExampleMonteCarlo runs a replica batch through the parallel Monte
+// Carlo runner. Worker count never changes the numbers: replica seeds
+// derive from the master seed by replica index.
+func ExampleMonteCarlo() {
+	run := func(workers int) []int {
+		rounds, err := stochnoc.MonteCarlo(
+			stochnoc.SimConfig{Replicas: 4, Workers: workers, Seed: 11},
+			func(replica int, seed uint64) (int, error) {
+				grid := stochnoc.NewGrid(4, 4)
+				net, err := stochnoc.New(stochnoc.Config{
+					Topo: grid, P: 0.75, TTL: 16, MaxRounds: 100, Seed: seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				net.Inject(0, 15, 1, []byte("payload"))
+				net.Drain(100)
+				return net.Round(), nil
+			})
+		if err != nil {
+			panic(err)
+		}
+		return rounds
+	}
+	sequential, parallel := run(1), run(4)
+	same := true
+	for i := range sequential {
+		same = same && sequential[i] == parallel[i]
+	}
+	fmt.Printf("1 worker == 4 workers: %v\n", same)
+	// Output: 1 worker == 4 workers: true
+}

@@ -4,6 +4,11 @@
 // in EXPERIMENTS.md. The absolute numbers come from our simulator, not
 // the authors' Stateflow/PVM testbeds; the *shapes* — who wins, by what
 // factor, where the cliffs are — are the reproduction targets.
+//
+// Replica execution is uniformly routed through the internal/sim Monte
+// Carlo runner: every function takes a sim.Config naming the replica
+// count, worker pool size and master seed, and its outputs depend only
+// on (Replicas, Seed) — never on Workers or goroutine scheduling.
 package experiments
 
 import (
@@ -15,7 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/packet"
-	"repro/internal/stats"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -23,13 +28,22 @@ import (
 // throughout Chapter 4.
 var PSweep = []float64{1, 0.75, 0.5, 0.25}
 
+// protect returns base with t appended into a fresh backing array.
+// Replicas run concurrently from a shared Config value; appending into a
+// caller-owned slice with spare capacity would race.
+func protect(base []packet.TileID, t packet.TileID) []packet.TileID {
+	out := make([]packet.TileID, 0, len(base)+1)
+	out = append(out, base...)
+	return append(out, t)
+}
+
 // buildMasterSlave wires the §4.1.1 workload: 5×5 grid, master at the
 // center, 8 slaves each duplicated, quadrature resolution 8000.
 func buildMasterSlave(cfg core.Config) (*core.Network, *pisum.App, error) {
 	grid := topology.NewGrid(5, 5)
 	cfg.Topo = grid
 	master := grid.ID(2, 2)
-	cfg.Fault.Protect = append(cfg.Fault.Protect, master)
+	cfg.Fault.Protect = protect(cfg.Fault.Protect, master)
 	net, err := core.New(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -57,7 +71,7 @@ func buildFFT2(cfg core.Config, seed uint64) (*core.Network, *fft2d.App, error) 
 	grid := topology.NewGrid(4, 4)
 	cfg.Topo = grid
 	root := grid.ID(0, 0)
-	cfg.Fault.Protect = append(cfg.Fault.Protect, root)
+	cfg.Fault.Protect = protect(cfg.Fault.Protect, root)
 	net, err := core.New(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -98,10 +112,11 @@ const (
 	FFT2        CaseApp = "fft2"
 )
 
-// runCase executes one case study run and reports (rounds, energy J per
-// useful bit, completed).
-func runCase(app CaseApp, cfg core.Config, seed uint64) (int, float64, bool, error) {
+// runCase executes one case study replica and reports its metrics.
+func runCase(app CaseApp, cfg core.Config, seed uint64) (sim.Metrics, error) {
 	cfg.Seed = seed
+	var col sim.Collector
+	cfg.OnEvent = col.OnEvent
 	var (
 		net *core.Network
 		err error
@@ -112,46 +127,25 @@ func runCase(app CaseApp, cfg core.Config, seed uint64) (int, float64, bool, err
 	case FFT2:
 		net, _, err = buildFFT2(cfg, seed)
 	default:
-		return 0, 0, false, fmt.Errorf("experiments: unknown app %q", app)
+		return sim.Metrics{}, fmt.Errorf("experiments: unknown app %q", app)
 	}
 	if err != nil {
-		return 0, 0, false, err
+		return sim.Metrics{}, err
 	}
 	res := net.Run()
 	// Latency is the completion round; energy is the workload's total
 	// bandwidth cost, so drain the network until every message copy has
 	// expired before reading the accounting.
 	net.Drain(4 * int(cfg.TTL))
-	c := net.Counters()
-	energyPerBit := c.Energy.EnergyPerBitJ(energy.NoCLink025, c.DeliveredPayloadBits)
-	return res.Rounds, energyPerBit, res.Completed, nil
+	return sim.Measure(net, res, energy.NoCLink025, &col), nil
 }
 
-// Repeated aggregates completed-run latency/energy over `runs` seeds.
-type Repeated struct {
-	Latency        stats.Summary
-	EnergyPerBit   stats.Summary
-	CompletionRate float64
-}
+// Repeated aggregates a case study's per-replica metrics: latency and
+// energy over completed replicas, protocol event counters over all.
+type Repeated = sim.Aggregate
 
-func repeatCase(app CaseApp, cfg core.Config, runs int, seed uint64) (Repeated, error) {
-	var lat, en stats.Online
-	completed := 0
-	for r := 0; r < runs; r++ {
-		rounds, energyPerBit, ok, err := runCase(app, cfg, seed+uint64(r)*7919)
-		if err != nil {
-			return Repeated{}, err
-		}
-		if !ok {
-			continue
-		}
-		completed++
-		lat.Add(float64(rounds))
-		en.Add(energyPerBit)
-	}
-	return Repeated{
-		Latency:        stats.Summarize(&lat),
-		EnergyPerBit:   stats.Summarize(&en),
-		CompletionRate: float64(completed) / float64(runs),
-	}, nil
+func repeatCase(app CaseApp, cfg core.Config, mc sim.Config) (Repeated, error) {
+	return sim.RunMetrics(mc, func(_ int, seed uint64) (sim.Metrics, error) {
+		return runCase(app, cfg, seed)
+	})
 }

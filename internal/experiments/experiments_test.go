@@ -4,11 +4,22 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
+// mc builds the n-replica sequential-by-default sim config the shape
+// tests run under (Workers 0 = GOMAXPROCS; results are worker-count
+// independent either way).
+func mc(n int, seed uint64) sim.Config {
+	return sim.Config{Replicas: n, Seed: seed}
+}
+
 func TestFig31ShapesMatchPaper(t *testing.T) {
-	rows := Fig31(20, 1)
+	rows, err := Fig31(mc(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 21 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -52,7 +63,7 @@ func TestFig33Walkthrough(t *testing.T) {
 
 func TestFig44Shapes(t *testing.T) {
 	for _, app := range []CaseApp{MasterSlave, FFT2} {
-		rows, err := Fig44(app, []int{0, 2}, 4, 10)
+		rows, err := Fig44(app, []int{0, 2}, mc(4, 10))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,9 +75,9 @@ func TestFig44Shapes(t *testing.T) {
 		p50 := byKey[[2]float64{0.5, 0}]
 		p25 := byKey[[2]float64{0.25, 0}]
 		// Latency ordering: flooding fastest; p=0.25 slowest.
-		if !(flood.Latency.Mean <= p50.Latency.Mean && p50.Latency.Mean < p25.Latency.Mean) {
+		if !(flood.Rounds.Mean <= p50.Rounds.Mean && p50.Rounds.Mean < p25.Rounds.Mean) {
 			t.Fatalf("%s latency ordering broken: %v / %v / %v",
-				app, flood.Latency.Mean, p50.Latency.Mean, p25.Latency.Mean)
+				app, flood.Rounds.Mean, p50.Rounds.Mean, p25.Rounds.Mean)
 		}
 		// Energy ordering: flooding most expensive; p=0.5 roughly half.
 		if !(flood.EnergyPerBit.Mean > p50.EnergyPerBit.Mean &&
@@ -88,7 +99,7 @@ func TestFig44Shapes(t *testing.T) {
 }
 
 func TestFig45Shape(t *testing.T) {
-	cells, err := Fig45([]int{0}, []float64{0, 0.5, 0.8}, 4, 20)
+	cells, err := Fig45([]int{0}, []float64{0, 0.5, 0.8}, mc(4, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,20 +115,26 @@ func TestFig45Shape(t *testing.T) {
 	clean, mid, high := get(0), get(0.5), get(0.8)
 	// Latency grows with upsets, sharply above 0.5 (Fig. 4-5), but the
 	// application still terminates ("the algorithm does not give up").
-	if !(clean.Latency.Mean < mid.Latency.Mean && mid.Latency.Mean < high.Latency.Mean) {
+	if !(clean.Result.Rounds.Mean < mid.Result.Rounds.Mean && mid.Result.Rounds.Mean < high.Result.Rounds.Mean) {
 		t.Fatalf("upset latency not increasing: %v / %v / %v",
-			clean.Latency.Mean, mid.Latency.Mean, high.Latency.Mean)
+			clean.Result.Rounds.Mean, mid.Result.Rounds.Mean, high.Result.Rounds.Mean)
 	}
-	if high.CompletionRate < 0.75 {
-		t.Fatalf("80%% upsets should still terminate: rate %v", high.CompletionRate)
+	if high.Result.CompletionRate < 0.75 {
+		t.Fatalf("80%% upsets should still terminate: rate %v", high.Result.CompletionRate)
 	}
-	if high.Latency.Mean < 2*clean.Latency.Mean {
-		t.Fatalf("80%% upsets latency %v not >2x clean %v", high.Latency.Mean, clean.Latency.Mean)
+	if high.Result.Rounds.Mean < 2*clean.Result.Rounds.Mean {
+		t.Fatalf("80%% upsets latency %v not >2x clean %v", high.Result.Rounds.Mean, clean.Result.Rounds.Mean)
+	}
+	// The CRC-reject counter must track the upset sweep: heavy upsets
+	// discard many receptions, the clean cell none.
+	if high.Result.CRCRejects.Mean <= clean.Result.CRCRejects.Mean {
+		t.Fatalf("CRC rejects not increasing with upsets: %v vs %v",
+			high.Result.CRCRejects.Mean, clean.Result.CRCRejects.Mean)
 	}
 }
 
 func TestFig46Shape(t *testing.T) {
-	res, err := Fig46(3, 30)
+	res, err := Fig46(mc(3, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +160,7 @@ func TestFig46Shape(t *testing.T) {
 }
 
 func TestFig48Shape(t *testing.T) {
-	cells, err := Fig48([]float64{1, 0.5}, []float64{0, 0.6}, 2, 40)
+	cells, err := Fig48([]float64{1, 0.5}, []float64{0, 0.6}, mc(2, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +185,7 @@ func TestFig48Shape(t *testing.T) {
 }
 
 func TestFig49Linearity(t *testing.T) {
-	rows, err := Fig49([]float64{0.25, 0.5, 1}, 2, 50)
+	rows, err := Fig49([]float64{0.25, 0.5, 1}, mc(2, 50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +214,7 @@ func TestFig49Linearity(t *testing.T) {
 }
 
 func TestFig410Shapes(t *testing.T) {
-	over, err := Fig410Overflow([]float64{0, 0.4}, 2, 60)
+	over, err := Fig410Overflow([]float64{0, 0.4}, mc(2, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +226,7 @@ func TestFig410Shapes(t *testing.T) {
 		t.Fatalf("overflow latency blew up: %v vs %v", over[1].Latency.Mean, over[0].Latency.Mean)
 	}
 
-	syncRows, err := Fig410Sync([]float64{0, 1.5}, 3, 61)
+	syncRows, err := Fig410Sync([]float64{0, 1.5}, mc(3, 61))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +240,7 @@ func TestFig410Shapes(t *testing.T) {
 }
 
 func TestFig411Shapes(t *testing.T) {
-	over, err := Fig411Overflow([]float64{0, 0.5}, 2, 70)
+	over, err := Fig411Overflow([]float64{0, 0.5}, mc(2, 70))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +252,7 @@ func TestFig411Shapes(t *testing.T) {
 			over[1].BitrateBps.Mean, over[0].BitrateBps.Mean)
 	}
 
-	syncRows, err := Fig411Sync([]float64{0, 1.5}, 2, 71)
+	syncRows, err := Fig411Sync([]float64{0, 1.5}, mc(2, 71))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +267,7 @@ func TestFig411Shapes(t *testing.T) {
 }
 
 func TestFig53Shape(t *testing.T) {
-	rows, err := Fig53(2, 80)
+	rows, err := Fig53(mc(2, 80))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mapping"
 	"repro/internal/packet"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/xyrouting"
@@ -58,11 +59,17 @@ func (s *studySink) Receive(ctx *core.Ctx, _ *packet.Packet) {
 	}
 }
 
+// delivery is one replica's outcome in the unicast studies.
+type delivery struct {
+	got   bool
+	round int
+}
+
 // RobustnessStudy quantifies the thesis' introduction: static routing
 // "would fail if even a single tile on the path is faulty", while
 // stochastic communication keeps delivering. One message crosses a 6×6
 // grid corner-to-corner under an increasing number of crashed tiles.
-func RobustnessStudy(deadTiles []int, runs int, seed uint64) ([]RobustnessRow, error) {
+func RobustnessStudy(deadTiles []int, mc sim.Config) ([]RobustnessRow, error) {
 	g := topology.NewGrid(6, 6)
 	src, dst := g.ID(0, 0), g.ID(5, 5)
 	bias, err := directed.GridBias(g, 0.7)
@@ -73,12 +80,11 @@ func RobustnessStudy(deadTiles []int, runs int, seed uint64) ([]RobustnessRow, e
 	var rows []RobustnessRow
 	for _, proto := range []Protocol{ProtoGossip, ProtoDirected, ProtoXY} {
 		for _, dead := range deadTiles {
-			var lat stats.Online
-			delivered := 0
-			for r := 0; r < runs; r++ {
+			proto := proto
+			results, err := sim.Run(mc, func(_ int, seed uint64) (delivery, error) {
 				cfg := core.Config{
 					Topo: g, TTL: 24, MaxRounds: 120,
-					Seed:  seed + uint64(r)*101,
+					Seed:  seed,
 					Fault: fault.Model{DeadTiles: dead, Protect: []packet.TileID{src, dst}},
 				}
 				switch proto {
@@ -92,25 +98,33 @@ func RobustnessStudy(deadTiles []int, runs int, seed uint64) ([]RobustnessRow, e
 				}
 				net, err := core.New(cfg)
 				if err != nil {
-					return nil, err
+					return delivery{}, err
 				}
 				if proto == ProtoXY {
 					if err := xyrouting.Install(net); err != nil {
-						return nil, err
+						return delivery{}, err
 					}
 				}
 				sink := &studySink{}
 				net.Attach(dst, sink)
 				net.Inject(src, dst, 1, []byte("r"))
 				res := net.RunWhile(func(*core.Network) bool { return !sink.got })
-				if res.Completed {
+				return delivery{got: res.Completed, round: sink.gotRound}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var lat stats.Online
+			delivered := 0
+			for _, d := range results {
+				if d.got {
 					delivered++
-					lat.Add(float64(sink.gotRound))
+					lat.Add(float64(d.round))
 				}
 			}
 			rows = append(rows, RobustnessRow{
 				Protocol: proto, DeadTiles: dead,
-				DeliveryRate: float64(delivered) / float64(runs),
+				DeliveryRate: float64(delivered) / float64(len(results)),
 				Latency:      stats.Summarize(&lat),
 			})
 		}
@@ -130,7 +144,7 @@ type MappingRow struct {
 // performance": the Master–Slave workload with the master placed at the
 // center (communication-aware) vs at a corner (naive), measured at
 // p = 0.5.
-func MappingStudy(runs int, seed uint64) ([]MappingRow, error) {
+func MappingStudy(mc sim.Config) ([]MappingRow, error) {
 	grid := topology.NewGrid(5, 5)
 	strategies := []struct {
 		name   string
@@ -148,7 +162,7 @@ func MappingStudy(runs int, seed uint64) ([]MappingRow, error) {
 
 	var rows []MappingRow
 	for _, st := range strategies {
-		var lat stats.Online
+		st := st
 		var slaves [][]packet.TileID
 		var free []packet.TileID
 		for i := 0; i < grid.Tiles(); i++ {
@@ -162,24 +176,28 @@ func MappingStudy(runs int, seed uint64) ([]MappingRow, error) {
 		placement := &mapping.Placement{TilesOf: [][]packet.TileID{{st.master}}}
 		placement.TilesOf = append(placement.TilesOf, slaves...)
 
-		for r := 0; r < runs; r++ {
+		results, err := sim.Run(mc, func(_ int, seed uint64) (delivery, error) {
 			net, err := core.New(core.Config{
 				Topo: grid, P: 0.5, TTL: core.DefaultTTL, MaxRounds: 200,
-				Seed: seed + uint64(r)*211,
+				Seed: seed,
 			})
 			if err != nil {
-				return nil, err
+				return delivery{}, err
 			}
-			app, err := setupPiAt(net, st.master, slaves)
-			if err != nil {
-				return nil, err
+			if _, err := setupPiAt(net, st.master, slaves); err != nil {
+				return delivery{}, err
 			}
 			res := net.Run()
-			if !res.Completed {
-				continue
+			return delivery{got: res.Completed, round: res.Rounds}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var lat stats.Online
+		for _, d := range results {
+			if d.got {
+				lat.Add(float64(d.round))
 			}
-			_ = app
-			lat.Add(float64(res.Rounds))
 		}
 		rows = append(rows, MappingRow{
 			Strategy: st.name,
@@ -201,28 +219,36 @@ type GridSpreadRow struct {
 // thesis calls "the first evidence that gossip protocols can be applied
 // to SoC communication". The curve is sigmoid like the fully connected
 // case, just stretched by the mesh diameter.
-func GridSpread(side int, p float64, runs int, seed uint64) ([]GridSpreadRow, error) {
+func GridSpread(side int, p float64, mc sim.Config) ([]GridSpreadRow, error) {
 	g := topology.NewGrid(side, side)
 	maxRounds := 6 * side
-	sums := make([]float64, maxRounds)
-	for r := 0; r < runs; r++ {
+	curves, err := sim.Run(mc, func(_ int, seed uint64) ([]int, error) {
 		net, err := core.New(core.Config{
 			Topo: g, P: p, TTL: uint8(min(255, maxRounds)), MaxRounds: maxRounds + 1,
-			Seed: seed + uint64(r)*307,
+			Seed: seed,
 		})
 		if err != nil {
 			return nil, err
 		}
 		center := g.ID(side/2, side/2)
 		id := net.Inject(center, packet.Broadcast, 0, nil)
+		curve := make([]int, maxRounds)
 		for round := 0; round < maxRounds; round++ {
 			net.Step()
-			sums[round] += float64(net.Aware(id))
+			curve[round] = net.Aware(id)
 		}
+		return curve, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	rows := make([]GridSpreadRow, maxRounds)
 	for i := range rows {
-		rows[i] = GridSpreadRow{Round: i + 1, AwareMean: sums[i] / float64(runs)}
+		sum := 0.0
+		for _, curve := range curves {
+			sum += float64(curve[i])
+		}
+		rows[i] = GridSpreadRow{Round: i + 1, AwareMean: sum / float64(len(curves))}
 	}
 	return rows, nil
 }
@@ -254,20 +280,19 @@ type BimodalRow struct {
 // over the surviving tiles, and its distribution splits into an
 // "almost all" mode (source inside the giant component) and a low mode
 // (source trapped in a fragment), with little mass in between.
-func BimodalStudy(runs int, pcrash float64, seed uint64) ([]BimodalRow, error) {
+func BimodalStudy(pcrash float64, mc sim.Config) ([]BimodalRow, error) {
 	const side = 6
 	const bins = 10
-	counts := make([]int, bins)
-	for r := 0; r < runs; r++ {
+	coverages, err := sim.Run(mc, func(_ int, seed uint64) (float64, error) {
 		g := topology.NewGrid(side, side)
 		center := g.ID(side/2, side/2)
 		net, err := core.New(core.Config{
 			Topo: g, P: 0.75, TTL: 30, MaxRounds: 80,
-			Seed:  seed + uint64(r)*127,
+			Seed:  seed,
 			Fault: fault.Model{PTileCrash: pcrash, Protect: []packet.TileID{center}},
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		alive := 0
 		for i := 0; i < g.Tiles(); i++ {
@@ -277,7 +302,13 @@ func BimodalStudy(runs int, pcrash float64, seed uint64) ([]BimodalRow, error) {
 		}
 		id := net.Inject(center, packet.Broadcast, 0, nil)
 		net.Drain(80)
-		coverage := float64(net.Aware(id)) / float64(alive)
+		return float64(net.Aware(id)) / float64(alive), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, bins)
+	for _, coverage := range coverages {
 		bin := int(coverage * bins)
 		if bin >= bins {
 			bin = bins - 1
@@ -289,7 +320,7 @@ func BimodalStudy(runs int, pcrash float64, seed uint64) ([]BimodalRow, error) {
 		rows[i] = BimodalRow{
 			CoverageLo: float64(i) / bins,
 			CoverageHi: float64(i+1) / bins,
-			Fraction:   float64(counts[i]) / float64(runs),
+			Fraction:   float64(counts[i]) / float64(len(coverages)),
 		}
 	}
 	return rows, nil
@@ -303,38 +334,54 @@ type TTLRow struct {
 	Latency       stats.Summary
 }
 
+// ttlSample is one replica's outcome of the TTL study.
+type ttlSample struct {
+	delivery
+	tx int
+}
+
 // TTLStudy quantifies §3.3.1's bandwidth knob: "the total number of
 // packets sent in the network ... can be controlled by varying the
 // message TTL". One unicast crosses a 5×5 grid at p = 0.5 per TTL
 // setting; longer lifetimes buy delivery probability with bandwidth.
-func TTLStudy(ttls []uint8, runs int, seed uint64) ([]TTLRow, error) {
+func TTLStudy(ttls []uint8, mc sim.Config) ([]TTLRow, error) {
 	g := topology.NewGrid(5, 5)
 	src, dst := g.ID(0, 0), g.ID(4, 4)
 	var rows []TTLRow
 	for _, ttl := range ttls {
-		var tx, lat stats.Online
-		delivered := 0
-		for r := 0; r < runs; r++ {
+		ttl := ttl
+		results, err := sim.Run(mc, func(_ int, seed uint64) (ttlSample, error) {
 			sink := &studySink{}
 			net, err := core.New(core.Config{
 				Topo: g, P: 0.5, TTL: ttl, MaxRounds: 3 * int(ttl),
-				Seed: seed + uint64(r)*503,
+				Seed: seed,
 			})
 			if err != nil {
-				return nil, err
+				return ttlSample{}, err
 			}
 			net.Attach(dst, sink)
 			net.Inject(src, dst, 1, []byte("t"))
 			net.Drain(3 * int(ttl))
-			tx.Add(float64(net.Counters().Energy.Transmissions))
-			if sink.got {
+			return ttlSample{
+				delivery: delivery{got: sink.got, round: sink.gotRound},
+				tx:       net.Counters().Energy.Transmissions,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var tx, lat stats.Online
+		delivered := 0
+		for _, s := range results {
+			tx.Add(float64(s.tx))
+			if s.got {
 				delivered++
-				lat.Add(float64(sink.gotRound))
+				lat.Add(float64(s.round))
 			}
 		}
 		rows = append(rows, TTLRow{
 			TTL:           ttl,
-			DeliveryRate:  float64(delivered) / float64(runs),
+			DeliveryRate:  float64(delivered) / float64(len(results)),
 			Transmissions: stats.Summarize(&tx),
 			Latency:       stats.Summarize(&lat),
 		})

@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestRobustnessStudyShape(t *testing.T) {
-	rows, err := RobustnessStudy([]int{0, 1, 3}, 20, 5)
+	rows, err := RobustnessStudy([]int{0, 1, 3}, mc(20, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestRobustnessStudyShape(t *testing.T) {
 }
 
 func TestMappingStudyShape(t *testing.T) {
-	rows, err := MappingStudy(10, 9)
+	rows, err := MappingStudy(mc(10, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestMappingStudyShape(t *testing.T) {
 }
 
 func TestGridSpreadSigmoid(t *testing.T) {
-	rows, err := GridSpread(6, 0.75, 20, 13)
+	rows, err := GridSpread(6, 0.75, mc(20, 13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestBimodalDelivery(t *testing.T) {
 	// Near the percolation threshold, per-run coverage over surviving
 	// tiles is bimodal: "almost all or almost none" (§1.2, after Birman
 	// et al.), with the low mode produced by crash partitioning.
-	rows, err := BimodalStudy(300, 0.40, 31)
+	rows, err := BimodalStudy(0.40, mc(300, 31))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestBimodalDelivery(t *testing.T) {
 }
 
 func TestTTLStudyShape(t *testing.T) {
-	rows, err := TTLStudy([]uint8{4, 8, 16, 32}, 30, 77)
+	rows, err := TTLStudy([]uint8{4, 8, 16, 32}, mc(30, 77))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestTTLStudyShape(t *testing.T) {
 }
 
 func TestFECStudyShape(t *testing.T) {
-	rows, err := FECStudy([]float64{0.001, 0.005, 0.02, 0.08}, 2000, 91)
+	rows, err := FECStudy([]float64{0.001, 0.005, 0.02, 0.08}, mc(2000, 91))
 	if err != nil {
 		t.Fatal(err)
 	}

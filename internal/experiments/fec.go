@@ -6,6 +6,7 @@ import (
 	"repro/internal/hamming"
 	"repro/internal/packet"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // FECRow compares the thesis' error-detection scheme (CRC + discard +
@@ -27,35 +28,43 @@ type FECRow struct {
 	FECMiscorrect float64
 }
 
+// fecTrial is one frame's outcome on both protection schemes.
+type fecTrial struct {
+	crcOK, fecOK         bool
+	badBlocks, allBlocks int
+}
+
 // FECStudy grounds Chapter 3's ARQ/FEC discussion: at low bit-error
 // rates FEC rescues frames CRC would discard (no retransmissions
 // needed); past a crossover the doubled frame length and multi-bit
 // blocks make FEC both lossier and — unlike CRC — capable of delivering
 // silently corrupted data. The thesis' design (detect + discard + gossip
-// redundancy) trades bandwidth for that reliability.
-func FECStudy(pbs []float64, frames int, seed uint64) ([]FECRow, error) {
-	r := rng.New(seed)
-	payload := make([]byte, 32)
+// redundancy) trades bandwidth for that reliability. mc.Replicas is the
+// number of frames pushed through the channel per error rate.
+func FECStudy(pbs []float64, mc sim.Config) ([]FECRow, error) {
 	var rows []FECRow
 	for _, pb := range pbs {
-		var crcOK, fecOK, fecBad, totalBlocks int
-		for i := 0; i < frames; i++ {
+		pb := pb
+		trials, err := sim.Run(mc, func(frame int, seed uint64) (fecTrial, error) {
+			r := rng.New(seed)
+			payload := make([]byte, 32)
 			for j := range payload {
 				payload[j] = byte(r.Uint64())
 			}
-			p := &packet.Packet{ID: packet.MsgID(i + 1), Src: 1, Dst: 2, TTL: 5,
+			p := &packet.Packet{ID: packet.MsgID(frame + 1), Src: 1, Dst: 2, TTL: 5,
 				Payload: append([]byte(nil), payload...)}
+			var t fecTrial
 
 			// CRC path: the real wire frame through the channel.
-			frame, err := packet.Encode(p)
+			wire, err := packet.Encode(p)
 			if err != nil {
-				return nil, err
+				return t, err
 			}
-			flipBits(frame, pb, r)
-			if q, err := packet.Decode(frame); err == nil {
+			flipBits(wire, pb, r)
+			if q, err := packet.Decode(wire); err == nil {
 				// TTL is legitimately uncovered; require the rest intact.
 				if bytes.Equal(q.Payload, payload) && q.ID == p.ID {
-					crcOK++
+					t.crcOK = true
 				}
 			}
 
@@ -65,7 +74,7 @@ func FECStudy(pbs []float64, frames int, seed uint64) ([]FECRow, error) {
 			// block's detected error would drop the frame.
 			clean, err := packet.Encode(p)
 			if err != nil {
-				return nil, err
+				return t, err
 			}
 			code := hamming.Encode(clean)
 			flipBits(code, pb, r)
@@ -73,23 +82,36 @@ func FECStudy(pbs []float64, frames int, seed uint64) ([]FECRow, error) {
 			for b := 0; b < len(clean); b++ {
 				block := code[2*b : 2*b+2]
 				got, _, err := hamming.Decode(block)
-				totalBlocks++
+				t.allBlocks++
 				switch {
 				case err != nil:
 					frameGood = false // detected loss
 				case got[0] != clean[b]:
 					frameGood = false
-					fecBad++ // silent block miscorrection
+					t.badBlocks++ // silent block miscorrection
 				}
 			}
-			if frameGood {
+			t.fecOK = frameGood
+			return t, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var crcOK, fecOK, fecBad, totalBlocks int
+		for _, t := range trials {
+			if t.crcOK {
+				crcOK++
+			}
+			if t.fecOK {
 				fecOK++
 			}
+			fecBad += t.badBlocks
+			totalBlocks += t.allBlocks
 		}
 		rows = append(rows, FECRow{
 			Pb:            pb,
-			CRCSurvival:   float64(crcOK) / float64(frames),
-			FECSurvival:   float64(fecOK) / float64(frames),
+			CRCSurvival:   float64(crcOK) / float64(len(trials)),
+			FECSurvival:   float64(fecOK) / float64(len(trials)),
 			FECMiscorrect: float64(fecBad) / float64(totalBlocks),
 		})
 	}

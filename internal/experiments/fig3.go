@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/gossip"
 	"repro/internal/rng"
+	"repro/internal/sim"
 )
 
 // Fig31Row is one round of the Fig. 3-1 spreading curve.
@@ -15,14 +16,19 @@ type Fig31Row struct {
 }
 
 // Fig31 reproduces Fig. 3-1: message spreading in a 1000-node fully
-// connected network, theory vs. simulation, for the given number of
-// repeated runs.
-func Fig31(runs int, seed uint64) []Fig31Row {
+// connected network, theory vs. simulation, averaged over mc.Replicas
+// runs.
+func Fig31(mc sim.Config) ([]Fig31Row, error) {
 	const n, rounds = 1000, 20
 	theory := gossip.TheoreticalSpread(n, rounds)
+	curves, err := sim.Run(mc, func(_ int, seed uint64) ([]int, error) {
+		return gossip.SimulateSpread(n, rounds, rng.New(seed)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	sums := make([]float64, rounds+1)
-	for r := 0; r < runs; r++ {
-		curve := gossip.SimulateSpread(n, rounds, rng.New(seed+uint64(r)))
+	for _, curve := range curves {
 		for i := 0; i <= rounds; i++ {
 			if i < len(curve) {
 				sums[i] += float64(curve[i])
@@ -33,9 +39,9 @@ func Fig31(runs int, seed uint64) []Fig31Row {
 	}
 	out := make([]Fig31Row, rounds+1)
 	for i := range out {
-		out[i] = Fig31Row{Round: i, Theory: theory[i], SimMean: sums[i] / float64(runs)}
+		out[i] = Fig31Row{Round: i, Theory: theory[i], SimMean: sums[i] / float64(len(curves))}
 	}
-	return out
+	return out, nil
 }
 
 // Fig33Result is the Producer–Consumer walkthrough of Fig. 3-3.

@@ -9,7 +9,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/packet"
-	"repro/internal/stats"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -57,8 +57,10 @@ type Fig44Row struct {
 
 // Fig44 reproduces Fig. 4-4: latency (rounds) and energy (J per useful
 // bit) of the two case studies versus the number of crashed tiles, for
-// the four forwarding probabilities.
-func Fig44(app CaseApp, deadTiles []int, runs int, seed uint64) ([]Fig44Row, error) {
+// the four forwarding probabilities. Every cell runs mc.Replicas
+// replicas under the same per-replica seeds (common random numbers), so
+// cells differ only in their configuration.
+func Fig44(app CaseApp, deadTiles []int, mc sim.Config) ([]Fig44Row, error) {
 	var rows []Fig44Row
 	for _, p := range PSweep {
 		for _, dead := range deadTiles {
@@ -69,7 +71,7 @@ func Fig44(app CaseApp, deadTiles []int, runs int, seed uint64) ([]Fig44Row, err
 				P: p, TTL: 24, MaxRounds: 300,
 				Fault: fault.Model{DeadTiles: dead},
 			}
-			rep, err := repeatCase(app, cfg, runs, seed)
+			rep, err := repeatCase(app, cfg, mc)
 			if err != nil {
 				return nil, err
 			}
@@ -81,15 +83,14 @@ func Fig44(app CaseApp, deadTiles []int, runs int, seed uint64) ([]Fig44Row, err
 
 // Fig45Cell is one point of the Fig. 4-5 latency surface.
 type Fig45Cell struct {
-	DeadTiles      int
-	PUpset         float64
-	Latency        stats.Summary
-	CompletionRate float64
+	DeadTiles int
+	PUpset    float64
+	Result    Repeated
 }
 
 // Fig45 reproduces Fig. 4-5: the impact of defective tiles × data upsets
 // on Master–Slave latency at p = 0.5.
-func Fig45(deadTiles []int, upsets []float64, runs int, seed uint64) ([]Fig45Cell, error) {
+func Fig45(deadTiles []int, upsets []float64, mc sim.Config) ([]Fig45Cell, error) {
 	var cells []Fig45Cell
 	for _, dead := range deadTiles {
 		for _, pu := range upsets {
@@ -100,14 +101,11 @@ func Fig45(deadTiles []int, upsets []float64, runs int, seed uint64) ([]Fig45Cel
 				P: 0.5, TTL: 64, MaxRounds: 400,
 				Fault: fault.Model{DeadTiles: dead, PUpset: pu},
 			}
-			rep, err := repeatCase(MasterSlave, cfg, runs, seed)
+			rep, err := repeatCase(MasterSlave, cfg, mc)
 			if err != nil {
 				return nil, err
 			}
-			cells = append(cells, Fig45Cell{
-				DeadTiles: dead, PUpset: pu,
-				Latency: rep.Latency, CompletionRate: rep.CompletionRate,
-			})
+			cells = append(cells, Fig45Cell{DeadTiles: dead, PUpset: pu, Result: rep})
 		}
 	}
 	return cells, nil
@@ -139,25 +137,23 @@ type Fig46Result struct {
 // 0.25 µm shared bus. The NoC runs with spread termination on delivery
 // (§3.2.2's early-stop optimization), as a pure TTL-bounded spread pays
 // for broadcast redundancy the bus comparison does not need.
-func Fig46(runs int, seed uint64) (*Fig46Result, error) {
-	out := &Fig46Result{}
-	var latSum, enSum float64
-	for r := 0; r < runs; r++ {
+func Fig46(mc sim.Config) (*Fig46Result, error) {
+	nocRuns, err := sim.Run(mc, func(r int, seed uint64) (Fig46Run, error) {
 		cfg := core.Config{
 			P: 0.5, TTL: 8, MaxRounds: 200,
 			StopSpreadOnDelivery: true,
-			Seed:                 seed + uint64(r)*104729,
+			Seed:                 seed,
 		}
 		net, app, err := buildMasterSlave(cfg)
 		if err != nil {
-			return nil, err
+			return Fig46Run{}, err
 		}
 		res := net.Run()
 		if !res.Completed {
-			return nil, fmt.Errorf("experiments: fig 4-6 NoC run %d incomplete", r)
+			return Fig46Run{}, fmt.Errorf("experiments: fig 4-6 NoC run %d incomplete", r)
 		}
 		if _, err := app.Master.Pi(); err != nil {
-			return nil, err
+			return Fig46Run{}, err
 		}
 		c := res.Counters
 		// Eq. 2: T_R = packets-per-link-round × S / f over the 40 links
@@ -167,18 +163,25 @@ func Fig46(runs int, seed uint64) (*Fig46Result, error) {
 		tr := energy.RoundDuration(perLinkRound, c.Energy.AvgPacketBits(), energy.NoCLink025)
 		lat := energy.LatencySeconds(float64(res.Rounds), tr)
 		en := c.Energy.EnergyPerBitJ(energy.NoCLink025, c.DeliveredPayloadBits)
-		run := Fig46Run{
+		return Fig46Run{
 			LatencySeconds:  lat,
 			EnergyPerBitJ:   en,
 			EnergyDelayJsPB: energy.EnergyDelayProduct(en, lat),
-		}
-		out.Runs = append(out.Runs, run)
-		latSum += lat
-		enSum += en
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Fig46Result{Runs: nocRuns}
+	var latSum, enSum float64
+	for _, run := range nocRuns {
+		latSum += run.LatencySeconds
+		enSum += run.EnergyPerBitJ
 	}
 	out.NoCAvg = Fig46Run{
-		LatencySeconds: latSum / float64(runs),
-		EnergyPerBitJ:  enSum / float64(runs),
+		LatencySeconds: latSum / float64(len(nocRuns)),
+		EnergyPerBitJ:  enSum / float64(len(nocRuns)),
 	}
 	out.NoCAvg.EnergyDelayJsPB = energy.EnergyDelayProduct(out.NoCAvg.EnergyPerBitJ, out.NoCAvg.LatencySeconds)
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/diversity"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -14,11 +15,17 @@ type Fig53Row struct {
 }
 
 // Fig53 reproduces Fig. 5-3: the beamforming application on the three
-// on-chip-diversity architectures, averaged over `runs` seeds. Expected
-// shape: the hierarchical NoC has the fewest message transmissions, the
-// flat NoC the best latency, and the bus-connected hybrid is the least
-// efficient on both axes.
-func Fig53(runs int, seed uint64) ([]Fig53Row, error) {
+// on-chip-diversity architectures, averaged over mc.Replicas seeds.
+// Expected shape: the hierarchical NoC has the fewest message
+// transmissions, the flat NoC the best latency, and the bus-connected
+// hybrid is the least efficient on both axes.
+func Fig53(mc sim.Config) ([]Fig53Row, error) {
+	replicas, err := sim.Run(mc, func(_ int, seed uint64) ([]*diversity.Result, error) {
+		return diversity.Compare(diversity.CompareConfig{Seed: seed})
+	})
+	if err != nil {
+		return nil, err
+	}
 	type acc struct {
 		lat, tx stats.Online
 		all     bool
@@ -28,11 +35,7 @@ func Fig53(runs int, seed uint64) ([]Fig53Row, error) {
 		diversity.HierarchicalNoC:  {all: true},
 		diversity.BusConnectedNoCs: {all: true},
 	}
-	for r := 0; r < runs; r++ {
-		results, err := diversity.Compare(diversity.CompareConfig{Seed: seed + uint64(r)})
-		if err != nil {
-			return nil, err
-		}
+	for _, results := range replicas {
 		for _, res := range results {
 			a := accs[res.Kind]
 			a.lat.Add(float64(res.LatencyRounds))

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -14,8 +15,8 @@ import (
 // MP3Frames is the stream length used by the §4.2 experiments.
 const MP3Frames = 16
 
-// mp3Run executes one MP3 pipeline run and reports latency, energy,
-// output metrics and completion.
+// mp3Run is one MP3 pipeline replica's latency, energy, output metrics
+// and completion.
 type mp3Run struct {
 	Rounds    int
 	Completed bool
@@ -52,6 +53,13 @@ func runMP3(cfg core.Config, seed uint64) (*mp3Run, error) {
 	}, nil
 }
 
+// mp3Replicas runs mc.Replicas independent MP3 pipeline replicas of cfg.
+func mp3Replicas(cfg core.Config, mc sim.Config) ([]*mp3Run, error) {
+	return sim.Run(mc, func(_ int, seed uint64) (*mp3Run, error) {
+		return runMP3(cfg, seed)
+	})
+}
+
 // Fig48Cell is one point of the Fig. 4-8 latency contour.
 type Fig48Cell struct {
 	P, PUpset      float64
@@ -62,19 +70,17 @@ type Fig48Cell struct {
 // Fig48 reproduces Fig. 4-8: MP3 encoding latency (rounds) over the
 // (p, p_upset) plane. The thesis' shape: best at (p=1, upset=0), rising
 // toward low p / high upsets, DNF in the worst corner.
-func Fig48(ps, upsets []float64, runs int, seed uint64) ([]Fig48Cell, error) {
+func Fig48(ps, upsets []float64, mc sim.Config) ([]Fig48Cell, error) {
 	var cells []Fig48Cell
 	for _, p := range ps {
 		for _, pu := range upsets {
+			runs, err := mp3Replicas(core.Config{P: p, Fault: fault.Model{PUpset: pu}}, mc)
+			if err != nil {
+				return nil, err
+			}
 			var lat stats.Online
 			completed := 0
-			for r := 0; r < runs; r++ {
-				run, err := runMP3(core.Config{
-					P: p, Fault: fault.Model{PUpset: pu},
-				}, seed+uint64(r)*31)
-				if err != nil {
-					return nil, err
-				}
+			for _, run := range runs {
 				if run.Completed {
 					completed++
 					lat.Add(float64(run.Rounds))
@@ -83,7 +89,7 @@ func Fig48(ps, upsets []float64, runs int, seed uint64) ([]Fig48Cell, error) {
 			cells = append(cells, Fig48Cell{
 				P: p, PUpset: pu,
 				Latency:        stats.Summarize(&lat),
-				CompletionRate: float64(completed) / float64(runs),
+				CompletionRate: float64(completed) / float64(len(runs)),
 			})
 		}
 	}
@@ -99,15 +105,15 @@ type Fig49Row struct {
 // Fig49 reproduces Fig. 4-9: MP3 communication energy versus the
 // forwarding probability p — approximately linear, because the total
 // number of transmitted packets is dictated by p.
-func Fig49(ps []float64, runs int, seed uint64) ([]Fig49Row, error) {
+func Fig49(ps []float64, mc sim.Config) ([]Fig49Row, error) {
 	var rows []Fig49Row
 	for _, p := range ps {
+		runs, err := mp3Replicas(core.Config{P: p}, mc)
+		if err != nil {
+			return nil, err
+		}
 		var en stats.Online
-		for r := 0; r < runs; r++ {
-			run, err := runMP3(core.Config{P: p}, seed+uint64(r)*37)
-			if err != nil {
-				return nil, err
-			}
+		for _, run := range runs {
 			if run.Completed {
 				en.Add(run.EnergyJ)
 			}
@@ -128,8 +134,8 @@ type Fig410Row struct {
 // Fig410Overflow reproduces the left panel of Fig. 4-10: MP3 latency vs.
 // the fraction of packets dropped to buffer overflow. Latency stays flat
 // until the "point A" cliff where losses become fatal.
-func Fig410Overflow(drops []float64, runs int, seed uint64) ([]Fig410Row, error) {
-	return fig410sweep(drops, runs, seed, func(x float64) fault.Model {
+func Fig410Overflow(drops []float64, mc sim.Config) ([]Fig410Row, error) {
+	return fig410sweep(drops, mc, func(x float64) fault.Model {
 		return fault.Model{POverflow: x}
 	})
 }
@@ -137,22 +143,22 @@ func Fig410Overflow(drops []float64, runs int, seed uint64) ([]Fig410Row, error)
 // Fig410Sync reproduces the right panel of Fig. 4-10: MP3 latency vs. the
 // synchronization-error level σ_synchr (relative to T_R). The mean stays
 // flat; the spread grows.
-func Fig410Sync(sigmas []float64, runs int, seed uint64) ([]Fig410Row, error) {
-	return fig410sweep(sigmas, runs, seed, func(x float64) fault.Model {
+func Fig410Sync(sigmas []float64, mc sim.Config) ([]Fig410Row, error) {
+	return fig410sweep(sigmas, mc, func(x float64) fault.Model {
 		return fault.Model{SigmaSync: x}
 	})
 }
 
-func fig410sweep(xs []float64, runs int, seed uint64, mk func(float64) fault.Model) ([]Fig410Row, error) {
+func fig410sweep(xs []float64, mc sim.Config, mk func(float64) fault.Model) ([]Fig410Row, error) {
 	var rows []Fig410Row
 	for _, x := range xs {
+		runs, err := mp3Replicas(core.Config{P: 0.75, Fault: mk(x)}, mc)
+		if err != nil {
+			return nil, err
+		}
 		var lat stats.Online
 		completed := 0
-		for r := 0; r < runs; r++ {
-			run, err := runMP3(core.Config{P: 0.75, Fault: mk(x)}, seed+uint64(r)*41)
-			if err != nil {
-				return nil, err
-			}
+		for _, run := range runs {
 			if run.Completed {
 				completed++
 				lat.Add(float64(run.Rounds))
@@ -160,7 +166,7 @@ func fig410sweep(xs []float64, runs int, seed uint64, mk func(float64) fault.Mod
 		}
 		rows = append(rows, Fig410Row{
 			X: x, Latency: stats.Summarize(&lat),
-			CompletionRate: float64(completed) / float64(runs),
+			CompletionRate: float64(completed) / float64(len(runs)),
 		})
 	}
 	return rows, nil
@@ -177,29 +183,29 @@ type Fig411Row struct {
 
 // Fig411Overflow reproduces the left panel of Fig. 4-11: output bit-rate
 // vs. dropped-packet fraction — sustained well past 60 %.
-func Fig411Overflow(drops []float64, runs int, seed uint64) ([]Fig411Row, error) {
-	return fig411sweep(drops, runs, seed, func(x float64) fault.Model {
+func Fig411Overflow(drops []float64, mc sim.Config) ([]Fig411Row, error) {
+	return fig411sweep(drops, mc, func(x float64) fault.Model {
 		return fault.Model{POverflow: x}
 	})
 }
 
 // Fig411Sync reproduces the right panel of Fig. 4-11: output bit-rate vs.
 // σ_synchr — the rate holds, only the jitter grows.
-func Fig411Sync(sigmas []float64, runs int, seed uint64) ([]Fig411Row, error) {
-	return fig411sweep(sigmas, runs, seed, func(x float64) fault.Model {
+func Fig411Sync(sigmas []float64, mc sim.Config) ([]Fig411Row, error) {
+	return fig411sweep(sigmas, mc, func(x float64) fault.Model {
 		return fault.Model{SigmaSync: x}
 	})
 }
 
-func fig411sweep(xs []float64, runs int, seed uint64, mk func(float64) fault.Model) ([]Fig411Row, error) {
+func fig411sweep(xs []float64, mc sim.Config, mk func(float64) fault.Model) ([]Fig411Row, error) {
 	var rows []Fig411Row
 	for _, x := range xs {
+		runs, err := mp3Replicas(core.Config{P: 0.75, Fault: mk(x)}, mc)
+		if err != nil {
+			return nil, err
+		}
 		var br, jit stats.Online
-		for r := 0; r < runs; r++ {
-			run, err := runMP3(core.Config{P: 0.75, Fault: mk(x)}, seed+uint64(r)*43)
-			if err != nil {
-				return nil, err
-			}
+		for _, run := range runs {
 			// Bit-rate is measured whether or not the run completed: a
 			// stalled encoding shows up as missing bits, exactly as the
 			// thesis' monitoring would see it.

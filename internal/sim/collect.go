@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/stats"
+)
+
+// Counts tallies the protocol events of one replica, one field per
+// core.EventKind.
+type Counts struct {
+	Created       int
+	Transmissions int
+	// CRCRejects counts receptions discarded as scrambled (EvUpset).
+	CRCRejects    int
+	OverflowDrops int
+	Deliveries    int
+	TTLExpiries   int
+}
+
+// Collector is a reusable core.Config.OnEvent hook that feeds Counts.
+// Attach one Collector per network (replicas must not share one):
+//
+//	var col sim.Collector
+//	cfg.OnEvent = col.OnEvent
+type Collector struct {
+	Counts Counts
+}
+
+// OnEvent counts one protocol event. It has the core.Config.OnEvent
+// signature.
+func (c *Collector) OnEvent(e core.Event) {
+	switch e.Kind {
+	case core.EvCreated:
+		c.Counts.Created++
+	case core.EvTransmit:
+		c.Counts.Transmissions++
+	case core.EvUpset:
+		c.Counts.CRCRejects++
+	case core.EvOverflow:
+		c.Counts.OverflowDrops++
+	case core.EvDeliver:
+		c.Counts.Deliveries++
+	case core.EvExpire:
+		c.Counts.TTLExpiries++
+	}
+}
+
+// Metrics is one replica's outcome in the units the figures report.
+type Metrics struct {
+	// Completed reports whether the application-level run finished
+	// (false = the MaxRounds guillotine fired).
+	Completed bool
+	// Rounds is the completion round (the latency the thesis reports).
+	Rounds int
+	// EnergyJ is the replica's total communication energy.
+	EnergyJ float64
+	// EnergyPerBitJ is energy per useful delivered payload bit (Eq. 3).
+	EnergyPerBitJ float64
+	// Counts are the replica's protocol event tallies.
+	Counts Counts
+}
+
+// Measure extracts Metrics from a finished run: the result, the
+// network's energy accounting under tech, and col's event counts (col
+// may be nil when no collector was attached).
+func Measure(net *core.Network, res core.Result, tech energy.Technology, col *Collector) Metrics {
+	c := net.Counters()
+	m := Metrics{
+		Completed:     res.Completed,
+		Rounds:        res.Rounds,
+		EnergyJ:       c.Energy.EnergyJ(tech),
+		EnergyPerBitJ: c.Energy.EnergyPerBitJ(tech, c.DeliveredPayloadBits),
+	}
+	if col != nil {
+		m.Counts = col.Counts
+	}
+	return m
+}
+
+// Aggregate summarizes per-replica Metrics. Rounds and the energy
+// figures are aggregated over completed replicas only — a DNF has no
+// meaningful completion round — while the event counters cover every
+// replica.
+type Aggregate struct {
+	// Replicas is the number of replicas executed.
+	Replicas int
+	// Completed is how many of them finished.
+	Completed int
+	// CompletionRate is Completed / Replicas.
+	CompletionRate float64
+
+	// Over completed replicas:
+	Rounds       stats.Summary
+	EnergyJ      stats.Summary
+	EnergyPerBit stats.Summary
+
+	// Over all replicas:
+	Transmissions stats.Summary
+	Deliveries    stats.Summary
+	CRCRejects    stats.Summary
+	OverflowDrops stats.Summary
+	TTLExpiries   stats.Summary
+}
+
+// Summarize aggregates ms into summary statistics with mean, stddev and
+// the 95% confidence half-width.
+func Summarize(ms []Metrics) Aggregate {
+	var rounds, energyJ, energyPB stats.Online
+	var tx, del, crc, ovf, exp stats.Online
+	completed := 0
+	for _, m := range ms {
+		if m.Completed {
+			completed++
+			rounds.Add(float64(m.Rounds))
+			energyJ.Add(m.EnergyJ)
+			energyPB.Add(m.EnergyPerBitJ)
+		}
+		tx.Add(float64(m.Counts.Transmissions))
+		del.Add(float64(m.Counts.Deliveries))
+		crc.Add(float64(m.Counts.CRCRejects))
+		ovf.Add(float64(m.Counts.OverflowDrops))
+		exp.Add(float64(m.Counts.TTLExpiries))
+	}
+	agg := Aggregate{
+		Replicas:      len(ms),
+		Completed:     completed,
+		Rounds:        stats.Summarize(&rounds),
+		EnergyJ:       stats.Summarize(&energyJ),
+		EnergyPerBit:  stats.Summarize(&energyPB),
+		Transmissions: stats.Summarize(&tx),
+		Deliveries:    stats.Summarize(&del),
+		CRCRejects:    stats.Summarize(&crc),
+		OverflowDrops: stats.Summarize(&ovf),
+		TTLExpiries:   stats.Summarize(&exp),
+	}
+	if len(ms) > 0 {
+		agg.CompletionRate = float64(completed) / float64(len(ms))
+	}
+	return agg
+}

@@ -1,0 +1,120 @@
+// Package sim is the Monte Carlo replica runner every figure of the
+// evaluation sits on. Each figure is a statistic over N independent
+// stochastic runs ("all of the results presented ... are averages
+// obtained after several repeated simulations", §4.1); sim executes
+// those replicas across a bounded worker pool and aggregates their
+// metrics into package stats summaries.
+//
+// Determinism is the design constraint: the replica *index*, never the
+// scheduling order, decides both the replica's seed and its slot in the
+// result slice, so a run's aggregate output is bit-identical whether it
+// executed on 1 worker or 64. Per-replica seeds derive from package
+// rng's splittable streams — not from additive prime-multiplier offsets,
+// whose arithmetic collisions across concurrently swept parameters this
+// package exists to retire.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// Config parameterizes one Monte Carlo run.
+type Config struct {
+	// Replicas is the number of independent replicas to execute (> 0).
+	Replicas int
+	// Workers bounds the worker pool; 0 defaults to runtime.GOMAXPROCS(0)
+	// and 1 forces fully sequential in-goroutine execution.
+	Workers int
+	// Seed is the master seed. Per-replica seeds are derived from it by
+	// stream splitting (see Seeds); replica r always sees the same seed
+	// regardless of Workers.
+	Seed uint64
+}
+
+// workers resolves the effective pool size.
+func (c Config) workers() int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > c.Replicas {
+		w = c.Replicas
+	}
+	return w
+}
+
+// Seeds returns the n per-replica seeds derived from the master seed.
+// The sequence is prefix-stable: Seeds(m, n)[r] depends only on m and r,
+// so growing a study keeps every already-run replica's seed.
+func Seeds(master uint64, n int) []uint64 {
+	root := rng.New(master)
+	out := make([]uint64, n)
+	for r := range out {
+		out[r] = root.Split(uint64(r)).Uint64()
+	}
+	return out
+}
+
+// Run executes cfg.Replicas independent calls of body across the worker
+// pool and returns their results in replica order. body receives the
+// replica index and that replica's derived seed; it must not share
+// mutable state with other replicas.
+//
+// Results are deterministic in (cfg.Replicas, cfg.Seed) alone: worker
+// count and scheduling cannot change them. If any replica fails, Run
+// reports the error of the lowest-indexed failing replica — again
+// independent of scheduling — and discards the results.
+func Run[T any](cfg Config, body func(replica int, seed uint64) (T, error)) ([]T, error) {
+	n := cfg.Replicas
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: Config.Replicas = %d, need > 0", n)
+	}
+	seeds := Seeds(cfg.Seed, n)
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	if w := cfg.workers(); w == 1 {
+		for r := 0; r < n; r++ {
+			results[r], errs[r] = body(r, seeds[r])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					r := int(next.Add(1)) - 1
+					if r >= n {
+						return
+					}
+					results[r], errs[r] = body(r, seeds[r])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: replica %d: %w", r, err)
+		}
+	}
+	return results, nil
+}
+
+// RunMetrics runs a Metrics-producing body and aggregates the replicas'
+// outcomes into summary statistics.
+func RunMetrics(cfg Config, body func(replica int, seed uint64) (Metrics, error)) (Aggregate, error) {
+	ms, err := Run(cfg, body)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return Summarize(ms), nil
+}

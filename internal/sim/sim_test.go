@@ -1,0 +1,190 @@
+package sim_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diversity"
+	"repro/internal/energy"
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+var errFail = errors.New("replica failure")
+
+func TestSeedsPrefixStable(t *testing.T) {
+	long := sim.Seeds(7, 8)
+	short := sim.Seeds(7, 5)
+	if !reflect.DeepEqual(long[:5], short) {
+		t.Fatalf("growing a study changed earlier seeds:\n %v\n %v", long[:5], short)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range long {
+		if seen[s] {
+			t.Fatalf("duplicate replica seed %#x", s)
+		}
+		seen[s] = true
+	}
+}
+
+// coreReplica is one full round-engine run — broadcast over a faulty
+// 4x4 grid with the event collector attached — returning the standard
+// metrics record. This is the body shape every figure runner uses.
+func coreReplica(_ int, seed uint64) (sim.Metrics, error) {
+	var col sim.Collector
+	net, err := core.New(core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.6, TTL: 10, MaxRounds: 60,
+		Seed:    seed,
+		Fault:   fault.Model{PUpset: 0.2, POverflow: 0.1},
+		OnEvent: col.OnEvent,
+	})
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	net.Inject(0, packet.Broadcast, 0, make([]byte, 16))
+	for r := 0; r < 40 && !net.Quiescent(); r++ {
+		net.Step()
+	}
+	res := core.Result{Completed: true, Rounds: net.Round()}
+	return sim.Measure(net, res, energy.NoCLink025, &col), nil
+}
+
+// TestRunDeterministicAcrossWorkers is the regression gate for the
+// runner's core guarantee: workers=1, workers=4 and the GOMAXPROCS
+// default produce byte-identical results, because the replica index —
+// not scheduling — picks each replica's seed and result slot.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	const replicas, seed = 12, 42
+	run := func(workers int) sim.Aggregate {
+		agg, err := sim.RunMetrics(
+			sim.Config{Replicas: replicas, Workers: workers, Seed: seed}, coreReplica)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	sequential := run(1)
+	for _, w := range []int{4, 0} { // 0 = GOMAXPROCS default
+		if got := run(w); !reflect.DeepEqual(got, sequential) {
+			t.Fatalf("workers=%d diverged from sequential:\n%+v\nvs\n%+v", w, got, sequential)
+		}
+	}
+	if sequential.Transmissions.Mean == 0 {
+		t.Fatal("replicas did not actually run (no transmissions)")
+	}
+	if sequential.CRCRejects.Mean == 0 {
+		t.Fatal("fault model inactive (no CRC rejects at PUpset=0.2)")
+	}
+}
+
+// TestRunDeterministicDiversity repeats the worker-count invariance on a
+// second, structurally different workload: the Chapter 5 beamforming
+// comparison from internal/diversity.
+func TestRunDeterministicDiversity(t *testing.T) {
+	const replicas, seed = 4, 7
+	run := func(workers int) []*diversity.Result {
+		out, err := sim.Run(sim.Config{Replicas: replicas, Workers: workers, Seed: seed},
+			func(_ int, seed uint64) (*diversity.Result, error) {
+				return diversity.RunBeamforming(diversity.Build(diversity.FlatNoC),
+					diversity.CompareConfig{Seed: seed, Blocks: 1})
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	sequential := run(1)
+	for _, w := range []int{4, 0} {
+		if got := run(w); !reflect.DeepEqual(got, sequential) {
+			t.Fatalf("workers=%d diverged from sequential", w)
+		}
+	}
+	for r, res := range sequential {
+		if res.Transmissions == 0 {
+			t.Fatalf("replica %d ran no traffic", r)
+		}
+	}
+}
+
+// TestRunErrorDeterministic: with several failing replicas, the reported
+// error is the lowest-indexed one no matter how replicas were scheduled.
+func TestRunErrorDeterministic(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		_, err := sim.Run(sim.Config{Replicas: 8, Workers: w, Seed: 1},
+			func(r int, _ uint64) (int, error) {
+				if r == 2 || r == 6 {
+					return 0, errFail
+				}
+				return r, nil
+			})
+		if err == nil {
+			t.Fatalf("workers=%d: failing replicas not reported", w)
+		}
+		if !strings.Contains(err.Error(), "replica 2") {
+			t.Fatalf("workers=%d: got %q, want lowest failing replica 2", w, err)
+		}
+	}
+}
+
+func TestRunRejectsNonPositiveReplicas(t *testing.T) {
+	if _, err := sim.Run(sim.Config{}, func(int, uint64) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("Replicas=0 accepted")
+	}
+}
+
+// TestCollectorAgreesWithCounters cross-checks the event stream against
+// the engine's own counters on the quantities both observe.
+func TestCollectorAgreesWithCounters(t *testing.T) {
+	var col sim.Collector
+	net, err := core.New(core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.75, TTL: 10, MaxRounds: 60,
+		Seed:    3,
+		Fault:   fault.Model{PUpset: 0.25},
+		OnEvent: col.OnEvent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Inject(0, packet.Broadcast, 0, make([]byte, 16))
+	for r := 0; r < 40 && !net.Quiescent(); r++ {
+		net.Step()
+	}
+	c := net.Counters()
+	if col.Counts.Transmissions != c.Energy.Transmissions {
+		t.Fatalf("collector tx %d vs counters %d", col.Counts.Transmissions, c.Energy.Transmissions)
+	}
+	if col.Counts.Deliveries != c.Deliveries {
+		t.Fatalf("collector deliveries %d vs counters %d", col.Counts.Deliveries, c.Deliveries)
+	}
+	if col.Counts.Transmissions == 0 || col.Counts.Deliveries == 0 {
+		t.Fatal("broadcast produced no observable events")
+	}
+}
+
+func TestSummarizeSplitsCompletedFromEventStats(t *testing.T) {
+	agg := sim.Summarize([]sim.Metrics{
+		{Completed: true, Rounds: 10, Counts: sim.Counts{Transmissions: 100}},
+		{Completed: true, Rounds: 20, Counts: sim.Counts{Transmissions: 200}},
+		{Completed: false, Rounds: 60, Counts: sim.Counts{Transmissions: 300}},
+	})
+	if agg.Replicas != 3 || agg.Completed != 2 {
+		t.Fatalf("replicas/completed = %d/%d", agg.Replicas, agg.Completed)
+	}
+	// Rounds averages completed replicas only; the DNF's MaxRounds value
+	// must not leak in.
+	if agg.Rounds.Mean != 15 {
+		t.Fatalf("rounds mean %v, want 15 (completed only)", agg.Rounds.Mean)
+	}
+	// Event counters cover every replica.
+	if agg.Transmissions.Mean != 200 {
+		t.Fatalf("tx mean %v, want 200 (all replicas)", agg.Transmissions.Mean)
+	}
+	if agg.CompletionRate != 2.0/3.0 {
+		t.Fatalf("completion rate %v", agg.CompletionRate)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/packet"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -111,6 +112,41 @@ type (
 	// AsyncStats summarizes an asynchronous run.
 	AsyncStats = async.Stats
 )
+
+// Monte Carlo runner types (package internal/sim). The runner executes
+// independent replicas over a bounded worker pool; replica seeds derive
+// from the master seed by index, so results are identical for every
+// worker count.
+type (
+	// SimConfig sizes a Monte Carlo batch (Replicas, Workers, Seed).
+	SimConfig = sim.Config
+	// SimCounts tallies the observable per-replica events.
+	SimCounts = sim.Counts
+	// SimCollector is a reusable OnEvent hook feeding SimCounts.
+	SimCollector = sim.Collector
+	// ReplicaMetrics is one replica's standard measurement record.
+	ReplicaMetrics = sim.Metrics
+	// SimAggregate summarizes ReplicaMetrics across a batch.
+	SimAggregate = sim.Aggregate
+)
+
+// MonteCarlo runs body once per replica across the configured worker
+// pool and returns the results in replica order. The replica index — not
+// the scheduling order — selects both the derived seed and the result
+// slot, so output is bit-identical for any Workers setting.
+func MonteCarlo[T any](cfg SimConfig, body func(replica int, seed uint64) (T, error)) ([]T, error) {
+	return sim.Run(cfg, body)
+}
+
+// MonteCarloMetrics is MonteCarlo specialized to the standard metrics
+// record, aggregated into mean/stddev/CI summaries.
+func MonteCarloMetrics(cfg SimConfig, body func(replica int, seed uint64) (ReplicaMetrics, error)) (SimAggregate, error) {
+	return sim.RunMetrics(cfg, body)
+}
+
+// SimSeeds returns the n per-replica seeds the runner derives from a
+// master seed (prefix-stable: growing n never changes earlier seeds).
+func SimSeeds(master uint64, n int) []uint64 { return sim.Seeds(master, n) }
 
 // Broadcast addresses a message to every tile.
 const Broadcast = packet.Broadcast
