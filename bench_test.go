@@ -285,13 +285,18 @@ func benchRunner(b *testing.B, workers int) {
 }
 
 func BenchmarkRunnerSequential(b *testing.B) { benchRunner(b, 1) }
-func BenchmarkRunnerParallel(b *testing.B)  { benchRunner(b, 4) }
+func BenchmarkRunnerParallel(b *testing.B)   { benchRunner(b, 4) }
 
 // Engine comparison: the synchronous round kernel vs the goroutine-per-
-// tile engine on the same delivery task.
+// tile engine on the same delivery task. Each iteration needs a fresh
+// network (a run is consumed on completion), so construction happens with
+// the timer stopped: the benchmark measures stepping only, keeping it
+// sensitive to the allocation profile of the hot path.
 func BenchmarkEngineSync(b *testing.B) {
+	grid := stochnoc.NewGrid(4, 4)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		grid := stochnoc.NewGrid(4, 4)
+		b.StopTimer()
 		net, err := stochnoc.New(stochnoc.Config{
 			Topo: grid, P: 0.75, TTL: 12, MaxRounds: 200, Seed: uint64(i),
 		})
@@ -301,6 +306,7 @@ func BenchmarkEngineSync(b *testing.B) {
 		cons := stochnoc.NewConsumer(1)
 		net.Attach(0, &stochnoc.Producer{Dst: 15, Count: 1})
 		net.Attach(15, cons)
+		b.StartTimer()
 		if !net.Run().Completed {
 			b.Fatal("sync engine failed to deliver")
 		}
@@ -325,9 +331,12 @@ func (benchAsyncSink) Round(ctx *stochnoc.AsyncCtx) {
 }
 
 func BenchmarkEngineAsync(b *testing.B) {
+	grid := stochnoc.NewGrid(4, 4)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		net, err := stochnoc.NewAsync(stochnoc.AsyncConfig{
-			Topo: stochnoc.NewGrid(4, 4), P: 0.75, TTL: 12,
+			Topo: grid, P: 0.75, TTL: 12,
 			MaxLocalRounds: 400, Seed: uint64(i),
 		})
 		if err != nil {
@@ -335,6 +344,7 @@ func BenchmarkEngineAsync(b *testing.B) {
 		}
 		net.Attach(0, &benchAsyncSrc{})
 		net.Attach(15, benchAsyncSink{})
+		b.StartTimer()
 		if !net.Run().Completed {
 			b.Fatal("async engine failed to deliver")
 		}

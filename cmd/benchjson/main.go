@@ -1,0 +1,169 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, for CI artifacts and cross-run
+// comparison.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson [-o FILE]
+//
+// It scans stdin for benchmark result lines, e.g.
+//
+//	BenchmarkName-8   123   456 ns/op  78 B/op  9 allocs/op  1.5 extra-metric
+//
+// and writes a JSON array of the parsed results to -o (default stdout).
+// Lines that are not benchmark results — build noise, PASS/ok footers —
+// are ignored, so the tool can sit at the end of a pipe without fragile
+// filtering.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line. Iterations and NsPerOp are always
+// present; the remaining fields appear when -benchmem or ReportMetric
+// added them (zero-valued and omitted otherwise).
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"` // the -N suffix, if any
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds ReportMetric extras, keyed by unit (e.g.
+	// "transmissions").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the top-level JSON document.
+type Doc struct {
+	// Context lines: the goos/goarch/pkg/cpu header go test prints.
+	Context map[string]string `json:"context,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Results) == 0 {
+		log.Print("warning: no benchmark lines found in input")
+	}
+}
+
+// Parse reads go-test bench output from r and extracts the results.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if key, val, ok := contextLine(line); ok {
+			doc.Context[key] = val
+			continue
+		}
+		if res, ok := parseBenchLine(line); ok {
+			doc.Results = append(doc.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading input: %w", err)
+	}
+	if len(doc.Context) == 0 {
+		doc.Context = nil
+	}
+	return doc, nil
+}
+
+// contextLine recognizes the goos/goarch/pkg/cpu header lines.
+func contextLine(line string) (key, val string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if rest, found := strings.CutPrefix(line, k+": "); found {
+			return k, strings.TrimSpace(rest), true
+		}
+	}
+	return "", "", false
+}
+
+// parseBenchLine parses one "BenchmarkX-N  iters  v unit  v unit ..."
+// line. The value/unit pairing is positional, exactly as the testing
+// package emits it.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Procs: procs, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+			seen = true
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		case "MB/s":
+			// throughput is a standard extra; keep it with the metrics
+			fallthrough
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	if !seen {
+		return Result{}, false
+	}
+	return res, true
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStepGrid8x8        	  148022	      8331 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStepGrid8x8Sync-4  	   79009	     15708 ns/op	     560 B/op	       2 allocs/op
+BenchmarkAblationTTL12      	     500	   2150000 ns/op	          1234 transmissions
+PASS
+ok  	repro/internal/core	5.334s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(doc.Results), doc.Results)
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkStepGrid8x8" || r.Iterations != 148022 || r.NsPerOp != 8331 {
+		t.Fatalf("first result mismatch: %+v", r)
+	}
+	if r.Procs != 0 {
+		t.Fatalf("suffix-less benchmark parsed procs %d", r.Procs)
+	}
+	r = doc.Results[1]
+	if r.Procs != 4 || r.Name != "BenchmarkStepGrid8x8Sync" {
+		t.Fatalf("-N suffix not split: %+v", r)
+	}
+	if r.BytesPerOp != 560 || r.AllocsPerOp != 2 {
+		t.Fatalf("benchmem fields mismatch: %+v", r)
+	}
+	r = doc.Results[2]
+	if r.Metrics["transmissions"] != 1234 {
+		t.Fatalf("ReportMetric extra lost: %+v", r)
+	}
+	if doc.Context["goos"] != "linux" || doc.Context["cpu"] == "" {
+		t.Fatalf("context header lost: %+v", doc.Context)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := `# repro/internal/foo
+FAIL	repro/internal/foo [build failed]
+Benchmark	garbage line
+BenchmarkNoIters	abc	1 ns/op
+--- BENCH: BenchmarkX
+    bench_test.go:10: log line
+`
+	doc, err := Parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("noise produced results: %+v", doc.Results)
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	repro	1.2s",
+		"BenchmarkX 100", // no measurements
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("parsed %q as a result", line)
+		}
+	}
+}

@@ -5,11 +5,17 @@
 //
 //	figures [-fig all|3-1|3-3|4-4|4-5|4-6|4-8|4-9|4-10|4-11|5-3]
 //	        [-runs N] [-seed S] [-workers W] [-quick]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick shrinks sweep resolutions for a fast smoke run. -workers sets
 // the Monte Carlo replica pool (0 = GOMAXPROCS); results are identical
 // for every worker count — replicas are seeded by index, not by
 // scheduling order.
+//
+// -cpuprofile and -memprofile write pprof profiles of the regeneration
+// (inspect with `go tool pprof`); the figure harness is the realistic
+// end-to-end workload for profiling the round engine. The memory profile
+// is written at exit and reflects allocations across the whole run.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -30,6 +38,8 @@ var (
 	seedFlag    = flag.Uint64("seed", 2003, "master seed")
 	workersFlag = flag.Int("workers", 0, "parallel replica workers (0 = GOMAXPROCS)")
 	quick       = flag.Bool("quick", false, "reduced sweep resolution")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
 
 // mc builds the sim.Config for a figure that wants `runs` replicas per
@@ -42,6 +52,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	runners := []struct {
 		name string
@@ -78,6 +99,20 @@ func main() {
 	}
 	if !ran {
 		log.Fatalf("unknown figure %q", *figFlag)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// stepNet builds an 8x8 broadcast network in the steady state the engine
+// spends most of its time in: every tile is aware of the message and holds
+// a live copy, so each round is pure forwarding + duplicate-suppressed
+// reception, with no application logic attached. TTL 255 keeps the copies
+// alive for the whole measurement window.
+func stepNet(tb testing.TB, cfg Config) *Network {
+	tb.Helper()
+	g := topology.NewGrid(8, 8)
+	cfg.Topo = g
+	cfg.TTL = 255
+	cfg.MaxRounds = 100000
+	n, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n.Inject(0, packet.Broadcast, 0, make([]byte, 16))
+	// Warm up past the spread transient so every tile holds a copy and
+	// internal buffers have reached their steady capacity.
+	for i := 0; i < 60; i++ {
+		n.Step()
+	}
+	return n
+}
+
+// BenchmarkStepGrid8x8 is the engine hot-loop microbench: one Step of an
+// 8x8 grid in broadcast steady state. This is the kernel every Monte Carlo
+// replica spends its time in; run with -benchmem to see the allocation
+// profile the zero-allocation refactor targets.
+func BenchmarkStepGrid8x8(b *testing.B) {
+	n := stepNet(b, Config{P: 0.5, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n.round >= 220 {
+			// The broadcast dies when its TTL runs out; restart the
+			// steady state outside the timer.
+			b.StopTimer()
+			n = stepNet(b, Config{P: 0.5, Seed: 1})
+			b.StartTimer()
+		}
+		n.Step()
+	}
+}
+
+// BenchmarkStepGrid8x8Sync is the same kernel under synchronization slip,
+// exercising the multi-round arrival scheduling path.
+func BenchmarkStepGrid8x8Sync(b *testing.B) {
+	n := stepNet(b, Config{P: 0.5, Seed: 1, Fault: fault.Model{SigmaSync: 1.5}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n.round >= 220 {
+			b.StopTimer()
+			n = stepNet(b, Config{P: 0.5, Seed: 1, Fault: fault.Model{SigmaSync: 1.5}})
+			b.StartTimer()
+		}
+		n.Step()
+	}
+}
+
+// BenchmarkStepGrid8x8Literal measures the hardware-faithful path: every
+// transmission is encoded to a wire frame and CRC-checked at reception.
+func BenchmarkStepGrid8x8Literal(b *testing.B) {
+	cfg := Config{P: 0.5, Seed: 1, Fault: fault.Model{PUpset: 0.1, LiteralUpsets: true}}
+	n := stepNet(b, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n.round >= 220 {
+			b.StopTimer()
+			n = stepNet(b, cfg)
+			b.StartTimer()
+		}
+		n.Step()
+	}
+}

@@ -16,6 +16,13 @@
 // Process interface; the IP core is fully decoupled from the communication
 // fabric, which is the architectural point of the thesis ("separation
 // between computation and communication").
+//
+// The round engine is the hot path of every Monte Carlo replica, so its
+// steady state allocates (almost) nothing: per-message state lives in flat
+// generation tables indexed by the dense MsgID space (table.go), in-flight
+// copies travel by value through small per-tile arrival rings (ring.go),
+// and per-tile contexts and neighbor lists are built once at New. See
+// DESIGN.md, "Engine internals & performance".
 package core
 
 import (
@@ -199,24 +206,21 @@ type Counters struct {
 	Duplicates int
 }
 
-// arrival is a packet copy in flight toward a tile, scheduled to be
-// consumed at a specific round.
-type arrival struct {
-	pkt   *packet.Packet // fast path (nil if frame is set)
-	frame []byte         // literal path: encoded, possibly corrupted
-	upset bool           // fast path: transmission was scrambled
-}
-
 // tile is the per-tile runtime state: the Fig. 3-5 hardware interface.
+// All hot-path state is flat: the send buffer owns its packets by value,
+// dedup and the delivery-once filter are bit flags indexed by MsgID, and
+// in-flight copies sit in a per-tile arrival ring keyed by arrival round.
 type tile struct {
-	id        packet.TileID
-	sendBuf   []*packet.Packet
-	present   map[packet.MsgID]bool // dedup over current buffer contents
-	seen      map[packet.MsgID]bool // delivery-once filter
-	pending   map[int][]arrival     // keyed by absolute arrival round
-	proc      Process
-	rnd       *rng.Stream // forwarding decisions + app randomness
-	mailbox   []*packet.Packet
+	id      packet.TileID
+	sendBuf []packet.Packet // live copies, owned by value
+	flags   []uint8         // per-message present/seen bits (table.go)
+	ring    arrivalRing     // in-flight copies keyed by arrival round
+	proc    Process
+	rnd     *rng.Stream // forwarding decisions + app randomness
+	mailbox []*packet.Packet
+	nbrs    []packet.TileID // topo.Neighbors(id), cached at New
+	ctx     Ctx             // reusable context handed to the Process
+
 	fwdLimit  int // max messages forwarded per round; 0 = unlimited
 	fwdCursor int // round-robin position for rate-limited forwarding
 	router    func(p *packet.Packet) []packet.TileID
@@ -224,15 +228,20 @@ type tile struct {
 
 // Network is one simulated stochastically-communicating NoC.
 type Network struct {
-	cfg     Config
-	topo    topology.Topology
-	inj     *fault.Injector
-	tiles   []*tile
-	round   int
-	nextID  packet.MsgID
-	cnt     Counters
-	dead    map[packet.MsgID]bool // delivered unicasts, when spread-stop is on
-	started bool
+	cfg       Config
+	topo      topology.Topology
+	inj       *fault.Injector
+	tiles     []*tile
+	round     int
+	nextID    packet.MsgID
+	cnt       Counters
+	msgs      []msgState // per-message state indexed by MsgID; [0] unused
+	framePool [][]byte   // recycled wire frames for the literal-upset path
+	// borrowed points at the in-processing literal arrival whose payload
+	// still aliases its pooled frame; deliver/enqueue clone the payload
+	// (once, shared) the moment that packet is stored. Nil otherwise.
+	borrowed *packet.Packet
+	started  bool
 }
 
 // New builds a network from cfg. Tile crash failures are sampled here,
@@ -249,16 +258,23 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, topo: cfg.Topo, inj: inj, dead: map[packet.MsgID]bool{}}
+	n := &Network{cfg: cfg, topo: cfg.Topo, inj: inj, msgs: make([]msgState, 1, 8)}
+	// Without synchronization skew every copy arrives in the round it was
+	// sent, so one recycled arrival bucket per tile covers all traffic.
+	ringLen := 1
+	if cfg.Fault.SigmaSync > 0 {
+		ringLen = ringInitLen
+	}
 	n.tiles = make([]*tile, cfg.Topo.Tiles())
 	for i := range n.tiles {
-		n.tiles[i] = &tile{
-			id:      packet.TileID(i),
-			present: map[packet.MsgID]bool{},
-			seen:    map[packet.MsgID]bool{},
-			pending: map[int][]arrival{},
-			rnd:     master.Split(uint64(i) + 1),
+		t := &tile{
+			id:   packet.TileID(i),
+			rnd:  master.Split(uint64(i) + 1),
+			nbrs: cfg.Topo.Neighbors(packet.TileID(i)),
 		}
+		t.ring.initLen = ringLen
+		t.ctx = Ctx{net: n, tile: t}
+		n.tiles[i] = t
 	}
 	return n, nil
 }
@@ -289,15 +305,14 @@ func (n *Network) SetRouter(t packet.TileID, route func(p *packet.Packet) []pack
 }
 
 // Aware returns how many tiles know message id — they hold a copy now or
-// have held one (the shaded tiles of the Fig. 3-3 walkthrough).
+// have held one (the shaded tiles of the Fig. 3-3 walkthrough). The count
+// is maintained incrementally as flags flip, so polling it every round
+// (as the dissemination experiments do) is O(1), not a scan of the mesh.
 func (n *Network) Aware(id packet.MsgID) int {
-	count := 0
-	for _, t := range n.tiles {
-		if t.present[id] || t.seen[id] {
-			count++
-		}
+	if uint64(id) >= uint64(len(n.msgs)) {
+		return 0
 	}
-	return count
+	return int(n.msgs[id].aware)
 }
 
 // AwareAt reports whether tile t knows message id (holds or has held a
@@ -306,16 +321,17 @@ func (n *Network) AwareAt(id packet.MsgID, t packet.TileID) bool {
 	if int(t) >= len(n.tiles) {
 		return false
 	}
-	tl := n.tiles[t]
-	return tl.present[id] || tl.seen[id]
+	return n.tiles[t].flagsOf(id) != 0
 }
 
 // Quiescent reports whether no tile holds a live message and nothing is
 // in flight — the network has drained. Energy comparisons step until
 // quiescence so that every transmission a workload causes is billed.
+// Each tile's arrival ring keeps an in-flight counter, so the check is
+// O(tiles).
 func (n *Network) Quiescent() bool {
 	for _, t := range n.tiles {
-		if len(t.sendBuf) > 0 || len(t.pending) > 0 {
+		if len(t.sendBuf) > 0 || t.ring.count > 0 {
 			return false
 		}
 	}
@@ -352,15 +368,22 @@ func (n *Network) Topology() topology.Topology { return n.topo }
 
 // Inject creates a new message originating at tile src before the
 // simulation starts (or between rounds), bypassing any Process. It is the
-// entry point for pure-dissemination experiments. The message is silently
-// ignored if src has crashed — a dead tile cannot talk.
+// entry point for pure-dissemination experiments.
+//
+// Contract for a crashed source: a dead tile cannot talk, so the message
+// is silently dropped — but the returned MsgID is still consumed from the
+// dense ID space (IDs identify injection attempts, not successful ones).
+// The caller cannot distinguish the no-op from the return value alone;
+// check Injector().TileAlive(src) beforehand, or observe that Aware(id)
+// stays 0 — a live injection always has Aware(id) >= 1 (the originator
+// knows its own rumor).
 func (n *Network) Inject(src, dst packet.TileID, kind packet.Kind, payload []byte) packet.MsgID {
 	id := n.newMsgID()
 	if !n.inj.TileAlive(src) {
 		return id
 	}
 	// The originator knows its own rumor: never deliver it back to src.
-	n.tiles[src].seen[id] = true
+	n.setSeen(n.tiles[src], id)
 	n.emit(EvCreated, src, src, id)
 	n.enqueue(n.tiles[src], &packet.Packet{
 		ID: id, Src: src, Dst: dst, Kind: kind, TTL: n.cfg.TTL, Payload: payload,
@@ -368,8 +391,11 @@ func (n *Network) Inject(src, dst packet.TileID, kind packet.Kind, payload []byt
 	return id
 }
 
+// newMsgID issues the next dense message ID and extends the per-message
+// state table to cover it.
 func (n *Network) newMsgID() packet.MsgID {
 	n.nextID++
+	n.msgs = append(n.msgs, msgState{})
 	return n.nextID
 }
 
@@ -380,9 +406,10 @@ func (n *Network) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgI
 	}
 }
 
-// enqueue inserts p into t's send buffer, enforcing dedup and capacity.
+// enqueue inserts *p into t's send buffer, enforcing dedup and capacity.
+// The packet is copied by value; the caller keeps ownership of *p.
 func (n *Network) enqueue(t *tile, p *packet.Packet) {
-	if !n.cfg.DisableDedup && t.present[p.ID] {
+	if !n.cfg.DisableDedup && t.flagsOf(p.ID)&flagPresent != 0 {
 		n.cnt.Duplicates++
 		return
 	}
@@ -394,41 +421,65 @@ func (n *Network) enqueue(t *tile, p *packet.Packet) {
 		n.dropOldest(t)
 		n.cnt.OverflowDrops++
 	}
-	t.sendBuf = append(t.sendBuf, p)
-	t.present[p.ID] = true
+	if n.borrowed == p {
+		n.unshare(p)
+	}
+	t.sendBuf = append(t.sendBuf, *p)
+	n.setPresent(t, p.ID)
+}
+
+// unshare replaces a frame-aliased payload with a private copy at the
+// moment a literal-path packet is first stored; clearing borrowed lets
+// deliver and enqueue share that one copy, exactly as Decode used to
+// provide. Steady-state duplicates never reach this point, so they cost
+// no payload copy at all.
+func (n *Network) unshare(p *packet.Packet) {
+	if len(p.Payload) > 0 {
+		owned := make([]byte, len(p.Payload))
+		copy(owned, p.Payload)
+		p.Payload = owned
+	}
+	n.borrowed = nil
 }
 
 func (n *Network) dropOldest(t *tile) {
 	if len(t.sendBuf) == 0 {
 		return
 	}
-	old := t.sendBuf[0]
-	t.sendBuf = t.sendBuf[1:]
-	delete(t.present, old.ID)
+	id := t.sendBuf[0].ID
+	copy(t.sendBuf, t.sendBuf[1:])
+	t.sendBuf[len(t.sendBuf)-1] = packet.Packet{}
+	t.sendBuf = t.sendBuf[:len(t.sendBuf)-1]
+	n.clearPresent(t, id)
 }
 
-// deliver hands p to t's IP mailbox if it addresses t and has not been
-// delivered here before.
+// deliver hands *p to t's IP mailbox if it addresses t and has not been
+// delivered here before. The mailbox takes a heap copy, so the ring slot
+// or buffer entry backing *p can be recycled freely afterwards.
 func (n *Network) deliver(t *tile, p *packet.Packet) {
 	if p.Dst != t.id && p.Dst != packet.Broadcast {
 		return
 	}
-	if t.seen[p.ID] {
+	if t.flagsOf(p.ID)&flagSeen != 0 {
 		return
 	}
-	t.seen[p.ID] = true
+	n.setSeen(t, p.ID)
 	if n.cfg.StopSpreadOnDelivery && p.Dst == t.id {
-		n.dead[p.ID] = true
+		n.stateOf(p.ID).dead = true
 	}
-	t.mailbox = append(t.mailbox, p)
+	if n.borrowed == p {
+		n.unshare(p)
+	}
+	q := *p // one allocation per first-time delivery — off the steady state
+	t.mailbox = append(t.mailbox, &q)
 	n.cnt.Deliveries++
 	n.cnt.DeliveredPayloadBits += 8 * len(p.Payload)
 	n.emit(EvDeliver, t.id, p.Src, p.ID)
 	if n.cfg.OnDeliver != nil {
-		n.cfg.OnDeliver(t.id, p, n.round)
+		n.cfg.OnDeliver(t.id, &q, n.round)
 	}
 	if rcv, ok := t.proc.(Receiver); ok {
-		rcv.Receive(&Ctx{net: n, tile: t}, p)
+		rcv.Receive(&t.ctx, &q)
 	}
 }
 
@@ -442,7 +493,7 @@ func (n *Network) Step() {
 		n.started = true
 		for _, t := range n.tiles {
 			if t.proc != nil && n.inj.TileAlive(t.id) {
-				t.proc.Init(&Ctx{net: n, tile: t})
+				t.proc.Init(&t.ctx)
 			}
 		}
 	}
@@ -454,9 +505,13 @@ func (n *Network) Step() {
 		if t.proc == nil || !n.inj.TileAlive(t.id) {
 			continue
 		}
-		ctx := &Ctx{net: n, tile: t, delivered: t.mailbox}
-		t.proc.Round(ctx)
-		t.mailbox = nil
+		t.ctx.delivered = t.mailbox
+		t.proc.Round(&t.ctx)
+		t.ctx.delivered = nil
+		for i := range t.mailbox {
+			t.mailbox[i] = nil
+		}
+		t.mailbox = t.mailbox[:0]
 	}
 
 	// Phase 2 — aging: decrement TTLs, garbage-collect expired messages.
@@ -465,14 +520,19 @@ func (n *Network) Step() {
 			continue
 		}
 		kept := t.sendBuf[:0]
-		for _, p := range t.sendBuf {
+		for i := range t.sendBuf {
+			p := &t.sendBuf[i]
 			p.TTL--
-			if p.TTL == 0 || n.dead[p.ID] {
-				delete(t.present, p.ID)
+			if p.TTL == 0 || n.isDead(p.ID) {
+				n.clearPresent(t, p.ID)
 				n.emit(EvExpire, t.id, t.id, p.ID)
 				continue
 			}
-			kept = append(kept, p)
+			kept = append(kept, *p)
+		}
+		// Zero the compaction tail so expired payloads can be collected.
+		for i := len(kept); i < len(t.sendBuf); i++ {
+			t.sendBuf[i] = packet.Packet{}
 		}
 		t.sendBuf = kept
 	}
@@ -491,14 +551,14 @@ func (n *Network) Step() {
 		for i := 0; i < count; i++ {
 			// Round-robin over the buffer so a long-lived message cannot
 			// hog a rate-limited bridge.
-			p := t.sendBuf[(t.fwdCursor+i)%len(t.sendBuf)]
+			p := &t.sendBuf[(t.fwdCursor+i)%len(t.sendBuf)]
 			if t.router != nil {
 				for _, nb := range t.router(p) {
 					n.transmit(t, nb, p)
 				}
 				continue
 			}
-			for _, nb := range n.topo.Neighbors(t.id) {
+			for _, nb := range t.nbrs {
 				prob := n.cfg.P
 				if n.cfg.PortWeight != nil {
 					prob *= n.cfg.PortWeight(t.id, nb, p)
@@ -520,24 +580,46 @@ func (n *Network) Step() {
 		if !n.inj.TileAlive(t.id) {
 			continue
 		}
-		for _, a := range t.pending[n.round] {
-			p := n.receive(t, a)
-			if p == nil || n.dead[p.ID] {
+		bucket := t.ring.take(n.round)
+		for i := range bucket {
+			a := &bucket[i]
+			var p *packet.Packet
+			switch {
+			case a.frame != nil:
+				if p = n.decodeArrival(t, a); p == nil {
+					continue // frame already recycled
+				}
+				n.borrowed = p // payload still aliases the pooled frame
+			case a.upset:
+				n.cnt.UpsetsDetected++
+				n.emit(EvUpset, t.id, t.id, a.pkt.ID)
 				continue
+			default:
+				p = &a.pkt
 			}
-			// Analytic overflow: with probability POverflow the incoming
-			// packet finds no buffer space and is lost — the "% dropped
-			// packets" swept by Figs. 4-10/4-11. (Oldest-first eviction
-			// applies on the hard-capacity path in enqueue, per §4.2.)
-			if n.inj.OverflowHappens(t.rnd) {
-				n.cnt.OverflowDrops++
-				n.emit(EvOverflow, t.id, t.id, p.ID)
-				continue
+			if !n.isDead(p.ID) {
+				// Analytic overflow: with probability POverflow the
+				// incoming packet finds no buffer space and is lost — the
+				// "% dropped packets" swept by Figs. 4-10/4-11.
+				// (Oldest-first eviction applies on the hard-capacity
+				// path in enqueue, per §4.2.)
+				if n.inj.OverflowHappens(t.rnd) {
+					n.cnt.OverflowDrops++
+					n.emit(EvOverflow, t.id, t.id, p.ID)
+				} else {
+					n.deliver(t, p)
+					n.enqueue(t, p)
+				}
 			}
-			n.deliver(t, p)
-			n.enqueue(t, p)
+			if a.frame != nil {
+				// Consumed (any stored payload was cloned by unshare):
+				// the frame can go back to the pool.
+				n.putFrame(a.frame)
+				a.frame = nil
+				n.borrowed = nil
+			}
 		}
-		delete(t.pending, n.round)
+		t.ring.release(n.round)
 	}
 
 	if n.cfg.Observer != nil {
@@ -545,30 +627,53 @@ func (n *Network) Step() {
 	}
 }
 
-// receive turns an arrival into a packet, applying CRC checking. It
-// returns nil if the frame must be discarded.
-func (n *Network) receive(t *tile, a arrival) *packet.Packet {
-	if a.frame != nil {
-		p, err := packet.Decode(a.frame)
-		if err != nil {
-			n.cnt.UpsetsDetected++
-			// A scrambled frame's ID is untrustworthy: report Msg 0.
-			n.emit(EvUpset, t.id, t.id, 0)
-			return nil
-		}
-		return p
-	}
-	if a.upset {
+// decodeArrival decodes a literal-path wire frame into the arrival's ring
+// slot, applying the CRC check. On success the decoded payload still
+// aliases a.frame (DecodeInto is zero-copy), so the phase-4 loop recycles
+// the frame only after the arrival is fully consumed; on failure the
+// frame is recycled here and nil is returned. A decoded ID the network
+// never issued is proof of corruption too — a CRC escape (~2^-16 per
+// scrambled frame) can smuggle a frame past the checksum, and rejecting
+// impossible IDs keeps the flat tables bounded by the real message count.
+func (n *Network) decodeArrival(t *tile, a *arrival) *packet.Packet {
+	err := packet.DecodeInto(&a.pkt, a.frame)
+	if err != nil || a.pkt.ID == 0 || a.pkt.ID > n.nextID {
+		a.pkt.Payload = nil // drop the alias before pooling the frame
+		n.putFrame(a.frame)
+		a.frame = nil
 		n.cnt.UpsetsDetected++
-		n.emit(EvUpset, t.id, t.id, a.pkt.ID)
+		// A scrambled frame's ID is untrustworthy: report Msg 0.
+		n.emit(EvUpset, t.id, t.id, 0)
 		return nil
 	}
-	return a.pkt
+	return &a.pkt
 }
 
-// transmit sends one copy of p from tile t toward neighbor nb, applying
+// getFrame returns a wire-frame buffer of the given size, reusing pooled
+// frames when one is large enough.
+func (n *Network) getFrame(size int) []byte {
+	for len(n.framePool) > 0 {
+		last := len(n.framePool) - 1
+		f := n.framePool[last]
+		n.framePool[last] = nil
+		n.framePool = n.framePool[:last]
+		if cap(f) >= size {
+			return f[:size]
+		}
+	}
+	return make([]byte, size)
+}
+
+// putFrame recycles a consumed wire frame.
+func (n *Network) putFrame(f []byte) {
+	n.framePool = append(n.framePool, f)
+}
+
+// transmit sends one copy of *p from tile t toward neighbor nb, applying
 // the transient fault model. The energy of driving the link is spent even
-// when the copy is lost downstream.
+// when the copy is lost downstream. The copy travels by value (analytic
+// path) or as a pooled encoded frame (literal path); either way the
+// steady state allocates nothing per transmission.
 func (n *Network) transmit(t *tile, nb packet.TileID, p *packet.Packet) {
 	n.cnt.Energy.AddTransmission(p.SizeBits())
 	n.emit(EvTransmit, t.id, nb, p.ID)
@@ -581,10 +686,10 @@ func (n *Network) transmit(t *tile, nb packet.TileID, p *packet.Packet) {
 	}
 	when := n.round + slip
 
-	var a arrival
+	dst := n.tiles[nb]
 	if n.cfg.Fault.LiteralUpsets {
-		frame, err := packet.Encode(p)
-		if err != nil {
+		frame := n.getFrame(packet.EncodedLen(len(p.Payload)))
+		if err := packet.EncodeTo(frame, p); err != nil {
 			// Oversized payloads are caught at Inject/Send time; an
 			// encode failure here is a programming error.
 			panic(fmt.Sprintf("core: encode failed in flight: %v", err))
@@ -593,16 +698,15 @@ func (n *Network) transmit(t *tile, nb packet.TileID, p *packet.Packet) {
 			n.inj.CorruptFrame(frame, t.rnd)
 			n.cnt.UpsetsInjected++
 		}
-		a = arrival{frame: frame}
+		dst.ring.schedule(n.round, when, arrival{frame: frame})
 	} else {
-		a = arrival{pkt: p.ShallowClone()}
+		a := arrival{pkt: *p}
 		if n.inj.UpsetHappens(t.rnd) {
 			a.upset = true
 			n.cnt.UpsetsInjected++
 		}
+		dst.ring.schedule(n.round, when, a)
 	}
-	dst := n.tiles[nb]
-	dst.pending[when] = append(dst.pending[when], a)
 }
 
 // Completed reports whether every live Completer process is done. With no
@@ -662,7 +766,11 @@ func (n *Network) RunWhile(cond func(*Network) bool) Result {
 }
 
 // Ctx is the per-round view a Process has of its tile: the hardware
-// interface of Fig. 3-5 from the IP core's side of the buffers.
+// interface of Fig. 3-5 from the IP core's side of the buffers. The
+// engine reuses one Ctx per tile across rounds, so a Process must use the
+// Ctx only within the Init/Round/Receive call that handed it over, and
+// must not retain the Delivered slice past the Round call (the mailbox is
+// recycled).
 type Ctx struct {
 	net       *Network
 	tile      *tile
@@ -696,7 +804,7 @@ func (c *Ctx) Delivered() []*packet.Packet { return c.delivered }
 func (c *Ctx) Send(dst packet.TileID, kind packet.Kind, payload []byte) packet.MsgID {
 	id := c.net.newMsgID()
 	// The originator knows its own rumor: never deliver it back.
-	c.tile.seen[id] = true
+	c.net.setSeen(c.tile, id)
 	c.net.emit(EvCreated, c.tile.id, c.tile.id, id)
 	c.net.enqueue(c.tile, &packet.Packet{
 		ID: id, Src: c.tile.id, Dst: dst, Kind: kind,

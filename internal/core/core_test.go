@@ -170,8 +170,8 @@ func TestTTLBoundsBufferLifetime(t *testing.T) {
 	if got := len(n.tiles[0].sendBuf); got != 0 {
 		t.Fatalf("buffer holds %d messages after TTL expiry", got)
 	}
-	if n.tiles[0].present[1] {
-		t.Fatal("present set not cleaned after GC")
+	if n.tiles[0].flagsOf(1)&flagPresent != 0 {
+		t.Fatal("present flag not cleaned after GC")
 	}
 }
 
@@ -305,7 +305,7 @@ func TestBufferCapDropsOldest(t *testing.T) {
 	if got := len(n.tiles[0].sendBuf); got != 2 {
 		t.Fatalf("buffer holds %d, cap 2", got)
 	}
-	if n.tiles[0].present[id1] {
+	if n.tiles[0].flagsOf(id1)&flagPresent != 0 {
 		t.Fatal("oldest message not the one dropped")
 	}
 	if n.Counters().OverflowDrops != 1 {
@@ -651,7 +651,13 @@ func TestForwardLimitSerializes(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		n.Step()
 	}
-	if got := len(n.tiles[1].seen); got != 5 {
-		t.Fatalf("round-robin delivered %d/5 distinct messages", got)
+	seen := 0
+	for id := packet.MsgID(1); id <= n.nextID; id++ {
+		if n.tiles[1].flagsOf(id)&flagSeen != 0 {
+			seen++
+		}
+	}
+	if seen != 5 {
+		t.Fatalf("round-robin delivered %d/5 distinct messages", seen)
 	}
 }

@@ -1,0 +1,111 @@
+package core
+
+import "repro/internal/packet"
+
+// This file holds the flat per-message state tables that replace the
+// engine's former hash maps (per-tile present/seen sets and the
+// network-wide spread-stop set). MsgIDs are issued densely from 1 by
+// newMsgID, so a message's state lives at slice index ID: dedup, the
+// delivery-once filter, Aware/AwareAt and the spread-stop check are all
+// O(1) loads with no hashing, and the aware count per message is
+// maintained incrementally instead of being recomputed by scanning every
+// tile each round.
+
+// Per-tile message flags.
+const (
+	flagPresent uint8 = 1 << 0 // a copy is in the tile's send buffer
+	flagSeen    uint8 = 1 << 1 // the message was delivered here (or originated here)
+)
+
+// msgState is the network-wide per-message record, indexed by MsgID.
+type msgState struct {
+	// aware counts tiles whose flags for this message are non-zero —
+	// exactly the tiles the scanning Aware() used to count.
+	aware int32
+	// dead marks a delivered unicast under StopSpreadOnDelivery. Folding
+	// the tombstone into this table (instead of the former dedicated map)
+	// bounds its memory to the message table that must exist anyway.
+	dead bool
+}
+
+// stateOf returns the state record for id, which must have been issued by
+// newMsgID (the engine validates decoded IDs before using them).
+func (n *Network) stateOf(id packet.MsgID) *msgState { return &n.msgs[id] }
+
+// isDead reports whether id was tombstoned by spread termination. Out of
+// range IDs (never issued) are never dead.
+func (n *Network) isDead(id packet.MsgID) bool {
+	if uint64(id) >= uint64(len(n.msgs)) {
+		return false
+	}
+	return n.msgs[id].dead
+}
+
+// flagsOf returns t's flags for id, zero if the tile never touched it.
+func (t *tile) flagsOf(id packet.MsgID) uint8 {
+	if uint64(id) >= uint64(len(t.flags)) {
+		return 0
+	}
+	return t.flags[id]
+}
+
+// growFlags extends t.flags to cover id. Growth doubles, so a tile that
+// touches m messages reallocates O(log m) times over a whole run.
+func (t *tile) growFlags(id packet.MsgID) {
+	need := int(id) + 1
+	if need <= len(t.flags) {
+		return
+	}
+	if need <= cap(t.flags) {
+		n := len(t.flags)
+		t.flags = t.flags[:need]
+		for i := n; i < need; i++ {
+			t.flags[i] = 0
+		}
+		return
+	}
+	grown := make([]uint8, need, 2*need)
+	copy(grown, t.flags)
+	t.flags = grown
+}
+
+// setPresent marks a buffered copy of id at t, updating the aware count on
+// the 0 -> aware transition.
+func (n *Network) setPresent(t *tile, id packet.MsgID) {
+	f := t.flagsOf(id)
+	if f&flagPresent != 0 {
+		return
+	}
+	t.growFlags(id)
+	t.flags[id] = f | flagPresent
+	if f == 0 {
+		n.msgs[id].aware++
+	}
+}
+
+// clearPresent removes the buffered-copy mark, decrementing the aware
+// count if the tile has also never taken delivery — the same instant the
+// scanning Aware() stopped counting the tile.
+func (n *Network) clearPresent(t *tile, id packet.MsgID) {
+	f := t.flagsOf(id)
+	if f&flagPresent == 0 {
+		return
+	}
+	t.flags[id] = f &^ flagPresent
+	if f == flagPresent {
+		n.msgs[id].aware--
+	}
+}
+
+// setSeen marks id as delivered at (or originated by) t.
+func (n *Network) setSeen(t *tile, id packet.MsgID) {
+	f := t.flagsOf(id)
+	if f&flagSeen != 0 {
+		return
+	}
+	t.growFlags(id)
+	t.flags[id] = f | flagSeen
+	if f == 0 {
+		n.msgs[id].aware++
+	}
+}

@@ -104,6 +104,27 @@ func Encode(p *Packet) ([]byte, error) {
 		return nil, ErrTooLarge
 	}
 	buf := make([]byte, EncodedLen(len(p.Payload)))
+	if err := EncodeTo(buf, p); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ErrBadFrameLen is returned by EncodeTo when dst is not exactly
+// EncodedLen(len(p.Payload)) bytes.
+var ErrBadFrameLen = errors.New("packet: destination length != EncodedLen")
+
+// EncodeTo serializes p into dst, which must be exactly
+// EncodedLen(len(p.Payload)) bytes. It is the allocation-free form of
+// Encode, used by forwarding engines that recycle frame buffers.
+func EncodeTo(dst []byte, p *Packet) error {
+	if len(p.Payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	if len(dst) != EncodedLen(len(p.Payload)) {
+		return ErrBadFrameLen
+	}
+	buf := dst
 	binary.BigEndian.PutUint64(buf[0:8], uint64(p.ID))
 	binary.BigEndian.PutUint16(buf[8:10], uint16(p.Src))
 	binary.BigEndian.PutUint16(buf[10:12], uint16(p.Dst))
@@ -113,7 +134,7 @@ func Encode(p *Packet) ([]byte, error) {
 	copy(buf[headerLen:], p.Payload)
 	sum := frameCRC(buf)
 	binary.BigEndian.PutUint16(buf[len(buf)-crcLen:], sum)
-	return buf, nil
+	return nil
 }
 
 // frameCRC computes the CRC-16 over a frame, skipping the mutable TTL byte
@@ -135,27 +156,44 @@ func frameCRC(frame []byte) uint16 {
 // (nil, ErrCRC): the caller (tile) silently discards the frame — the core
 // behaviour of the error-detection/multiple-transmission scheme.
 func Decode(frame []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := DecodeInto(p, frame); err != nil {
+		return nil, err
+	}
+	if p.Payload != nil {
+		owned := make([]byte, len(p.Payload))
+		copy(owned, p.Payload)
+		p.Payload = owned
+	}
+	return p, nil
+}
+
+// DecodeInto parses a wire frame into dst without allocating, with the
+// same validation as Decode. dst.Payload ALIASES the frame's payload
+// bytes (nil for an empty payload): the caller must copy it before the
+// frame is mutated or reused. Forwarding engines that pool frame buffers
+// use this to defer the payload copy until a packet is actually kept.
+func DecodeInto(dst *Packet, frame []byte) error {
 	if len(frame) < headerLen+crcLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	payloadLen := int(binary.BigEndian.Uint16(frame[14:16]))
 	if len(frame) != EncodedLen(payloadLen) {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	want := binary.BigEndian.Uint16(frame[len(frame)-crcLen:])
 	if frameCRC(frame) != want {
-		return nil, ErrCRC
+		return ErrCRC
 	}
-	p := &Packet{
-		ID:   MsgID(binary.BigEndian.Uint64(frame[0:8])),
-		Src:  TileID(binary.BigEndian.Uint16(frame[8:10])),
-		Dst:  TileID(binary.BigEndian.Uint16(frame[10:12])),
-		Kind: Kind(frame[12]),
-		TTL:  frame[13],
-	}
+	dst.ID = MsgID(binary.BigEndian.Uint64(frame[0:8]))
+	dst.Src = TileID(binary.BigEndian.Uint16(frame[8:10]))
+	dst.Dst = TileID(binary.BigEndian.Uint16(frame[10:12]))
+	dst.Kind = Kind(frame[12])
+	dst.TTL = frame[13]
 	if payloadLen > 0 {
-		p.Payload = make([]byte, payloadLen)
-		copy(p.Payload, frame[headerLen:headerLen+payloadLen])
+		dst.Payload = frame[headerLen : headerLen+payloadLen : headerLen+payloadLen]
+	} else {
+		dst.Payload = nil
 	}
-	return p, nil
+	return nil
 }

@@ -289,3 +289,88 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+func TestEncodeToMatchesEncode(t *testing.T) {
+	p := samplePacket()
+	want, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, EncodedLen(len(p.Payload)))
+	if err := EncodeTo(dst, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("EncodeTo produced a different frame:\n  %x\n  %x", dst, want)
+	}
+}
+
+func TestEncodeToBadBuffer(t *testing.T) {
+	p := samplePacket()
+	for _, n := range []int{0, EncodedLen(len(p.Payload)) - 1, EncodedLen(len(p.Payload)) + 1} {
+		if err := EncodeTo(make([]byte, n), p); !errors.Is(err, ErrBadFrameLen) {
+			t.Fatalf("EncodeTo(len %d) = %v, want ErrBadFrameLen", n, err)
+		}
+	}
+	big := &Packet{ID: 1, Payload: make([]byte, MaxPayload+1)}
+	if err := EncodeTo(make([]byte, 8), big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized payload: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeIntoAliasesFrame(t *testing.T) {
+	p := samplePacket()
+	frame, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := DecodeInto(&q, frame); err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != p.ID || q.Src != p.Src || q.Dst != p.Dst || q.Kind != p.Kind || q.TTL != p.TTL {
+		t.Fatalf("header mismatch: %+v vs %+v", q, p)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("payload mismatch: %q vs %q", q.Payload, p.Payload)
+	}
+	// The zero-copy contract: the payload aliases the frame's bytes.
+	frame[headerLen] ^= 0xff
+	if bytes.Equal(q.Payload, p.Payload) {
+		t.Fatal("DecodeInto copied the payload; it must alias the frame")
+	}
+	// And appending to it must not clobber the frame's CRC bytes.
+	if cap(q.Payload) != len(q.Payload) {
+		t.Fatalf("aliased payload has spare capacity %d past len %d",
+			cap(q.Payload), len(q.Payload))
+	}
+}
+
+func TestDecodeIntoEmptyPayload(t *testing.T) {
+	frame, err := Encode(&Packet{ID: 1, Dst: Broadcast, TTL: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Packet{Payload: []byte("stale")}
+	if err := DecodeInto(&q, frame); err != nil {
+		t.Fatal(err)
+	}
+	if q.Payload != nil {
+		t.Fatalf("Payload = %q, want nil (stale value must be cleared)", q.Payload)
+	}
+}
+
+func TestDecodeIntoRejectsCorruption(t *testing.T) {
+	frame, err := Encode(samplePacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[2] ^= 0x40
+	var q Packet
+	if err := DecodeInto(&q, frame); !errors.Is(err, ErrCRC) {
+		t.Fatalf("corrupted frame: %v, want ErrCRC", err)
+	}
+	if err := DecodeInto(&q, frame[:headerLen]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated frame: %v, want ErrTruncated", err)
+	}
+}

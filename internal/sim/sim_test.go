@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -79,6 +80,51 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if sequential.CRCRejects.Mean == 0 {
 		t.Fatal("fault model inactive (no CRC rejects at PUpset=0.2)")
+	}
+}
+
+// TestRunDeterministicAcrossWorkersWithSlip repeats the worker-count
+// invariance with synchronization skew active (σ_synchr > 0), so copies
+// cross round boundaries through the engine's per-tile arrival rings:
+// multi-round in-flight state must not perturb seeding or determinism.
+func TestRunDeterministicAcrossWorkersWithSlip(t *testing.T) {
+	const replicas, seed = 12, 42
+	var slipped atomic.Int64 // summed across replicas: order-independent
+	slipReplica := func(_ int, s uint64) (sim.Metrics, error) {
+		var col sim.Collector
+		net, err := core.New(core.Config{
+			Topo: topology.NewGrid(4, 4), P: 0.6, TTL: 10, MaxRounds: 80,
+			Seed:    s,
+			Fault:   fault.Model{SigmaSync: 1.5, PUpset: 0.1},
+			OnEvent: col.OnEvent,
+		})
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		net.Inject(0, packet.Broadcast, 0, make([]byte, 16))
+		for r := 0; r < 60 && !net.Quiescent(); r++ {
+			net.Step()
+		}
+		slipped.Add(int64(net.Counters().SlippedDeliveries))
+		res := core.Result{Completed: true, Rounds: net.Round()}
+		return sim.Measure(net, res, energy.NoCLink025, &col), nil
+	}
+	run := func(workers int) sim.Aggregate {
+		agg, err := sim.RunMetrics(
+			sim.Config{Replicas: replicas, Workers: workers, Seed: seed}, slipReplica)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	sequential := run(1)
+	for _, w := range []int{4, 0} {
+		if got := run(w); !reflect.DeepEqual(got, sequential) {
+			t.Fatalf("workers=%d diverged from sequential:\n%+v\nvs\n%+v", w, got, sequential)
+		}
+	}
+	if slipped.Load() == 0 {
+		t.Fatal("fault model inactive (no slipped receptions at σ=1.5)")
 	}
 }
 
