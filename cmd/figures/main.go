@@ -5,12 +5,22 @@
 //
 //	figures [-fig all|3-1|3-3|4-4|4-5|4-6|4-8|4-9|4-10|4-11|5-3]
 //	        [-runs N] [-seed S] [-workers W] [-quick]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick shrinks sweep resolutions for a fast smoke run. -workers sets
 // the Monte Carlo replica pool (0 = GOMAXPROCS); results are identical
 // for every worker count — replicas are seeded by index, not by
 // scheduling order.
+//
+// -metrics FILE additionally runs the canonical instrumented broadcast
+// (the Fig. 3-3 walkthrough on the 8×8 microbench mesh, -runs replicas)
+// and writes its per-round cross-replica series — transmissions, CRC
+// rejects, overflow drops, TTL expiries, deliveries, aware-tile
+// fraction, energy — to FILE as JSONL (or CSV if FILE ends in .csv).
+// The file's per-round sums reconcile exactly with the engine's
+// core.Counters totals and are byte-identical at any -workers setting;
+// nothing is added to stdout, so the figures golden diff is unaffected.
+// See docs/OBSERVABILITY.md.
 //
 // -cpuprofile and -memprofile write pprof profiles of the regeneration
 // (inspect with `go tool pprof`); the figure harness is the realistic
@@ -29,6 +39,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -38,6 +49,7 @@ var (
 	seedFlag    = flag.Uint64("seed", 2003, "master seed")
 	workersFlag = flag.Int("workers", 0, "parallel replica workers (0 = GOMAXPROCS)")
 	quick       = flag.Bool("quick", false, "reduced sweep resolution")
+	metricsOut  = flag.String("metrics", "", "write per-round series of the canonical 8x8 broadcast to this file (JSONL; .csv suffix selects CSV)")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
@@ -101,6 +113,12 @@ func main() {
 		log.Fatalf("unknown figure %q", *figFlag)
 	}
 
+	if *metricsOut != "" {
+		if err := exportMetrics(*metricsOut); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+	}
+
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -114,6 +132,30 @@ func main() {
 			log.Fatalf("memprofile: %v", err)
 		}
 	}
+}
+
+// exportMetrics runs the canonical instrumented broadcast and writes its
+// merged per-round series to path (CSV for a .csv suffix, JSONL
+// otherwise). It writes only to the file — stdout stays byte-identical
+// to an un-instrumented run.
+func exportMetrics(path string) error {
+	agg, err := experiments.BroadcastMetrics(mc(*runsFlag))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = metrics.WriteCSV(f, agg)
+	} else {
+		err = metrics.WriteJSONL(f, agg)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func table(header string, rows func(w *tabwriter.Writer)) {

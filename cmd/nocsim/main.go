@@ -6,16 +6,24 @@
 // Example — the thesis' Producer-Consumer walkthrough under 30% upsets:
 //
 //	nocsim -width 4 -height 4 -src 5 -dst 11 -p 0.5 -upset 0.3
+//
+// -metrics FILE records the run through the internal/metrics per-round
+// recorder and writes the series (transmissions, CRC rejects, drops,
+// expiries, deliveries, aware fraction, energy per round) as JSONL, or
+// CSV when FILE ends in .csv. See docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -23,23 +31,24 @@ import (
 )
 
 var (
-	width     = flag.Int("width", 4, "grid width")
-	height    = flag.Int("height", 4, "grid height")
-	src       = flag.Int("src", 5, "source tile")
-	dst       = flag.Int("dst", 11, "destination tile")
-	p         = flag.Float64("p", 0.5, "forwarding probability")
-	ttl       = flag.Int("ttl", core.DefaultTTL, "message TTL in rounds")
-	seed      = flag.Uint64("seed", 1, "simulation seed")
-	deadT     = flag.Int("dead-tiles", 0, "tiles to crash")
-	deadL     = flag.Int("dead-links", 0, "links to crash")
-	upset     = flag.Float64("upset", 0, "per-transmission data-upset probability")
-	overflow  = flag.Float64("overflow", 0, "per-reception buffer-overflow probability")
-	sigma     = flag.Float64("sigma", 0, "synchronization error σ/T_R")
-	literal   = flag.Bool("literal-upsets", false, "flip real bits and let the CRC catch them")
-	maxR      = flag.Int("max-rounds", 200, "round budget")
-	payload   = flag.Int("payload", 16, "payload size in bytes")
-	showTrace = flag.Bool("trace", false, "print the message's full event timeline")
-	showViz   = flag.Bool("viz", false, "render the spread as an ASCII grid each round")
+	width      = flag.Int("width", 4, "grid width")
+	height     = flag.Int("height", 4, "grid height")
+	src        = flag.Int("src", 5, "source tile")
+	dst        = flag.Int("dst", 11, "destination tile")
+	p          = flag.Float64("p", 0.5, "forwarding probability")
+	ttl        = flag.Int("ttl", core.DefaultTTL, "message TTL in rounds")
+	seed       = flag.Uint64("seed", 1, "simulation seed")
+	deadT      = flag.Int("dead-tiles", 0, "tiles to crash")
+	deadL      = flag.Int("dead-links", 0, "links to crash")
+	upset      = flag.Float64("upset", 0, "per-transmission data-upset probability")
+	overflow   = flag.Float64("overflow", 0, "per-reception buffer-overflow probability")
+	sigma      = flag.Float64("sigma", 0, "synchronization error σ/T_R")
+	literal    = flag.Bool("literal-upsets", false, "flip real bits and let the CRC catch them")
+	maxR       = flag.Int("max-rounds", 200, "round budget")
+	payload    = flag.Int("payload", 16, "payload size in bytes")
+	showTrace  = flag.Bool("trace", false, "print the message's full event timeline")
+	showViz    = flag.Bool("viz", false, "render the spread as an ASCII grid each round")
+	metricsOut = flag.String("metrics", "", "write the run's per-round series to this file (JSONL; .csv suffix selects CSV)")
 )
 
 func main() {
@@ -70,11 +79,19 @@ func main() {
 	if *showTrace {
 		cfg.OnEvent = col.Hook()
 	}
+	var rec *metrics.Recorder
+	if *metricsOut != "" {
+		rec = metrics.NewRecorder(metrics.Config{Rounds: *maxR, Tech: energy.NoCLink025})
+		rec.Install(&cfg)
+	}
 	net, err := core.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	id := net.Inject(packet.TileID(*src), packet.TileID(*dst), 1, make([]byte, *payload))
+	if rec != nil {
+		rec.Watch(id)
+	}
 
 	fmt.Printf("gossiping tile %d -> tile %d on a %dx%d NoC (p=%.2f, TTL=%d, Manhattan=%d)\n",
 		*src, *dst, *width, *height, *p, *ttl, grid.Manhattan(packet.TileID(*src), packet.TileID(*dst)))
@@ -107,4 +124,32 @@ func main() {
 			log.Fatalf("trace invariant violations: %v", v)
 		}
 	}
+	if rec != nil {
+		if err := writeMetrics(*metricsOut, rec); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("metrics: per-round series written to %s\n", *metricsOut)
+	}
+}
+
+// writeMetrics exports the single run's series (a one-replica merge, so
+// mean = the run's value and n = 1 per round).
+func writeMetrics(path string, rec *metrics.Recorder) error {
+	agg, err := metrics.Merge([]*metrics.TimeSeries{rec.Series()})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = metrics.WriteCSV(f, agg)
+	} else {
+		err = metrics.WriteJSONL(f, agg)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -72,12 +72,15 @@ type Config struct {
 	// P is the per-port forwarding probability; p = 1 degenerates to
 	// flooding (latency-optimal, energy-worst).
 	P float64
-	// TTL is the initial time-to-live of newly created messages.
+	// TTL is the initial time-to-live of newly created messages, in
+	// rounds: each buffered copy ages once per round and is
+	// garbage-collected at zero (§3.2.2).
 	TTL uint8
 	// BufferCap bounds the send buffer; 0 means unbounded. On overflow
 	// the oldest buffered message is dropped (§4.2).
 	BufferCap int
-	// MaxRounds aborts a run that has not completed (defaults to 10000).
+	// MaxRounds is the round budget: a run that has not completed after
+	// this many rounds is aborted (defaults to 10000).
 	MaxRounds int
 	// Seed makes the run reproducible.
 	Seed uint64
@@ -102,11 +105,19 @@ type Config struct {
 	OnDeliver func(t packet.TileID, p *packet.Packet, round int)
 	// OnEvent, if set, receives every protocol event (message creation,
 	// transmissions, CRC rejections, overflow drops, deliveries, TTL
-	// expiries) — the hook package trace builds timelines on. Leaving it
-	// nil costs nothing.
+	// expiries) — the hook packages trace and metrics build timelines and
+	// per-round series on. Leaving it nil costs nothing.
 	OnEvent func(Event)
-	// Observer, if set, is called at the end of every round.
+	// Observer, if set, is called at the end of every round. It is the
+	// application-level hook (completion predicates, ad-hoc probes);
+	// instrumentation should use OnRoundEnd so both can coexist.
 	Observer func(round int, n *Network)
+	// OnRoundEnd, if set, is called as the very last action of every
+	// Step, after Observer — the per-round flush hook the metrics
+	// recorder samples end-of-round state on (aware-tile counts, energy
+	// deltas). round is the 1-based index of the round that just
+	// executed. Leaving it nil costs nothing.
+	OnRoundEnd func(round int, n *Network)
 }
 
 // EventKind classifies a protocol event.
@@ -152,13 +163,20 @@ func (k EventKind) String() string {
 // name a message (an upset-scrambled frame no longer has a trustworthy
 // ID).
 type Event struct {
+	// Round is the 1-based gossip round the event occurred in; round 0
+	// identifies pre-run injections (Network.Inject before the first
+	// Step).
 	Round int
-	Kind  EventKind
-	Tile  packet.TileID
+	// Kind classifies the event (creation, transmission, ...).
+	Kind EventKind
+	// Tile is where the event happened.
+	Tile packet.TileID
 	// Peer is the far end of the link for EvTransmit, and the source
-	// tile for EvDeliver.
+	// tile for EvDeliver; for other kinds it repeats Tile.
 	Peer packet.TileID
-	Msg  packet.MsgID
+	// Msg names the message, or 0 when the ID is untrustworthy (a
+	// CRC-rejected frame).
+	Msg packet.MsgID
 }
 
 // DefaultTTL is a reasonable message lifetime for 4x4/5x5 grids: enough
@@ -624,6 +642,9 @@ func (n *Network) Step() {
 
 	if n.cfg.Observer != nil {
 		n.cfg.Observer(n.round, n)
+	}
+	if n.cfg.OnRoundEnd != nil {
+		n.cfg.OnRoundEnd(n.round, n)
 	}
 }
 

@@ -1,0 +1,156 @@
+// Package docaudit is a test-only CI gate for documentation coverage:
+// every exported identifier in the packages the observability layer
+// spans (internal/core, internal/sim, internal/metrics, internal/trace)
+// must carry a godoc comment. The repo's convention is that those
+// comments state units (rounds, bits, joules) and cite the thesis
+// section they reproduce; this gate can only enforce presence, so the
+// units rule is enforced by review — but an undocumented export fails
+// CI here rather than slipping through.
+package docaudit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// audited lists the packages under the godoc gate, relative to this
+// directory.
+var audited = []string{"../core", "../sim", "../metrics", "../trace"}
+
+// TestExportedIdentifiersDocumented parses each audited package
+// (non-test files only) and fails with a file:line list of every
+// exported declaration that has no doc comment.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	for _, dir := range audited {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			for _, miss := range auditDir(t, dir) {
+				t.Error(miss)
+			}
+		})
+	}
+}
+
+// auditDir returns one "file:line: <what> is undocumented" string per
+// exported declaration without a doc comment in dir.
+func auditDir(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	var missing []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s is undocumented", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedRecv(d) {
+						continue
+					}
+					if d.Doc == nil {
+						report(d.Pos(), "func "+funcName(d))
+					}
+				case *ast.GenDecl:
+					auditGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return missing
+}
+
+// auditGenDecl checks the specs of one const/var/type block. A doc
+// comment on the block covers every spec in it (the grouped-const
+// idiom); otherwise each exported spec needs its own.
+func auditGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return
+	}
+	blockDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !blockDoc && s.Doc == nil {
+				report(s.Pos(), "type "+s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				auditFields(s.Name.Name, st, report)
+			}
+		case *ast.ValueSpec:
+			if blockDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), d.Tok.String()+" "+name.Name)
+				}
+			}
+		}
+	}
+}
+
+// auditFields checks the exported fields of an exported struct type: a
+// field needs a doc comment or an inline trailing comment (units live
+// there).
+func auditFields(typeName string, st *ast.StructType, report func(token.Pos, string)) {
+	for _, f := range st.Fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				report(name.Pos(), "field "+typeName+"."+name.Name)
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the API surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcName renders "Name" or "(Recv).Name" for failure messages.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		t = s.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + d.Name.Name
+	}
+	return d.Name.Name
+}

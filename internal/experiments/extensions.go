@@ -13,6 +13,7 @@ import (
 	"repro/internal/directed"
 	"repro/internal/fault"
 	"repro/internal/mapping"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -223,19 +224,29 @@ func GridSpread(side int, p float64, mc sim.Config) ([]GridSpreadRow, error) {
 	g := topology.NewGrid(side, side)
 	maxRounds := 6 * side
 	curves, err := sim.Run(mc, func(_ int, seed uint64) ([]int, error) {
-		net, err := core.New(core.Config{
+		// The per-round awareness curve comes from the metrics
+		// recorder's AwareTiles series (the engine flushes it at every
+		// round end), not a hand-rolled Aware() polling loop.
+		rec := metrics.NewRecorder(metrics.Config{Rounds: maxRounds})
+		cfg := core.Config{
 			Topo: g, P: p, TTL: uint8(min(255, maxRounds)), MaxRounds: maxRounds + 1,
 			Seed: seed,
-		})
+		}
+		rec.Install(&cfg)
+		net, err := core.New(cfg)
 		if err != nil {
 			return nil, err
 		}
 		center := g.ID(side/2, side/2)
 		id := net.Inject(center, packet.Broadcast, 0, nil)
-		curve := make([]int, maxRounds)
+		rec.Watch(id)
 		for round := 0; round < maxRounds; round++ {
 			net.Step()
-			curve[round] = net.Aware(id)
+		}
+		aware := rec.Series().Int(metrics.AwareTiles)
+		curve := make([]int, maxRounds)
+		for round := 0; round < maxRounds; round++ {
+			curve[round] = int(aware[round+1])
 		}
 		return curve, nil
 	})

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -15,10 +16,13 @@ import (
 
 // producerConsumerTrace runs the §3.2.1 example and reports the spread:
 // the Producer on (paper) tile 6 = 0-based tile 5 gossips one message to
-// the Consumer on tile 12 = 0-based tile 11.
+// the Consumer on tile 12 = 0-based tile 11. The awareness trajectory
+// comes from the metrics recorder's AwareTiles series (flushed by the
+// engine's OnRoundEnd hook every round) rather than a hand-rolled tally.
 func producerConsumerTrace(seed uint64, p float64) (Fig33Result, error) {
 	grid := topology.NewGrid(4, 4)
 	deliveryRound := -1
+	rec := metrics.NewRecorder(metrics.Config{Rounds: 100})
 	cfg := core.Config{
 		Topo: grid, P: p, TTL: core.DefaultTTL, MaxRounds: 100, Seed: seed,
 		OnDeliver: func(t packet.TileID, pk *packet.Packet, round int) {
@@ -27,18 +31,23 @@ func producerConsumerTrace(seed uint64, p float64) (Fig33Result, error) {
 			}
 		},
 	}
+	rec.Install(&cfg)
 	net, err := core.New(cfg)
 	if err != nil {
 		return Fig33Result{}, err
 	}
 	id := net.Inject(5, 11, prodcons.KindData, []byte("rumor"))
-	var perRound []int
+	rec.Watch(id)
 	for round := 0; round < 100 && deliveryRound < 0; round++ {
 		net.Step()
-		perRound = append(perRound, net.Aware(id))
 	}
 	if deliveryRound < 0 {
 		return Fig33Result{}, fmt.Errorf("experiments: producer-consumer run did not deliver")
+	}
+	aware := rec.Series().Int(metrics.AwareTiles)
+	perRound := make([]int, net.Round())
+	for r := 1; r <= net.Round(); r++ {
+		perRound[r-1] = int(aware[r])
 	}
 	return Fig33Result{
 		DeliveryRound:     deliveryRound,

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RoundStat is the cross-replica statistic of one series at one round.
+// Units follow the series (counts for integer series, fractions or
+// joules for the float series); CI95 is the half-width of the
+// normal-approximation 95% confidence interval on the mean.
+type RoundStat struct {
+	// N is how many replicas contributed a value at this round (runs
+	// stop at different rounds, so N can shrink along the tail).
+	N int
+	// Sum is the exact total over the contributing replicas — the
+	// field that reconciles against core.Counters totals (for integer
+	// series it is an integer-valued float64).
+	Sum float64
+	// Mean, Min, Max summarize the contributing replicas.
+	Mean, Min, Max float64
+	// CI95 is the 95% confidence half-width on Mean (0 for N < 2).
+	CI95 float64
+}
+
+// Aggregate is the deterministic cross-replica merge of per-round
+// series: for every series and every round, the mean/min/max/CI over the
+// Monte Carlo replicas that reached that round. Produced by Merge
+// (usually via sim.RunSeries) and consumed by the exporters.
+type Aggregate struct {
+	// Reg names the series.
+	Reg *Registry
+	// Replicas is how many runs were merged.
+	Replicas int
+	// Rounds is the longest run's highest round; every series has
+	// Rounds+1 entries.
+	Rounds int
+	// Ints holds the merged integer series, indexed [IntID][round].
+	Ints [][]RoundStat
+	// Floats holds the merged float series, indexed [FloatID][round].
+	Floats [][]RoundStat
+}
+
+// Int returns one merged integer series (length Rounds+1, index=round).
+func (a *Aggregate) Int(id IntID) []RoundStat { return a.Ints[id] }
+
+// Float returns one merged float series (length Rounds+1, index=round).
+func (a *Aggregate) Float(id FloatID) []RoundStat { return a.Floats[id] }
+
+// Merge folds replicas' TimeSeries into per-round cross-replica
+// statistics. All runs must share one registry definition (same series,
+// same order). The fold visits replicas in slice order, so the result is
+// a pure function of the input slice — the internal/sim runner hands
+// replicas over in replica-index order, making the merged output
+// invariant under worker count and scheduling (Welford accumulation is
+// order-sensitive in its float rounding, so the fixed order is what
+// makes the bytes reproducible).
+func Merge(runs []*TimeSeries) (*Aggregate, error) {
+	if len(runs) == 0 {
+		return nil, errors.New("metrics: Merge of zero runs")
+	}
+	reg := runs[0].Reg
+	rounds := 0
+	for i, ts := range runs {
+		if !reg.same(ts.Reg) {
+			return nil, fmt.Errorf("metrics: Merge: replica %d recorded a different series registry", i)
+		}
+		if ts.Rounds > rounds {
+			rounds = ts.Rounds
+		}
+	}
+	a := &Aggregate{
+		Reg:      reg,
+		Replicas: len(runs),
+		Rounds:   rounds,
+		Ints:     make([][]RoundStat, reg.NumInt()),
+		Floats:   make([][]RoundStat, reg.NumFloat()),
+	}
+	for id := range a.Ints {
+		a.Ints[id] = make([]RoundStat, rounds+1)
+		for r := 0; r <= rounds; r++ {
+			var w welford
+			for _, ts := range runs {
+				if r <= ts.Rounds {
+					w.add(float64(ts.Ints[id][r]))
+				}
+			}
+			a.Ints[id][r] = w.stat()
+		}
+	}
+	for id := range a.Floats {
+		a.Floats[id] = make([]RoundStat, rounds+1)
+		for r := 0; r <= rounds; r++ {
+			var w welford
+			for _, ts := range runs {
+				if r <= ts.Rounds {
+					w.add(ts.Floats[id][r])
+				}
+			}
+			a.Floats[id][r] = w.stat()
+		}
+	}
+	return a, nil
+}
+
+// welford is a minimal order-deterministic mean/variance accumulator
+// (same algorithm as internal/stats.Online; duplicated here to keep the
+// RoundStat fold self-contained and the Sum field exact).
+type welford struct {
+	n             int
+	mean, m2, sum float64
+	min, max      float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	w.sum += x
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+	if w.n == 1 || x < w.min {
+		w.min = x
+	}
+	if w.n == 1 || x > w.max {
+		w.max = x
+	}
+}
+
+func (w *welford) stat() RoundStat {
+	s := RoundStat{N: w.n, Sum: w.sum, Mean: w.mean, Min: w.min, Max: w.max}
+	if w.n >= 2 {
+		sd := math.Sqrt(w.m2 / float64(w.n-1))
+		s.CI95 = 1.96 * sd / math.Sqrt(float64(w.n))
+	}
+	return s
+}

@@ -1,21 +1,30 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/stats"
 )
 
 // Counts tallies the protocol events of one replica, one field per
-// core.EventKind.
+// core.EventKind. All fields are event counts over the whole run.
 type Counts struct {
-	Created       int
+	// Created counts messages entering a send buffer (EvCreated).
+	Created int
+	// Transmissions counts copies driven onto links (EvTransmit).
 	Transmissions int
 	// CRCRejects counts receptions discarded as scrambled (EvUpset).
-	CRCRejects    int
+	CRCRejects int
+	// OverflowDrops counts messages lost to buffer overflow (EvOverflow).
 	OverflowDrops int
-	Deliveries    int
-	TTLExpiries   int
+	// Deliveries counts first-time deliveries to addressed tiles
+	// (EvDeliver).
+	Deliveries int
+	// TTLExpiries counts buffered copies garbage-collected at TTL zero
+	// (EvExpire).
+	TTLExpiries int
 }
 
 // Collector is a reusable core.Config.OnEvent hook that feeds Counts.
@@ -24,11 +33,15 @@ type Counts struct {
 //	var col sim.Collector
 //	cfg.OnEvent = col.OnEvent
 type Collector struct {
+	// Counts is the running tally, valid at any point during the run.
 	Counts Counts
 }
 
 // OnEvent counts one protocol event. It has the core.Config.OnEvent
-// signature.
+// signature. The switch is exhaustive over the core.EventKind values;
+// an unknown kind means a new event kind was added to the engine
+// without a Counts field, and silently ignoring it would undercount —
+// so it panics instead (guarded by TestMetricsCountsExhaustive).
 func (c *Collector) OnEvent(e core.Event) {
 	switch e.Kind {
 	case core.EvCreated:
@@ -43,6 +56,8 @@ func (c *Collector) OnEvent(e core.Event) {
 		c.Counts.Deliveries++
 	case core.EvExpire:
 		c.Counts.TTLExpiries++
+	default:
+		panic(fmt.Sprintf("sim: Collector.OnEvent: unhandled core.EventKind %v", e.Kind))
 	}
 }
 
@@ -90,17 +105,31 @@ type Aggregate struct {
 	// CompletionRate is Completed / Replicas.
 	CompletionRate float64
 
-	// Over completed replicas:
-	Rounds       stats.Summary
-	EnergyJ      stats.Summary
+	// Rounds summarizes completion latency in rounds, over completed
+	// replicas only.
+	Rounds stats.Summary
+	// EnergyJ summarizes total communication energy in joules, over
+	// completed replicas only.
+	EnergyJ stats.Summary
+	// EnergyPerBit summarizes joules per useful delivered payload bit
+	// (Eq. 3), over completed replicas only.
 	EnergyPerBit stats.Summary
 
-	// Over all replicas:
+	// Transmissions summarizes link transmissions per replica, over all
+	// replicas.
 	Transmissions stats.Summary
-	Deliveries    stats.Summary
-	CRCRejects    stats.Summary
+	// Deliveries summarizes first-time deliveries per replica, over all
+	// replicas.
+	Deliveries stats.Summary
+	// CRCRejects summarizes CRC-rejected receptions per replica, over
+	// all replicas.
+	CRCRejects stats.Summary
+	// OverflowDrops summarizes overflow losses per replica, over all
+	// replicas.
 	OverflowDrops stats.Summary
-	TTLExpiries   stats.Summary
+	// TTLExpiries summarizes TTL garbage collections per replica, over
+	// all replicas.
+	TTLExpiries stats.Summary
 }
 
 // Summarize aggregates ms into summary statistics with mean, stddev and

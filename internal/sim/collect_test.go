@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestMetricsCountsExhaustive guards the Collector's exhaustive-switch
+// contract: every core.EventKind lands in its Counts field, and an
+// unknown kind (a new engine event with no Counts field) panics instead
+// of being silently dropped from the tally.
+func TestMetricsCountsExhaustive(t *testing.T) {
+	var c sim.Collector
+	for _, kind := range []core.EventKind{
+		core.EvCreated, core.EvTransmit, core.EvUpset,
+		core.EvOverflow, core.EvDeliver, core.EvExpire,
+	} {
+		c.OnEvent(core.Event{Kind: kind})
+	}
+	want := sim.Counts{
+		Created: 1, Transmissions: 1, CRCRejects: 1,
+		OverflowDrops: 1, Deliveries: 1, TTLExpiries: 1,
+	}
+	if c.Counts != want {
+		t.Fatalf("Counts after one event of each kind = %+v, want %+v", c.Counts, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Collector.OnEvent swallowed an unknown core.EventKind")
+		}
+	}()
+	c.OnEvent(core.Event{Kind: core.EventKind(250)})
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/metrics"
+)
+
+// RunSeries executes cfg.Replicas independent replicas that each record
+// a metrics.TimeSeries and merges them into per-round cross-replica
+// statistics (mean/min/max/95%-CI per round per series). The merge
+// inherits Run's determinism contract: replicas land in index order
+// before metrics.Merge folds them, so the aggregate — and any JSONL/CSV
+// artifact exported from it — is bit-identical whether the batch ran on
+// 1 worker or 64.
+func RunSeries(cfg Config, body func(replica int, seed uint64) (*metrics.TimeSeries, error)) (*metrics.Aggregate, error) {
+	runs, err := Run(cfg, body)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.Merge(runs)
+}
+
+// MeasureSeries is Measure for replicas instrumented with a
+// metrics.Recorder instead of a Collector: it extracts the standard
+// per-replica Metrics (completion, rounds, joules) and fills Counts from
+// the recorder's cumulative event totals. rec may be nil when no
+// recorder was attached.
+func MeasureSeries(net *core.Network, res core.Result, tech energy.Technology, rec *metrics.Recorder) Metrics {
+	m := Measure(net, res, tech, nil)
+	if rec != nil {
+		m.Counts = Counts{
+			Created:       int(rec.Total(metrics.Created)),
+			Transmissions: int(rec.Total(metrics.Transmissions)),
+			CRCRejects:    int(rec.Total(metrics.CRCRejects)),
+			OverflowDrops: int(rec.Total(metrics.OverflowDrops)),
+			Deliveries:    int(rec.Total(metrics.Deliveries)),
+			TTLExpiries:   int(rec.Total(metrics.TTLExpiries)),
+		}
+	}
+	return m
+}

@@ -22,7 +22,8 @@ type Collector struct {
 	events []core.Event
 	// Cap bounds memory (0 = unlimited); beyond it, new events are
 	// dropped and Truncated is set.
-	Cap       int
+	Cap int
+	// Truncated reports that Cap was hit and the timeline is incomplete.
 	Truncated bool
 }
 
