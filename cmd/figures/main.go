@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	figures [-fig all|3-1|3-3|4-4|4-5|4-6|4-8|4-9|4-10|4-11|5-3]
-//	        [-runs N] [-seed S] [-workers W] [-quick]
+//	figures [-fig all|3-1|3-3|4-4|4-5|4-6|4-8|4-9|4-10|4-11|5-3|scaling]
+//	        [-runs N] [-seed S] [-workers W] [-shards K] [-quick]
 //	        [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick shrinks sweep resolutions for a fast smoke run. -workers sets
 // the Monte Carlo replica pool (0 = GOMAXPROCS); results are identical
 // for every worker count — replicas are seeded by index, not by
-// scheduling order.
+// scheduling order. -shards sets the intra-replica shard count for the
+// `-fig scaling` study (0 auto-picks from idle cores); engine results
+// are bit-identical at any shard count. The scaling study prints
+// machine-dependent wall-clock, so it is excluded from -fig all (whose
+// output is diffed against figures_output.txt) and must be requested
+// explicitly.
 //
 // -metrics FILE additionally runs the canonical instrumented broadcast
 // (the Fig. 3-3 walkthrough on the 8×8 microbench mesh, -runs replicas)
@@ -49,6 +54,7 @@ var (
 	seedFlag    = flag.Uint64("seed", 2003, "master seed")
 	workersFlag = flag.Int("workers", 0, "parallel replica workers (0 = GOMAXPROCS)")
 	quick       = flag.Bool("quick", false, "reduced sweep resolution")
+	shardsFlag  = flag.Int("shards", 0, "engine shards per replica for the scaling study (0 = auto from idle cores)")
 	metricsOut  = flag.String("metrics", "", "write per-round series of the canonical 8x8 broadcast to this file (JSONL; .csv suffix selects CSV)")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -79,26 +85,33 @@ func main() {
 	runners := []struct {
 		name string
 		run  func() error
+		// skipInAll excludes machine-dependent output (wall-clock tables)
+		// from -fig all, which is diffed against figures_output.txt.
+		skipInAll bool
 	}{
-		{"3-1", fig31},
-		{"3-3", fig33},
-		{"4-4", fig44},
-		{"4-5", fig45},
-		{"4-6", fig46},
-		{"4-8", fig48},
-		{"4-9", fig49},
-		{"4-10", fig410},
-		{"4-11", fig411},
-		{"5-3", fig53},
-		{"ext-robustness", extRobustness},
-		{"ext-mapping", extMapping},
-		{"ext-spread", extSpread},
-		{"ext-bimodal", extBimodal},
-		{"ext-ttl", extTTL},
-		{"ext-fec", extFEC},
+		{name: "3-1", run: fig31},
+		{name: "3-3", run: fig33},
+		{name: "4-4", run: fig44},
+		{name: "4-5", run: fig45},
+		{name: "4-6", run: fig46},
+		{name: "4-8", run: fig48},
+		{name: "4-9", run: fig49},
+		{name: "4-10", run: fig410},
+		{name: "4-11", run: fig411},
+		{name: "5-3", run: fig53},
+		{name: "ext-robustness", run: extRobustness},
+		{name: "ext-mapping", run: extMapping},
+		{name: "ext-spread", run: extSpread},
+		{name: "ext-bimodal", run: extBimodal},
+		{name: "ext-ttl", run: extTTL},
+		{name: "ext-fec", run: extFEC},
+		{name: "scaling", run: extScaling, skipInAll: true},
 	}
 	ran := false
 	for _, r := range runners {
+		if *figFlag == "all" && r.skipInAll {
+			continue
+		}
 		if *figFlag != "all" && *figFlag != r.name {
 			continue
 		}
@@ -468,6 +481,32 @@ func extTTL() error {
 			fmt.Fprintf(w, "%d\t%.0f%%\t%.0f\t%s\n", r.TTL, 100*r.DeliveryRate, r.Transmissions.Mean, lat)
 		}
 	})
+	return nil
+}
+
+func extScaling() error {
+	sides := []int{16, 32, 64}
+	if *quick {
+		sides = []int{16, 32}
+	}
+	rows, err := experiments.GridScaling(sides, *shardsFlag, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Extension: sequential vs sharded engine, center broadcast to full awareness (p=0.5, TTL=255)")
+	fmt.Printf("GOMAXPROCS: %d\n", runtime.GOMAXPROCS(0))
+	table("mesh\tshards\trounds to full\ttransmissions\tseq [ms]\tsharded [ms]\tspeedup", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			full := ""
+			if !r.FullyAware {
+				full = " (died early)"
+			}
+			fmt.Fprintf(w, "%dx%d\t%d\t%d%s\t%d\t%.1f\t%.1f\t%.2fx\n",
+				r.Side, r.Side, r.Shards, r.RoundsToFull, full, r.Transmissions,
+				1e3*r.SeqSeconds, 1e3*r.ShardSeconds, r.Speedup)
+		}
+	})
+	fmt.Println("(wall-clock is machine-dependent; protocol columns are bit-identical at any shard count)")
 	return nil
 }
 

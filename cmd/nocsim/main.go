@@ -38,6 +38,7 @@ var (
 	p          = flag.Float64("p", 0.5, "forwarding probability")
 	ttl        = flag.Int("ttl", core.DefaultTTL, "message TTL in rounds")
 	seed       = flag.Uint64("seed", 1, "simulation seed")
+	shards     = flag.Int("shards", 0, "engine shards (0/1 = sequential; results identical at any count)")
 	deadT      = flag.Int("dead-tiles", 0, "tiles to crash")
 	deadL      = flag.Int("dead-links", 0, "links to crash")
 	upset      = flag.Float64("upset", 0, "per-transmission data-upset probability")
@@ -63,6 +64,7 @@ func main() {
 	deliveryRound := -1
 	cfg := core.Config{
 		Topo: grid, P: *p, TTL: uint8(*ttl), MaxRounds: *maxR, Seed: *seed,
+		Shards: *shards,
 		Fault: fault.Model{
 			DeadTiles: *deadT, DeadLinks: *deadL,
 			PUpset: *upset, POverflow: *overflow, SigmaSync: *sigma,
@@ -88,7 +90,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	id := net.Inject(packet.TileID(*src), packet.TileID(*dst), 1, make([]byte, *payload))
+	id, err := net.Inject(packet.TileID(*src), packet.TileID(*dst), 1, make([]byte, *payload))
+	if err != nil {
+		log.Fatal(err)
+	}
 	if rec != nil {
 		rec.Watch(id)
 	}

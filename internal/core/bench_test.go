@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/fault"
@@ -27,6 +28,30 @@ func stepNet(tb testing.TB, cfg Config) *Network {
 	// Warm up past the spread transient so every tile holds a copy and
 	// internal buffers have reached their steady capacity.
 	for i := 0; i < 60; i++ {
+		n.Step()
+	}
+	return n
+}
+
+// scaleNet is the large-mesh fixture of the sharded-engine benchmarks: a
+// side×side grid with a *center* broadcast (a corner broadcast would need
+// ~2× the rounds to cover the mesh, eating into the TTL-bounded
+// measurement window), warmed up until every tile holds a live copy.
+func scaleNet(tb testing.TB, side int, cfg Config) *Network {
+	tb.Helper()
+	g := topology.NewGrid(side, side)
+	cfg.Topo = g
+	cfg.TTL = 255
+	cfg.MaxRounds = 100000
+	n, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n.Inject(g.ID(side/2, side/2), packet.Broadcast, 0, make([]byte, 16))
+	// A p=0.5 center broadcast reaches the whole mesh in a little over
+	// side rounds (~0.8 hops/round over side/2..side hops); side+30
+	// rounds leave a wide steady-state window before the TTL guillotine.
+	for i := 0; i < side+30; i++ {
 		n.Step()
 	}
 	return n
@@ -65,6 +90,47 @@ func BenchmarkStepGrid8x8Sync(b *testing.B) {
 			b.StartTimer()
 		}
 		n.Step()
+	}
+}
+
+// benchStepShards measures one Step of a side×side grid in broadcast
+// steady state at the given shard count (1 = the sequential engine).
+func benchStepShards(b *testing.B, side, shards int) {
+	cfg := Config{P: 0.5, Seed: 1, Shards: shards}
+	n := scaleNet(b, side, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n.round >= 230 {
+			// The broadcast dies when its TTL runs out; restart the
+			// steady state outside the timer.
+			b.StopTimer()
+			n = scaleNet(b, side, cfg)
+			b.StartTimer()
+		}
+		n.Step()
+	}
+}
+
+// BenchmarkStepGrid32x32 compares the sequential engine against the
+// sharded engine on a 1024-tile mesh — the scaling kernel of the
+// EXPERIMENTS.md wall-clock table. The shards=1 case is the sequential
+// baseline; speedup is meaningful only with GOMAXPROCS >= shards.
+func BenchmarkStepGrid32x32(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStepShards(b, 32, shards)
+		})
+	}
+}
+
+// BenchmarkStepGrid64x64 is the same comparison on a 4096-tile mesh,
+// where per-round work is large enough to amortize the phase barriers.
+func BenchmarkStepGrid64x64(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStepShards(b, 64, shards)
+		})
 	}
 }
 

@@ -84,6 +84,19 @@ type Config struct {
 	MaxRounds int
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Shards partitions the tiles into this many contiguous shards and
+	// runs the per-tile phases of every round shard-parallel; 0 or 1
+	// selects the sequential engine. Results are bit-identical at any
+	// shard count (see DESIGN.md, "Sharded engine") — Shards is purely a
+	// wall-clock knob for large meshes. Counts above the tile count are
+	// clamped. One behavioural caveat: observer hooks (OnEvent,
+	// OnDeliver) fire after the phase barrier instead of mid-phase, so a
+	// hook that reads network state (Aware, Counters) sees end-of-phase
+	// values; hooks that only record their arguments — every hook in
+	// this repository — are unaffected. PortWeight and SetRouter
+	// functions must be pure (they already must be) and are called
+	// concurrently when Shards > 1.
+	Shards int
 	// DisableDedup turns off duplicate suppression in the send buffer,
 	// for the ablation study (the thesis keeps exactly one copy).
 	DisableDedup bool
@@ -197,6 +210,9 @@ func (c *Config) Validate() error {
 	if c.BufferCap < 0 {
 		return errors.New("core: negative BufferCap")
 	}
+	if c.Shards < 0 {
+		return errors.New("core: negative Shards")
+	}
 	return c.Fault.Validate()
 }
 
@@ -246,20 +262,31 @@ type tile struct {
 
 // Network is one simulated stochastically-communicating NoC.
 type Network struct {
-	cfg       Config
-	topo      topology.Topology
-	inj       *fault.Injector
-	tiles     []*tile
-	round     int
-	nextID    packet.MsgID
-	cnt       Counters
-	msgs      []msgState // per-message state indexed by MsgID; [0] unused
-	framePool [][]byte   // recycled wire frames for the literal-upset path
-	// borrowed points at the in-processing literal arrival whose payload
-	// still aliases its pooled frame; deliver/enqueue clone the payload
-	// (once, shared) the moment that packet is stored. Nil otherwise.
-	borrowed *packet.Packet
-	started  bool
+	cfg    Config
+	topo   topology.Topology
+	inj    *fault.Injector
+	tiles  []*tile
+	round  int
+	nextID packet.MsgID
+	cnt    Counters
+	msgs   []msgState // per-message state indexed by MsgID; [0] unused
+
+	// seqLane is the direct execution lane covering every tile: the
+	// whole sequential engine runs on it, and in sharded mode so do
+	// phase 1 and the order-dependent phase-4 fallback (shard.go).
+	seqLane lane
+	// lanes holds one lane per shard; empty for the sequential engine.
+	lanes []lane
+	// par is true while shard goroutines are live; per-message
+	// aware-count updates switch to atomics under it. It is only
+	// written by the stepping goroutine between barriers.
+	par bool
+	// hasReceiver caches whether any attached process implements
+	// Receiver (recomputed when procsDirty; consulted by stepShards).
+	hasReceiver bool
+	procsDirty  bool
+
+	started bool
 }
 
 // New builds a network from cfg. Tile crash failures are sampled here,
@@ -276,7 +303,7 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, topo: cfg.Topo, inj: inj, msgs: make([]msgState, 1, 8)}
+	n := &Network{cfg: cfg, topo: cfg.Topo, inj: inj, msgs: make([]msgState, 1, 8), procsDirty: true}
 	// Without synchronization skew every copy arrives in the round it was
 	// sent, so one recycled arrival bucket per tile covers all traffic.
 	ringLen := 1
@@ -294,6 +321,15 @@ func New(cfg Config) (*Network, error) {
 		t.ctx = Ctx{net: n, tile: t}
 		n.tiles[i] = t
 	}
+	n.seqLane = lane{net: n, lo: 0, hi: len(n.tiles), direct: true, cnt: &n.cnt}
+	if s := cfg.Shards; s > 1 {
+		if s > len(n.tiles) {
+			s = len(n.tiles)
+		}
+		if s > 1 {
+			n.initLanes(s)
+		}
+	}
 	return n, nil
 }
 
@@ -301,6 +337,7 @@ func New(cfg Config) (*Network, error) {
 // bug, not a runtime condition).
 func (n *Network) Attach(t packet.TileID, proc Process) {
 	n.tiles[t].proc = proc
+	n.procsDirty = true
 }
 
 // SetForwardLimit caps how many distinct messages tile t may forward per
@@ -388,6 +425,10 @@ func (n *Network) Topology() topology.Topology { return n.topo }
 // simulation starts (or between rounds), bypassing any Process. It is the
 // entry point for pure-dissemination experiments.
 //
+// A payload longer than packet.MaxPayload cannot be framed, so Inject
+// rejects it up front with packet.ErrTooLarge — no message is created and
+// no ID is consumed. This is the only error Inject returns.
+//
 // Contract for a crashed source: a dead tile cannot talk, so the message
 // is silently dropped — but the returned MsgID is still consumed from the
 // dense ID space (IDs identify injection attempts, not successful ones).
@@ -395,18 +436,21 @@ func (n *Network) Topology() topology.Topology { return n.topo }
 // check Injector().TileAlive(src) beforehand, or observe that Aware(id)
 // stays 0 — a live injection always has Aware(id) >= 1 (the originator
 // knows its own rumor).
-func (n *Network) Inject(src, dst packet.TileID, kind packet.Kind, payload []byte) packet.MsgID {
+func (n *Network) Inject(src, dst packet.TileID, kind packet.Kind, payload []byte) (packet.MsgID, error) {
+	if len(payload) > packet.MaxPayload {
+		return 0, packet.ErrTooLarge
+	}
 	id := n.newMsgID()
 	if !n.inj.TileAlive(src) {
-		return id
+		return id, nil
 	}
 	// The originator knows its own rumor: never deliver it back to src.
 	n.setSeen(n.tiles[src], id)
 	n.emit(EvCreated, src, src, id)
-	n.enqueue(n.tiles[src], &packet.Packet{
+	n.enqueue(&n.seqLane, n.tiles[src], &packet.Packet{
 		ID: id, Src: src, Dst: dst, Kind: kind, TTL: n.cfg.TTL, Payload: payload,
 	})
-	return id
+	return id, nil
 }
 
 // newMsgID issues the next dense message ID and extends the per-message
@@ -425,39 +469,26 @@ func (n *Network) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgI
 }
 
 // enqueue inserts *p into t's send buffer, enforcing dedup and capacity.
-// The packet is copied by value; the caller keeps ownership of *p.
-func (n *Network) enqueue(t *tile, p *packet.Packet) {
+// The packet is copied by value; the caller keeps ownership of *p. Counts
+// and events go through the executing lane.
+func (n *Network) enqueue(ln *lane, t *tile, p *packet.Packet) {
 	if !n.cfg.DisableDedup && t.flagsOf(p.ID)&flagPresent != 0 {
-		n.cnt.Duplicates++
+		ln.cnt.Duplicates++
 		return
 	}
 	if n.cfg.BufferCap > 0 && len(t.sendBuf) >= n.cfg.BufferCap {
 		// Hard overflow: oldest dropped first (§4.2).
 		if len(t.sendBuf) > 0 {
-			n.emit(EvOverflow, t.id, t.id, t.sendBuf[0].ID)
+			ln.emit(EvOverflow, t.id, t.id, t.sendBuf[0].ID)
 		}
 		n.dropOldest(t)
-		n.cnt.OverflowDrops++
+		ln.cnt.OverflowDrops++
 	}
-	if n.borrowed == p {
-		n.unshare(p)
+	if ln.borrowed == p {
+		ln.unshare(p)
 	}
 	t.sendBuf = append(t.sendBuf, *p)
 	n.setPresent(t, p.ID)
-}
-
-// unshare replaces a frame-aliased payload with a private copy at the
-// moment a literal-path packet is first stored; clearing borrowed lets
-// deliver and enqueue share that one copy, exactly as Decode used to
-// provide. Steady-state duplicates never reach this point, so they cost
-// no payload copy at all.
-func (n *Network) unshare(p *packet.Packet) {
-	if len(p.Payload) > 0 {
-		owned := make([]byte, len(p.Payload))
-		copy(owned, p.Payload)
-		p.Payload = owned
-	}
-	n.borrowed = nil
 }
 
 func (n *Network) dropOldest(t *tile) {
@@ -473,8 +504,11 @@ func (n *Network) dropOldest(t *tile) {
 
 // deliver hands *p to t's IP mailbox if it addresses t and has not been
 // delivered here before. The mailbox takes a heap copy, so the ring slot
-// or buffer entry backing *p can be recycled freely afterwards.
-func (n *Network) deliver(t *tile, p *packet.Packet) {
+// or buffer entry backing *p can be recycled freely afterwards. On a
+// non-direct lane the OnDeliver callback is staged for the post-barrier
+// flush; Receiver processes never reach a non-direct lane (their presence
+// forces the sequential phase-4 fallback in stepShards).
+func (n *Network) deliver(ln *lane, t *tile, p *packet.Packet) {
 	if p.Dst != t.id && p.Dst != packet.Broadcast {
 		return
 	}
@@ -485,19 +519,28 @@ func (n *Network) deliver(t *tile, p *packet.Packet) {
 	if n.cfg.StopSpreadOnDelivery && p.Dst == t.id {
 		n.stateOf(p.ID).dead = true
 	}
-	if n.borrowed == p {
-		n.unshare(p)
+	if ln.borrowed == p {
+		ln.unshare(p)
 	}
 	q := *p // one allocation per first-time delivery — off the steady state
 	t.mailbox = append(t.mailbox, &q)
-	n.cnt.Deliveries++
-	n.cnt.DeliveredPayloadBits += 8 * len(p.Payload)
-	n.emit(EvDeliver, t.id, p.Src, p.ID)
-	if n.cfg.OnDeliver != nil {
-		n.cfg.OnDeliver(t.id, &q, n.round)
+	ln.cnt.Deliveries++
+	ln.cnt.DeliveredPayloadBits += 8 * len(p.Payload)
+	ln.emit(EvDeliver, t.id, p.Src, p.ID)
+	if ln.direct {
+		if n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(t.id, &q, n.round)
+		}
+		if rcv, ok := t.proc.(Receiver); ok {
+			rcv.Receive(&t.ctx, &q)
+		}
+		return
 	}
-	if rcv, ok := t.proc.(Receiver); ok {
-		rcv.Receive(&t.ctx, &q)
+	if n.cfg.OnDeliver != nil {
+		ln.actions = append(ln.actions, action{
+			ev:  Event{Round: n.round, Kind: EvDeliver, Tile: t.id, Peer: p.Src, Msg: p.ID},
+			pkt: &q,
+		})
 	}
 }
 
@@ -506,6 +549,12 @@ func (n *Network) deliver(t *tile, p *packet.Packet) {
 // end of the link within round r (one hop per round), so under flooding a
 // message is delivered at round = Manhattan distance, matching the
 // Fig. 3-3 walkthrough.
+//
+// The round body is split into phase functions so the sequential engine
+// and the sharded engine (shard.go) share one implementation: sequential
+// mode runs phases 2-4 on the network-wide direct lane; sharded mode runs
+// them per-shard between barriers. Phase 1 always runs sequentially — it
+// allocates message IDs, whose order is observable.
 func (n *Network) Step() {
 	if !n.started {
 		n.started = true
@@ -517,8 +566,26 @@ func (n *Network) Step() {
 	}
 	n.round++
 
-	// Phase 1 — computation: run the IP cores; they read the mailbox
-	// filled during the previous round and may create new messages.
+	n.phaseCompute()
+	if len(n.lanes) > 0 {
+		n.stepShards()
+	} else {
+		n.phaseAge(&n.seqLane)
+		n.phaseForward(&n.seqLane)
+		n.phaseReceive(&n.seqLane)
+	}
+
+	if n.cfg.Observer != nil {
+		n.cfg.Observer(n.round, n)
+	}
+	if n.cfg.OnRoundEnd != nil {
+		n.cfg.OnRoundEnd(n.round, n)
+	}
+}
+
+// phaseCompute is phase 1 — computation: run the IP cores; they read the
+// mailbox filled during the previous round and may create new messages.
+func (n *Network) phaseCompute() {
 	for _, t := range n.tiles {
 		if t.proc == nil || !n.inj.TileAlive(t.id) {
 			continue
@@ -531,9 +598,13 @@ func (n *Network) Step() {
 		}
 		t.mailbox = t.mailbox[:0]
 	}
+}
 
-	// Phase 2 — aging: decrement TTLs, garbage-collect expired messages.
-	for _, t := range n.tiles {
+// phaseAge is phase 2 — aging: decrement TTLs, garbage-collect expired
+// messages, for the lane's tile range.
+func (n *Network) phaseAge(ln *lane) {
+	for ti := ln.lo; ti < ln.hi; ti++ {
+		t := n.tiles[ti]
 		if !n.inj.TileAlive(t.id) {
 			continue
 		}
@@ -543,7 +614,7 @@ func (n *Network) Step() {
 			p.TTL--
 			if p.TTL == 0 || n.isDead(p.ID) {
 				n.clearPresent(t, p.ID)
-				n.emit(EvExpire, t.id, t.id, p.ID)
+				ln.emit(EvExpire, t.id, t.id, p.ID)
 				continue
 			}
 			kept = append(kept, *p)
@@ -554,25 +625,41 @@ func (n *Network) Step() {
 		}
 		t.sendBuf = kept
 	}
+}
 
-	// Phase 3 — forwarding: every buffered message goes out on each port
-	// independently with probability P; skew-free copies arrive within
-	// this round, skewed ones slip to later rounds.
-	for _, t := range n.tiles {
+// phaseForward is phase 3 — forwarding: every buffered message goes out
+// on each port independently with probability P; skew-free copies arrive
+// within this round, skewed ones slip to later rounds.
+func (n *Network) phaseForward(ln *lane) {
+	for ti := ln.lo; ti < ln.hi; ti++ {
+		t := n.tiles[ti]
 		if !n.inj.TileAlive(t.id) {
 			continue
 		}
-		count := len(t.sendBuf)
+		buffered := len(t.sendBuf)
+		if buffered == 0 {
+			continue
+		}
+		count := buffered
 		if t.fwdLimit > 0 && count > t.fwdLimit {
 			count = t.fwdLimit // serializing bridge: TDM slots this round
 		}
+		// Round-robin over the buffer so a long-lived message cannot hog a
+		// rate-limited bridge. The cursor is normalized once (the buffer
+		// may have shrunk since last round) and then advanced with
+		// wrap-on-overflow subtractions: this inner loop runs per buffered
+		// message per round, and a `%` per iteration is measurably slower
+		// than a compare-and-subtract.
+		cur := t.fwdCursor % buffered
 		for i := 0; i < count; i++ {
-			// Round-robin over the buffer so a long-lived message cannot
-			// hog a rate-limited bridge.
-			p := &t.sendBuf[(t.fwdCursor+i)%len(t.sendBuf)]
+			idx := cur + i
+			if idx >= buffered {
+				idx -= buffered // i < count <= buffered: one wrap at most
+			}
+			p := &t.sendBuf[idx]
 			if t.router != nil {
 				for _, nb := range t.router(p) {
-					n.transmit(t, nb, p)
+					n.transmit(ln, t, nb, p)
 				}
 				continue
 			}
@@ -584,17 +671,23 @@ func (n *Network) Step() {
 				if !t.rnd.Bool(prob) {
 					continue
 				}
-				n.transmit(t, nb, p)
+				n.transmit(ln, t, nb, p)
 			}
 		}
-		if len(t.sendBuf) > 0 {
-			t.fwdCursor = (t.fwdCursor + count) % len(t.sendBuf)
+		cur += count
+		if cur >= buffered {
+			cur -= buffered // count <= buffered: one wrap at most
 		}
+		t.fwdCursor = cur
 	}
+}
 
-	// Phase 4 — reception: consume the arrivals scheduled for this round,
-	// CRC-check them, merge survivors into the send buffer, deliver.
-	for _, t := range n.tiles {
+// phaseReceive is phase 4 — reception: consume the arrivals scheduled for
+// this round, CRC-check them, merge survivors into the send buffer,
+// deliver.
+func (n *Network) phaseReceive(ln *lane) {
+	for ti := ln.lo; ti < ln.hi; ti++ {
+		t := n.tiles[ti]
 		if !n.inj.TileAlive(t.id) {
 			continue
 		}
@@ -604,13 +697,13 @@ func (n *Network) Step() {
 			var p *packet.Packet
 			switch {
 			case a.frame != nil:
-				if p = n.decodeArrival(t, a); p == nil {
+				if p = n.decodeArrival(ln, t, a); p == nil {
 					continue // frame already recycled
 				}
-				n.borrowed = p // payload still aliases the pooled frame
+				ln.borrowed = p // payload still aliases the pooled frame
 			case a.upset:
-				n.cnt.UpsetsDetected++
-				n.emit(EvUpset, t.id, t.id, a.pkt.ID)
+				ln.cnt.UpsetsDetected++
+				ln.emit(EvUpset, t.id, t.id, a.pkt.ID)
 				continue
 			default:
 				p = &a.pkt
@@ -622,29 +715,22 @@ func (n *Network) Step() {
 				// (Oldest-first eviction applies on the hard-capacity
 				// path in enqueue, per §4.2.)
 				if n.inj.OverflowHappens(t.rnd) {
-					n.cnt.OverflowDrops++
-					n.emit(EvOverflow, t.id, t.id, p.ID)
+					ln.cnt.OverflowDrops++
+					ln.emit(EvOverflow, t.id, t.id, p.ID)
 				} else {
-					n.deliver(t, p)
-					n.enqueue(t, p)
+					n.deliver(ln, t, p)
+					n.enqueue(ln, t, p)
 				}
 			}
 			if a.frame != nil {
 				// Consumed (any stored payload was cloned by unshare):
 				// the frame can go back to the pool.
-				n.putFrame(a.frame)
+				ln.pool.put(a.frame)
 				a.frame = nil
-				n.borrowed = nil
+				ln.borrowed = nil
 			}
 		}
 		t.ring.release(n.round)
-	}
-
-	if n.cfg.Observer != nil {
-		n.cfg.Observer(n.round, n)
-	}
-	if n.cfg.OnRoundEnd != nil {
-		n.cfg.OnRoundEnd(n.round, n)
 	}
 }
 
@@ -656,60 +742,41 @@ func (n *Network) Step() {
 // never issued is proof of corruption too — a CRC escape (~2^-16 per
 // scrambled frame) can smuggle a frame past the checksum, and rejecting
 // impossible IDs keeps the flat tables bounded by the real message count.
-func (n *Network) decodeArrival(t *tile, a *arrival) *packet.Packet {
+func (n *Network) decodeArrival(ln *lane, t *tile, a *arrival) *packet.Packet {
 	err := packet.DecodeInto(&a.pkt, a.frame)
 	if err != nil || a.pkt.ID == 0 || a.pkt.ID > n.nextID {
 		a.pkt.Payload = nil // drop the alias before pooling the frame
-		n.putFrame(a.frame)
+		ln.pool.put(a.frame)
 		a.frame = nil
-		n.cnt.UpsetsDetected++
+		ln.cnt.UpsetsDetected++
 		// A scrambled frame's ID is untrustworthy: report Msg 0.
-		n.emit(EvUpset, t.id, t.id, 0)
+		ln.emit(EvUpset, t.id, t.id, 0)
 		return nil
 	}
 	return &a.pkt
-}
-
-// getFrame returns a wire-frame buffer of the given size, reusing pooled
-// frames when one is large enough.
-func (n *Network) getFrame(size int) []byte {
-	for len(n.framePool) > 0 {
-		last := len(n.framePool) - 1
-		f := n.framePool[last]
-		n.framePool[last] = nil
-		n.framePool = n.framePool[:last]
-		if cap(f) >= size {
-			return f[:size]
-		}
-	}
-	return make([]byte, size)
-}
-
-// putFrame recycles a consumed wire frame.
-func (n *Network) putFrame(f []byte) {
-	n.framePool = append(n.framePool, f)
 }
 
 // transmit sends one copy of *p from tile t toward neighbor nb, applying
 // the transient fault model. The energy of driving the link is spent even
 // when the copy is lost downstream. The copy travels by value (analytic
 // path) or as a pooled encoded frame (literal path); either way the
-// steady state allocates nothing per transmission.
-func (n *Network) transmit(t *tile, nb packet.TileID, p *packet.Packet) {
-	n.cnt.Energy.AddTransmission(p.SizeBits())
-	n.emit(EvTransmit, t.id, nb, p.ID)
+// steady state allocates nothing per transmission. The arrival reaches
+// the destination ring through ln.send: directly on a direct lane, via
+// the post-phase outbox merge otherwise.
+func (n *Network) transmit(ln *lane, t *tile, nb packet.TileID, p *packet.Packet) {
+	ln.cnt.Energy.AddTransmission(p.SizeBits())
+	ln.emit(EvTransmit, t.id, nb, p.ID)
 	if !n.inj.LinkAlive(t.id, nb) {
 		return // crashed link or dead far-end tile: copy vanishes
 	}
 	slip := n.inj.SyncSlip(t.rnd)
 	if slip > 0 {
-		n.cnt.SlippedDeliveries++
+		ln.cnt.SlippedDeliveries++
 	}
 	when := n.round + slip
 
-	dst := n.tiles[nb]
 	if n.cfg.Fault.LiteralUpsets {
-		frame := n.getFrame(packet.EncodedLen(len(p.Payload)))
+		frame := ln.pool.get(packet.EncodedLen(len(p.Payload)))
 		if err := packet.EncodeTo(frame, p); err != nil {
 			// Oversized payloads are caught at Inject/Send time; an
 			// encode failure here is a programming error.
@@ -717,16 +784,16 @@ func (n *Network) transmit(t *tile, nb packet.TileID, p *packet.Packet) {
 		}
 		if n.inj.UpsetHappens(t.rnd) {
 			n.inj.CorruptFrame(frame, t.rnd)
-			n.cnt.UpsetsInjected++
+			ln.cnt.UpsetsInjected++
 		}
-		dst.ring.schedule(n.round, when, arrival{frame: frame})
+		ln.send(nb, when, arrival{frame: frame})
 	} else {
 		a := arrival{pkt: *p}
 		if n.inj.UpsetHappens(t.rnd) {
 			a.upset = true
-			n.cnt.UpsetsInjected++
+			ln.cnt.UpsetsInjected++
 		}
-		dst.ring.schedule(n.round, when, a)
+		ln.send(nb, when, a)
 	}
 }
 
@@ -821,21 +888,31 @@ func (c *Ctx) Delivered() []*packet.Packet { return c.delivered }
 
 // Send creates a new message and hands it to the communication fabric.
 // The IP core neither knows nor cares where dst is — locating it is the
-// gossip layer's job.
-func (c *Ctx) Send(dst packet.TileID, kind packet.Kind, payload []byte) packet.MsgID {
+// gossip layer's job. A payload longer than packet.MaxPayload cannot be
+// framed: Send rejects it with packet.ErrTooLarge, consuming no message
+// ID — the only error Send returns. Processes that only ever send small
+// fixed payloads may ignore the error.
+func (c *Ctx) Send(dst packet.TileID, kind packet.Kind, payload []byte) (packet.MsgID, error) {
+	if len(payload) > packet.MaxPayload {
+		return 0, packet.ErrTooLarge
+	}
 	id := c.net.newMsgID()
 	// The originator knows its own rumor: never deliver it back.
 	c.net.setSeen(c.tile, id)
 	c.net.emit(EvCreated, c.tile.id, c.tile.id, id)
-	c.net.enqueue(c.tile, &packet.Packet{
+	// Send only runs on the stepping goroutine (phase 1, or a Receiver
+	// during the sequential phase-4 fallback), so the direct lane is
+	// always the executing lane here.
+	c.net.enqueue(&c.net.seqLane, c.tile, &packet.Packet{
 		ID: id, Src: c.tile.id, Dst: dst, Kind: kind,
 		TTL: c.net.cfg.TTL, Payload: payload,
 	})
-	return id
+	return id, nil
 }
 
-// Broadcast creates a message addressed to every tile.
-func (c *Ctx) Broadcast(kind packet.Kind, payload []byte) packet.MsgID {
+// Broadcast creates a message addressed to every tile. It propagates
+// Send's packet.ErrTooLarge for oversized payloads.
+func (c *Ctx) Broadcast(kind packet.Kind, payload []byte) (packet.MsgID, error) {
 	return c.Send(packet.Broadcast, kind, payload)
 }
 

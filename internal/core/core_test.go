@@ -49,6 +49,15 @@ func mustNet(t *testing.T, cfg Config) *Network {
 	return n
 }
 
+func mustInject(tb testing.TB, n *Network, src, dst packet.TileID, kind packet.Kind, payload []byte) packet.MsgID {
+	tb.Helper()
+	id, err := n.Inject(src, dst, kind, payload)
+	if err != nil {
+		tb.Fatalf("Inject: %v", err)
+	}
+	return id
+}
+
 func baseCfg(topo topology.Topology, p float64) Config {
 	return Config{Topo: topo, P: p, TTL: DefaultTTL, MaxRounds: 200, Seed: 1}
 }
@@ -299,7 +308,7 @@ func TestBufferCapDropsOldest(t *testing.T) {
 	cfg.BufferCap = 2
 	cfg.TTL = 100
 	n := mustNet(t, cfg)
-	id1 := n.Inject(0, 1, 0, []byte("a"))
+	id1, _ := n.Inject(0, 1, 0, []byte("a"))
 	n.Inject(0, 1, 0, []byte("b"))
 	n.Inject(0, 1, 0, []byte("c"))
 	if got := len(n.tiles[0].sendBuf); got != 2 {

@@ -95,7 +95,7 @@ func TestQuickAwareMonotone(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		id := n.Inject(5, packet.Broadcast, 0, nil)
+		id, _ := n.Inject(5, packet.Broadcast, 0, nil)
 		prev := 0
 		for i := 0; i < 40; i++ {
 			n.Step()

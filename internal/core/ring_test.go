@@ -211,7 +211,7 @@ func TestSlipDelaysUnicastBeyondDistance(t *testing.T) {
 func TestStepAllocsSteadyState(t *testing.T) {
 	g := topology.NewGrid(8, 8)
 	n := mustNet(t, Config{Topo: g, P: 0.5, TTL: 255, MaxRounds: 100000, Seed: 1})
-	id := n.Inject(0, packet.Broadcast, 0, make([]byte, 16))
+	id, _ := n.Inject(0, packet.Broadcast, 0, make([]byte, 16))
 	for i := 0; i < 60; i++ {
 		n.Step()
 	}
@@ -253,12 +253,12 @@ func TestInjectCrashedSourceContract(t *testing.T) {
 		t.Fatal("fault setup broken: tile 0 should be dead")
 	}
 
-	id := n.Inject(0, 1, 0, []byte("lost"))
+	id, _ := n.Inject(0, 1, 0, []byte("lost"))
 	if id == 0 {
 		t.Fatal("Inject returned the zero MsgID")
 	}
 	// The no-op still burns the ID: the next injection gets a fresh one.
-	id2 := n.Inject(1, 0, 0, nil)
+	id2, _ := n.Inject(1, 0, 0, nil)
 	if id2 != id+1 {
 		t.Fatalf("dead-source injection did not consume its MsgID: got %d then %d", id, id2)
 	}
@@ -353,12 +353,12 @@ func TestAwareMatchesScan(t *testing.T) {
 	for round := 0; round < 40; round++ {
 		switch round {
 		case 0:
-			ids = append(ids, n.Inject(0, packet.Broadcast, 0, nil))
+			ids = append(ids, mustInject(t, n, 0, packet.Broadcast, 0, nil))
 		case 3:
-			ids = append(ids, n.Inject(5, g.ID(3, 3), 0, []byte("u")))
+			ids = append(ids, mustInject(t, n, 5, g.ID(3, 3), 0, []byte("u")))
 		case 7:
-			ids = append(ids, n.Inject(15, g.ID(0, 0), 0, nil))
-			ids = append(ids, n.Inject(2, packet.Broadcast, 0, nil))
+			ids = append(ids, mustInject(t, n, 15, g.ID(0, 0), 0, nil))
+			ids = append(ids, mustInject(t, n, 2, packet.Broadcast, 0, nil))
 		}
 		n.Step()
 		check(round)

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// This file holds the sharded execution mode of the round engine
+// (Config.Shards > 1): tiles are partitioned into contiguous shards and
+// the per-tile phases of Step run shard-parallel between barriers,
+// bit-identical to the sequential engine at any shard count. See
+// DESIGN.md, "Sharded engine".
+//
+// The determinism argument, in one paragraph: every source of randomness
+// is a per-tile stream consumed only by phases running on that tile's
+// shard, so parallel execution draws exactly the sequential values. The
+// only cross-tile writes are (a) phase-3 transmissions into destination
+// arrival rings — staged in per-shard outboxes and merged in
+// sending-tile-ID order, reproducing the sequential insertion order of
+// every ring; (b) the per-message aware counters — commutative ±1
+// transitions applied atomically, so the final counts are
+// order-independent; (c) Counters — integer deltas accumulated per lane
+// and summed after the barrier; and (d) observer callbacks — staged per
+// lane in per-tile order and flushed in tile-ID order after the barrier,
+// replaying the sequential callback sequence. Message-ID allocation is
+// the one operation whose *order* is observable and non-commutative
+// (IDs index the flat tables and appear in events), so the phases that
+// can create messages — phase 1 always, phase 4 when a Receiver or
+// StopSpreadOnDelivery is present — run sequentially.
+
+// lane is one execution context of the round engine. The sequential
+// engine (and phase 1, and the sequential phase-4 fallback) runs on the
+// network's direct lane, which covers every tile, fires callbacks
+// inline, and counts straight into Network.cnt. Sharded mode adds one
+// non-direct lane per shard, each owning a contiguous tile range, a
+// private Counters delta, a private frame pool, a staged-callback buffer
+// and a transmission outbox; everything a lane stages is merged or
+// flushed in lane order (= tile-ID order) after the phase barrier.
+type lane struct {
+	net    *Network
+	lo, hi int  // tile-index range [lo, hi) this lane executes
+	direct bool // fire callbacks inline and write rings/counters directly
+
+	cnt   *Counters // direct: &net.cnt; sharded: &delta
+	delta Counters  // per-phase counter deltas (sharded lanes only)
+
+	pool framePool // recycled wire frames for the literal-upset path
+
+	// borrowed points at the in-processing literal arrival whose payload
+	// still aliases its pooled frame; deliver/enqueue clone the payload
+	// (once, shared) the moment that packet is stored. Nil otherwise.
+	borrowed *packet.Packet
+
+	actions []action   // staged callbacks, flushed post-barrier in lane order
+	outbox  []outbound // staged transmissions, merged post-barrier in lane order
+}
+
+// action is one staged observer callback: an OnEvent emission, or (when
+// pkt is non-nil) an OnDeliver invocation for the delivered copy pkt.
+// Staging preserves the exact sequential callback order because each
+// lane appends in per-tile order and lanes flush in tile-ID order.
+type action struct {
+	ev  Event
+	pkt *packet.Packet
+}
+
+// outbound is one phase-3 transmission staged in a lane's outbox: the
+// in-flight arrival plus its destination tile and consumption round.
+type outbound struct {
+	dst  packet.TileID
+	when int
+	a    arrival
+}
+
+// framePoolCap bounds how many recycled wire frames a pool retains.
+// Frames are returned to the receiving lane's pool at a burst's peak
+// in-flight count; without the cap a single bursty round would pin that
+// peak memory for the rest of the run. Beyond the cap, put drops the
+// frame for the GC. 256 frames cover the steady-state fan-in of meshes
+// well past 64×64 (pinned by TestFramePoolBounded).
+const framePoolCap = 256
+
+// framePool recycles encoded wire frames on the literal-upset path.
+// Pools are per-lane, so get/put never contend; frames migrate between
+// pools (drawn by the sending lane, recycled by the receiving lane),
+// which is fine — they are interchangeable buffers.
+type framePool struct {
+	frames [][]byte
+}
+
+// get returns a frame of the given size, reusing a pooled buffer when
+// one is large enough; too-small pooled frames are discarded.
+func (fp *framePool) get(size int) []byte {
+	for len(fp.frames) > 0 {
+		last := len(fp.frames) - 1
+		f := fp.frames[last]
+		fp.frames[last] = nil
+		fp.frames = fp.frames[:last]
+		if cap(f) >= size {
+			return f[:size]
+		}
+	}
+	return make([]byte, size)
+}
+
+// put recycles a consumed frame, dropping it once the pool is full.
+func (fp *framePool) put(f []byte) {
+	if len(fp.frames) >= framePoolCap {
+		return
+	}
+	fp.frames = append(fp.frames, f)
+}
+
+// emit publishes a protocol event: immediately on a direct lane, staged
+// for the post-barrier flush otherwise.
+func (ln *lane) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgID) {
+	n := ln.net
+	if ln.direct {
+		n.emit(kind, tile, peer, msg)
+		return
+	}
+	if n.cfg.OnEvent == nil {
+		return
+	}
+	ln.actions = append(ln.actions, action{
+		ev: Event{Round: n.round, Kind: kind, Tile: tile, Peer: peer, Msg: msg},
+	})
+}
+
+// send hands one in-flight arrival to its destination tile: directly
+// into the arrival ring on a direct lane, staged in the outbox (merged
+// in sending-tile order after the phase-3 barrier) otherwise.
+func (ln *lane) send(dst packet.TileID, when int, a arrival) {
+	if ln.direct {
+		ln.net.tiles[dst].ring.schedule(ln.net.round, when, a)
+		return
+	}
+	ln.outbox = append(ln.outbox, outbound{dst: dst, when: when, a: a})
+}
+
+// unshare replaces a frame-aliased payload with a private copy at the
+// moment a literal-path packet is first stored; clearing borrowed lets
+// deliver and enqueue share that one copy, exactly as Decode used to
+// provide. Steady-state duplicates never reach this point, so they cost
+// no payload copy at all.
+func (ln *lane) unshare(p *packet.Packet) {
+	if len(p.Payload) > 0 {
+		owned := make([]byte, len(p.Payload))
+		copy(owned, p.Payload)
+		p.Payload = owned
+	}
+	ln.borrowed = nil
+}
+
+// initLanes partitions the tiles into shards contiguous tile-ID ranges
+// and builds their lanes. shards is already clamped to [2, tiles].
+func (n *Network) initLanes(shards int) {
+	n.lanes = make([]lane, shards)
+	tiles := len(n.tiles)
+	base, rem := tiles/shards, tiles%shards
+	lo := 0
+	for i := range n.lanes {
+		span := base
+		if i < rem {
+			span++
+		}
+		ln := &n.lanes[i]
+		ln.net = n
+		ln.lo, ln.hi = lo, lo+span
+		ln.cnt = &ln.delta
+		lo += span
+	}
+}
+
+// runShards executes phase once per lane, concurrently, and waits for
+// the barrier. Per-message aware-count updates switch to atomics while
+// shard goroutines are live (n.par); everything else a phase touches is
+// tile-local, lane-local, or read-only (see the file comment).
+func (n *Network) runShards(phase func(*lane)) {
+	n.par = true
+	var wg sync.WaitGroup
+	wg.Add(len(n.lanes))
+	for i := range n.lanes {
+		ln := &n.lanes[i]
+		go func() {
+			defer wg.Done()
+			phase(ln)
+		}()
+	}
+	wg.Wait()
+	n.par = false
+}
+
+// stepShards is the sharded-mode body of Step for phases 2-4: phase 1
+// (computation) already ran sequentially — it allocates message IDs,
+// whose order is observable. Barrier order matters: counters merge and
+// staged callbacks flush before the next phase so that an observer sees
+// the same event sequence, phase by phase, as the sequential engine;
+// outboxes merge before phase 4 so every arrival ring holds its
+// sequential contents in sequential order.
+func (n *Network) stepShards() {
+	if n.procsDirty {
+		n.hasReceiver = false
+		for _, t := range n.tiles {
+			if _, ok := t.proc.(Receiver); ok {
+				n.hasReceiver = true
+				break
+			}
+		}
+		n.procsDirty = false
+	}
+
+	// Phase 2 — aging (tile-local; expiry events staged).
+	n.runShards(n.phaseAge)
+	n.flushActions()
+
+	// Phase 3 — forwarding into private outboxes.
+	n.runShards(n.phaseForward)
+	n.mergeLaneCounters()
+	n.flushActions()
+
+	// Outbox merge: every lane scans all outboxes in lane order and
+	// schedules the arrivals destined to its own tiles, so each ring is
+	// written only by its owner shard, in sending-tile-ID order — the
+	// sequential insertion order.
+	n.runShards(n.mergeInbound)
+	n.runShards(clearOutbox)
+
+	// Phase 4 — reception. A Receiver process can create messages at
+	// delivery time and StopSpreadOnDelivery writes cross-tile tombstones
+	// that later tiles of the same round must observe; both are
+	// order-dependent, so they fall back to the sequential direct lane.
+	if n.cfg.StopSpreadOnDelivery || n.hasReceiver {
+		n.phaseReceive(&n.seqLane)
+		return
+	}
+	n.runShards(n.phaseReceive)
+	n.mergeLaneCounters()
+	n.flushActions()
+}
+
+// mergeInbound schedules, into this lane's own arrival rings, every
+// staged transmission of every lane whose destination falls in the
+// lane's tile range. Scanning lanes (and each outbox) in order preserves
+// the sequential per-ring insertion order.
+func (n *Network) mergeInbound(ln *lane) {
+	for li := range n.lanes {
+		out := n.lanes[li].outbox
+		for i := range out {
+			o := &out[i]
+			if int(o.dst) < ln.lo || int(o.dst) >= ln.hi {
+				continue
+			}
+			n.tiles[o.dst].ring.schedule(n.round, o.when, o.a)
+		}
+	}
+}
+
+// clearOutbox zeroes and truncates the lane's outbox after the merge
+// barrier (zeroing drops payload/frame references for the GC; the slice
+// capacity is kept, so steady-state staging allocates nothing).
+func clearOutbox(ln *lane) {
+	for i := range ln.outbox {
+		ln.outbox[i] = outbound{}
+	}
+	ln.outbox = ln.outbox[:0]
+}
+
+// flushActions replays the staged observer callbacks in lane order
+// (= tile-ID order), reproducing the sequential callback sequence.
+// Callbacks run on the stepping goroutine, after the barrier: state
+// reads from a hook therefore see end-of-phase state, not the mid-phase
+// snapshots a sequential run would show (the documented Shards caveat).
+func (n *Network) flushActions() {
+	for li := range n.lanes {
+		ln := &n.lanes[li]
+		for i := range ln.actions {
+			a := &ln.actions[i]
+			if a.pkt == nil {
+				n.cfg.OnEvent(a.ev)
+			} else if n.cfg.OnDeliver != nil {
+				n.cfg.OnDeliver(a.ev.Tile, a.pkt, a.ev.Round)
+			}
+			ln.actions[i] = action{}
+		}
+		ln.actions = ln.actions[:0]
+	}
+}
+
+// mergeLaneCounters folds every lane's counter delta into the network
+// totals. All fields are integer sums, so the result is exactly the
+// sequential engine's counters regardless of execution order.
+func (n *Network) mergeLaneCounters() {
+	for i := range n.lanes {
+		d := &n.lanes[i].delta
+		n.cnt.add(d)
+		*d = Counters{}
+	}
+}
+
+// add accumulates the fields of d into c.
+func (c *Counters) add(d *Counters) {
+	c.Energy.Merge(d.Energy)
+	c.UpsetsInjected += d.UpsetsInjected
+	c.UpsetsDetected += d.UpsetsDetected
+	c.OverflowDrops += d.OverflowDrops
+	c.SlippedDeliveries += d.SlippedDeliveries
+	c.Deliveries += d.Deliveries
+	c.DeliveredPayloadBits += d.DeliveredPayloadBits
+	c.Duplicates += d.Duplicates
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// This file pins the sharded engine's one hard promise: Config.Shards is
+// bit-identical to the sequential engine at any shard count. Every
+// scenario below runs once sequentially and once per shard count, and the
+// complete observable record — event sequence, delivery sequence,
+// counters, aware tables — must match exactly.
+
+// deliverRec is one OnDeliver invocation, payload included so a sharded
+// run cannot get away with delivering the right ID with a corrupted body.
+type deliverRec struct {
+	tile    packet.TileID
+	round   int
+	id      packet.MsgID
+	payload string
+}
+
+// shardSnapshot is the full observable outcome of one run.
+type shardSnapshot struct {
+	events   []Event
+	delivers []deliverRec
+	cnt      Counters
+	aware    []int
+	awareAt  []bool
+	rounds   int
+}
+
+// injection schedules one Inject call immediately before a given round.
+type injection struct {
+	beforeRound int
+	src, dst    packet.TileID
+	kind        packet.Kind
+	payload     string
+}
+
+// shardScenario is one engine configuration to replay at several shard
+// counts. cfg must return a fresh Config each call (hooks are attached
+// per run); setup attaches processes, routers and forward limits.
+type shardScenario struct {
+	name   string
+	cfg    func() Config
+	setup  func(n *Network)
+	inject []injection
+	rounds int
+}
+
+// clusterTopo builds the Chapter 5 style two-cluster fabric used by the
+// router scenario: two 3x3 gossip grids (tiles 0-8 and 9-17) joined by a
+// single bridge link 8<->9.
+func clusterTopo(tb testing.TB) *topology.Graph {
+	tb.Helper()
+	g := topology.NewGraph(18)
+	link := func(a, b int) {
+		if err := g.AddLink(packet.TileID(a), packet.TileID(b)); err != nil {
+			tb.Fatalf("AddLink(%d,%d): %v", a, b, err)
+		}
+	}
+	for c := 0; c < 2; c++ {
+		base := c * 9
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				id := base + y*3 + x
+				if x < 2 {
+					link(id, id+1)
+				}
+				if y < 2 {
+					link(id, id+3)
+				}
+			}
+		}
+	}
+	link(8, 9)
+	return g
+}
+
+func shardScenarios(tb testing.TB) []shardScenario {
+	return []shardScenario{
+		{
+			// Analytic fault mix on a grid: upsets, overflows, crashed
+			// tiles and links all change counters and RNG consumption.
+			name: "grid-analytic-faults",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(6, 6), P: 0.45, TTL: 8,
+					MaxRounds: 1000, Seed: 11,
+					Fault: fault.Model{
+						PUpset: 0.1, POverflow: 0.05, PLinkCrash: 0.05,
+						DeadTiles: 3, Protect: []packet.TileID{0, 14, 35},
+					},
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: packet.Broadcast},
+				{beforeRound: 4, src: 35, dst: 14, kind: 1, payload: "mid-run"},
+			},
+			rounds: 40,
+		},
+		{
+			// Synchronization skew: SyncSlip spreads arrivals over future
+			// rounds, exercising the arrival-ring merge across rounds.
+			name: "grid-sync-skew",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(5, 5), P: 0.6, TTL: 10,
+					MaxRounds: 1000, Seed: 7,
+					Fault: fault.Model{SigmaSync: 1.2},
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 12, dst: packet.Broadcast, payload: "skewed"},
+			},
+			rounds: 40,
+		},
+		{
+			// Literal upsets: wire frames, CRC rejections and the
+			// per-lane frame pools (frames migrate between shards).
+			name: "grid-literal-upsets",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(5, 5), P: 0.7, TTL: 9,
+					MaxRounds: 1000, Seed: 21,
+					Fault: fault.Model{LiteralUpsets: true, PUpset: 0.15},
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: packet.Broadcast, payload: "literal payload"},
+				{beforeRound: 3, src: 24, dst: 0, kind: 2, payload: "return traffic"},
+			},
+			rounds: 40,
+		},
+		{
+			// PortWeight biasing plus a hard buffer cap: overflow events
+			// and weighted RNG draws must replay exactly.
+			name: "torus-portweight-bufcap",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewTorus(4, 4), P: 0.8, TTL: 12,
+					BufferCap: 2, MaxRounds: 1000, Seed: 5,
+					PortWeight: func(from, to packet.TileID, p *packet.Packet) float64 {
+						if to < from {
+							return 0.5
+						}
+						return 1.0
+					},
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: packet.Broadcast},
+				{beforeRound: 1, src: 5, dst: packet.Broadcast},
+				{beforeRound: 2, src: 10, dst: packet.Broadcast},
+			},
+			rounds: 30,
+		},
+		{
+			// Dedup disabled: duplicate copies accumulate, stressing the
+			// aging and overflow paths with larger buffers.
+			name: "grid-dedup-off",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(4, 4), P: 0.5, TTL: 5,
+					BufferCap: 3, DisableDedup: true, MaxRounds: 1000, Seed: 3,
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: packet.Broadcast},
+				{beforeRound: 0, src: 15, dst: packet.Broadcast},
+			},
+			rounds: 25,
+		},
+		{
+			// Two gossip clusters bridged by deterministic routers with a
+			// serializing forward limit — the round-robin cursor path.
+			name: "cluster-routers-fwdlimit",
+			cfg: func() Config {
+				return Config{
+					Topo: clusterTopo(tb), P: 0.6, TTL: 10,
+					MaxRounds: 1000, Seed: 13,
+				}
+			},
+			setup: func(n *Network) {
+				n.SetRouter(8, func(p *packet.Packet) []packet.TileID {
+					return []packet.TileID{9, 7, 5}
+				})
+				n.SetRouter(9, func(p *packet.Packet) []packet.TileID {
+					return []packet.TileID{8, 10, 12}
+				})
+				n.SetForwardLimit(8, 1)
+				n.SetForwardLimit(9, 1)
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: 17, kind: 1, payload: "cross-cluster"},
+				{beforeRound: 2, src: 13, dst: 4, kind: 1, payload: "backhaul"},
+				{beforeRound: 5, src: 2, dst: packet.Broadcast},
+			},
+			rounds: 50,
+		},
+		{
+			// StopSpreadOnDelivery writes cross-tile tombstones mid-phase,
+			// which forces the sequential phase-4 fallback — the result
+			// must still be identical.
+			name: "stop-spread-on-delivery",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(5, 5), P: 0.7, TTL: 12,
+					StopSpreadOnDelivery: true, MaxRounds: 1000, Seed: 17,
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: 24, kind: 1, payload: "killed early"},
+				{beforeRound: 1, src: 20, dst: 4, kind: 1},
+			},
+			rounds: 30,
+		},
+		{
+			// Attached processes, including a Receiver (which also forces
+			// the sequential phase-4 fallback) and a mid-run Broadcast.
+			name: "grid-processes-receiver",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(4, 4), P: 0.6, TTL: 10,
+					MaxRounds: 1000, Seed: 29,
+				}
+			},
+			setup: func(n *Network) {
+				n.Attach(0, &senderProc{dst: 15, payload: []byte("to sink")})
+				n.Attach(15, &sinkProc{})
+				n.Attach(5, &broadcastOnce{})
+			},
+			rounds: 30,
+		},
+	}
+}
+
+// runShardScenario executes one scenario at the given shard count and
+// returns the full observable record.
+func runShardScenario(tb testing.TB, sc shardScenario, shards int) shardSnapshot {
+	tb.Helper()
+	var snap shardSnapshot
+	cfg := sc.cfg()
+	cfg.Shards = shards
+	cfg.OnEvent = func(ev Event) { snap.events = append(snap.events, ev) }
+	cfg.OnDeliver = func(tl packet.TileID, p *packet.Packet, round int) {
+		snap.delivers = append(snap.delivers, deliverRec{
+			tile: tl, round: round, id: p.ID, payload: string(p.Payload),
+		})
+	}
+	n, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("%s/shards=%d: %v", sc.name, shards, err)
+	}
+	if sc.setup != nil {
+		sc.setup(n)
+	}
+	var ids []packet.MsgID
+	for round := 0; round < sc.rounds; round++ {
+		for _, in := range sc.inject {
+			if in.beforeRound != round {
+				continue
+			}
+			var payload []byte
+			if in.payload != "" {
+				payload = []byte(in.payload)
+			}
+			ids = append(ids, mustInject(tb, n, in.src, in.dst, in.kind, payload))
+		}
+		n.Step()
+	}
+	snap.cnt = n.Counters()
+	snap.rounds = n.Round()
+	tiles := n.Topology().Tiles()
+	for _, id := range ids {
+		snap.aware = append(snap.aware, n.Aware(id))
+		for ti := 0; ti < tiles; ti++ {
+			snap.awareAt = append(snap.awareAt, n.AwareAt(id, packet.TileID(ti)))
+		}
+	}
+	return snap
+}
+
+// TestShardCountInvariance is the sharded engine's contract test: for
+// every scenario, runs at shard counts 2, 4 and 7 must be bit-identical
+// to the sequential run — same event sequence, same delivery sequence
+// (payloads included), same counters, same aware tables, round by round.
+// CI runs this test under -race, which also exercises the engine's
+// synchronization claims (tile-local writes, atomic aware counts, barrier
+// ordering).
+func TestShardCountInvariance(t *testing.T) {
+	for _, sc := range shardScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			want := runShardScenario(t, sc, 1)
+			if len(want.events) == 0 {
+				t.Fatalf("scenario produced no events — not a meaningful invariance check")
+			}
+			for _, shards := range []int{2, 4, 7} {
+				got := runShardScenario(t, sc, shards)
+				if !reflect.DeepEqual(got.events, want.events) {
+					t.Fatalf("shards=%d: event log diverged: %s",
+						shards, firstEventDiff(want.events, got.events))
+				}
+				if !reflect.DeepEqual(got.delivers, want.delivers) {
+					t.Fatalf("shards=%d: delivery log diverged\nseq: %v\npar: %v",
+						shards, want.delivers, got.delivers)
+				}
+				if got.cnt != want.cnt {
+					t.Fatalf("shards=%d: counters diverged\nseq: %+v\npar: %+v",
+						shards, want.cnt, got.cnt)
+				}
+				if !reflect.DeepEqual(got.aware, want.aware) {
+					t.Fatalf("shards=%d: Aware counts diverged\nseq: %v\npar: %v",
+						shards, want.aware, got.aware)
+				}
+				if !reflect.DeepEqual(got.awareAt, want.awareAt) {
+					t.Fatalf("shards=%d: AwareAt tables diverged", shards)
+				}
+				if got.rounds != want.rounds {
+					t.Fatalf("shards=%d: rounds %d != %d", shards, got.rounds, want.rounds)
+				}
+			}
+		})
+	}
+}
+
+// firstEventDiff renders the first position where two event logs differ.
+func firstEventDiff(seq, par []Event) string {
+	n := len(seq)
+	if len(par) < n {
+		n = len(par)
+	}
+	for i := 0; i < n; i++ {
+		if seq[i] != par[i] {
+			return fmt.Sprintf("index %d: seq %+v != par %+v", i, seq[i], par[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: seq %d, par %d", len(seq), len(par))
+}
+
+// TestShardsClampedToTiles pins the clamp: more shards than tiles must
+// behave (and the run must still match the sequential engine).
+func TestShardsClampedToTiles(t *testing.T) {
+	sc := shardScenario{
+		name: "clamp",
+		cfg: func() Config {
+			return Config{Topo: topology.NewGrid(2, 2), P: 1, TTL: 4, MaxRounds: 100, Seed: 1}
+		},
+		inject: []injection{{beforeRound: 0, src: 0, dst: packet.Broadcast}},
+		rounds: 8,
+	}
+	want := runShardScenario(t, sc, 1)
+	got := runShardScenario(t, sc, 64) // 64 shards, 4 tiles
+	if !reflect.DeepEqual(got.events, want.events) || got.cnt != want.cnt {
+		t.Fatal("over-sharded run diverged from sequential")
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/packet"
+import (
+	"sync/atomic"
+
+	"repro/internal/packet"
+)
 
 // This file holds the flat per-message state tables that replace the
 // engine's former hash maps (per-tile present/seen sets and the
@@ -69,6 +73,21 @@ func (t *tile) growFlags(id packet.MsgID) {
 	t.flags = grown
 }
 
+// addAware adjusts id's aware count by delta (always ±1). The flags
+// guarding the transitions are tile-local, but the count itself is shared
+// across tiles: while shard goroutines are live (n.par) the update is
+// atomic. The ±1 transitions commute, so the end-of-phase counts are
+// exactly the sequential engine's regardless of interleaving; n.par flips
+// only on the stepping goroutine, and the goroutine-spawn / WaitGroup
+// barrier orders the flip against every shard's accesses.
+func (n *Network) addAware(id packet.MsgID, delta int32) {
+	if n.par {
+		atomic.AddInt32(&n.msgs[id].aware, delta)
+		return
+	}
+	n.msgs[id].aware += delta
+}
+
 // setPresent marks a buffered copy of id at t, updating the aware count on
 // the 0 -> aware transition.
 func (n *Network) setPresent(t *tile, id packet.MsgID) {
@@ -79,7 +98,7 @@ func (n *Network) setPresent(t *tile, id packet.MsgID) {
 	t.growFlags(id)
 	t.flags[id] = f | flagPresent
 	if f == 0 {
-		n.msgs[id].aware++
+		n.addAware(id, 1)
 	}
 }
 
@@ -93,7 +112,7 @@ func (n *Network) clearPresent(t *tile, id packet.MsgID) {
 	}
 	t.flags[id] = f &^ flagPresent
 	if f == flagPresent {
-		n.msgs[id].aware--
+		n.addAware(id, -1)
 	}
 }
 
@@ -106,6 +125,6 @@ func (n *Network) setSeen(t *tile, id packet.MsgID) {
 	t.growFlags(id)
 	t.flags[id] = f | flagSeen
 	if f == 0 {
-		n.msgs[id].aware++
+		n.addAware(id, 1)
 	}
 }

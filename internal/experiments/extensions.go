@@ -223,6 +223,9 @@ type GridSpreadRow struct {
 func GridSpread(side int, p float64, mc sim.Config) ([]GridSpreadRow, error) {
 	g := topology.NewGrid(side, side)
 	maxRounds := 6 * side
+	// Idle replica-pool cores run inside each replica as engine shards;
+	// the sharded engine is bit-identical, so the curve is unchanged.
+	shards := mc.AutoShards(g.Tiles())
 	curves, err := sim.Run(mc, func(_ int, seed uint64) ([]int, error) {
 		// The per-round awareness curve comes from the metrics
 		// recorder's AwareTiles series (the engine flushes it at every
@@ -230,7 +233,7 @@ func GridSpread(side int, p float64, mc sim.Config) ([]GridSpreadRow, error) {
 		rec := metrics.NewRecorder(metrics.Config{Rounds: maxRounds})
 		cfg := core.Config{
 			Topo: g, P: p, TTL: uint8(min(255, maxRounds)), MaxRounds: maxRounds + 1,
-			Seed: seed,
+			Seed: seed, Shards: shards,
 		}
 		rec.Install(&cfg)
 		net, err := core.New(cfg)
@@ -238,7 +241,10 @@ func GridSpread(side int, p float64, mc sim.Config) ([]GridSpreadRow, error) {
 			return nil, err
 		}
 		center := g.ID(side/2, side/2)
-		id := net.Inject(center, packet.Broadcast, 0, nil)
+		id, err := net.Inject(center, packet.Broadcast, 0, nil)
+		if err != nil {
+			return nil, err
+		}
 		rec.Watch(id)
 		for round := 0; round < maxRounds; round++ {
 			net.Step()
@@ -311,7 +317,10 @@ func BimodalStudy(pcrash float64, mc sim.Config) ([]BimodalRow, error) {
 				alive++
 			}
 		}
-		id := net.Inject(center, packet.Broadcast, 0, nil)
+		id, err := net.Inject(center, packet.Broadcast, 0, nil)
+		if err != nil {
+			return 0, err
+		}
 		net.Drain(80)
 		return float64(net.Aware(id)) / float64(alive), nil
 	})

@@ -36,7 +36,10 @@ func producerConsumerTrace(seed uint64, p float64) (Fig33Result, error) {
 	if err != nil {
 		return Fig33Result{}, err
 	}
-	id := net.Inject(5, 11, prodcons.KindData, []byte("rumor"))
+	id, err := net.Inject(5, 11, prodcons.KindData, []byte("rumor"))
+	if err != nil {
+		return Fig33Result{}, err
+	}
 	rec.Watch(id)
 	for round := 0; round < 100 && deliveryRound < 0; round++ {
 		net.Step()

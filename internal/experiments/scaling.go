@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// GridScalingRow is one mesh size of the engine scaling study: the same
+// center broadcast run to full awareness by the sequential engine and by
+// the sharded engine, with the (bit-identical) protocol outcome and both
+// wall-clock times.
+type GridScalingRow struct {
+	// Side is the mesh edge; Tiles = Side².
+	Side, Tiles int
+	// Shards is the shard count of the parallel run.
+	Shards int
+	// RoundsToFull is the round at which every tile was aware of the
+	// broadcast (the dissemination latency the thesis scales by mesh
+	// diameter).
+	RoundsToFull int
+	// FullyAware reports whether the broadcast reached every tile before
+	// the round budget (TTL death would leave it false).
+	FullyAware bool
+	// Transmissions is the total link transmissions of the run —
+	// identical between the sequential and sharded executions.
+	Transmissions int
+	// SeqSeconds and ShardSeconds are the wall-clock times of the two
+	// executions; Speedup = SeqSeconds / ShardSeconds.
+	SeqSeconds, ShardSeconds float64
+	Speedup                  float64
+}
+
+// scalingBroadcast runs one center broadcast on a side×side mesh until
+// full awareness (or the round budget) and reports the outcome and the
+// wall-clock of the Step loop.
+func scalingBroadcast(side, shards int, seed uint64) (res core.Result, secs float64, err error) {
+	g := topology.NewGrid(side, side)
+	cfg := core.Config{
+		Topo: g, P: 0.5, TTL: 255, MaxRounds: 1024, Seed: seed, Shards: shards,
+	}
+	net, err := core.New(cfg)
+	if err != nil {
+		return core.Result{}, 0, err
+	}
+	id, err := net.Inject(g.ID(side/2, side/2), packet.Broadcast, 0, nil)
+	if err != nil {
+		return core.Result{}, 0, err
+	}
+	tiles := g.Tiles()
+	start := time.Now()
+	res = net.RunWhile(func(n *core.Network) bool { return n.Aware(id) < tiles })
+	return res, time.Since(start).Seconds(), nil
+}
+
+// GridScaling is the intra-run parallelism study: for each mesh side it
+// executes the identical broadcast replica sequentially and with the
+// sharded engine, checks the two outcomes are bit-identical (rounds,
+// counters — the sharding contract), and records both wall-clock times.
+// shards <= 1 auto-picks via sim.Config.AutoShards for a single replica
+// owning the whole machine; an explicit count (e.g. from -shards) is used
+// as given. Timing is single-replica on purpose: a busy Monte Carlo pool
+// would corrupt the wall-clock comparison.
+func GridScaling(sides []int, shards int, seed uint64) ([]GridScalingRow, error) {
+	rows := make([]GridScalingRow, 0, len(sides))
+	for _, side := range sides {
+		tiles := side * side
+		sc := shards
+		if sc <= 1 {
+			sc = sim.Config{Replicas: 1}.AutoShards(tiles)
+		}
+		seq, seqSecs, err := scalingBroadcast(side, 1, seed)
+		if err != nil {
+			return nil, err
+		}
+		par, parSecs, err := scalingBroadcast(side, sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		if seq.Rounds != par.Rounds || seq.Counters != par.Counters {
+			return nil, fmt.Errorf(
+				"experiments: sharded engine diverged on %dx%d (shards=%d): rounds %d vs %d",
+				side, side, sc, seq.Rounds, par.Rounds)
+		}
+		rows = append(rows, GridScalingRow{
+			Side: side, Tiles: tiles, Shards: sc,
+			RoundsToFull:  seq.Rounds,
+			FullyAware:    seq.Completed,
+			Transmissions: seq.Counters.Energy.Transmissions,
+			SeqSeconds:    seqSecs,
+			ShardSeconds:  parSecs,
+			Speedup:       seqSecs / parSecs,
+		})
+	}
+	return rows, nil
+}

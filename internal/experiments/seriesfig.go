@@ -24,7 +24,7 @@ const (
 // broadcastSeriesReplica runs one replica of the canonical broadcast and
 // returns its recorded TimeSeries next to the engine's own Counters, so
 // tests can reconcile the two tallies event for event.
-func broadcastSeriesReplica(seed uint64) (*metrics.TimeSeries, core.Counters, error) {
+func broadcastSeriesReplica(seed uint64, shards int) (*metrics.TimeSeries, core.Counters, error) {
 	g := topology.NewGrid(broadcastSide, broadcastSide)
 	center := g.ID(broadcastSide/2, broadcastSide/2)
 	rec := metrics.NewRecorder(metrics.Config{
@@ -33,7 +33,7 @@ func broadcastSeriesReplica(seed uint64) (*metrics.TimeSeries, core.Counters, er
 	})
 	cfg := core.Config{
 		Topo: g, P: 0.5, TTL: broadcastTTL, MaxRounds: broadcastMaxRounds,
-		Seed:  seed,
+		Seed: seed, Shards: shards,
 		Fault: fault.Model{PUpset: 0.1, POverflow: 0.05, Protect: []packet.TileID{center}},
 	}
 	rec.Install(&cfg)
@@ -41,7 +41,10 @@ func broadcastSeriesReplica(seed uint64) (*metrics.TimeSeries, core.Counters, er
 	if err != nil {
 		return nil, core.Counters{}, err
 	}
-	id := net.Inject(center, packet.Broadcast, 0, make([]byte, 16))
+	id, err := net.Inject(center, packet.Broadcast, 0, make([]byte, 16))
+	if err != nil {
+		return nil, core.Counters{}, err
+	}
 	rec.Watch(id)
 	// Run until the broadcast has fully drained (every copy expired), so
 	// the TTL-expiry tail is part of the recorded trajectory.
@@ -56,8 +59,12 @@ func broadcastSeriesReplica(seed uint64) (*metrics.TimeSeries, core.Counters, er
 // sums reconcile exactly with the engine's core.Counters totals at any
 // worker count.
 func BroadcastMetrics(mc sim.Config) (*metrics.Aggregate, error) {
+	// When the replica pool leaves cores idle, spend them inside each
+	// replica — the sharded engine is bit-identical, so the export stays
+	// byte-stable regardless of the pick.
+	shards := mc.AutoShards(broadcastSide * broadcastSide)
 	return sim.RunSeries(mc, func(_ int, seed uint64) (*metrics.TimeSeries, error) {
-		ts, _, err := broadcastSeriesReplica(seed)
+		ts, _, err := broadcastSeriesReplica(seed, shards)
 		return ts, err
 	})
 }

@@ -25,7 +25,7 @@ func recorderNet(tb testing.TB) *core.Network {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	id := n.Inject(0, packet.Broadcast, 0, make([]byte, 16))
+	id, _ := n.Inject(0, packet.Broadcast, 0, make([]byte, 16))
 	rec.Watch(id)
 	for i := 0; i < 60; i++ {
 		n.Step()

@@ -31,7 +31,7 @@ func faultyBroadcast(t *testing.T, seed uint64) (*metrics.Recorder, core.Counter
 	if err != nil {
 		t.Fatal(err)
 	}
-	id := net.Inject(center, packet.Broadcast, 0, make([]byte, 16))
+	id, _ := net.Inject(center, packet.Broadcast, 0, make([]byte, 16))
 	rec.Watch(id)
 	net.Drain(72)
 	return rec, net.Counters(), independent
@@ -271,7 +271,7 @@ func TestRecorderStepAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id := n.Inject(0, packet.Broadcast, 0, make([]byte, 16))
+	id, _ := n.Inject(0, packet.Broadcast, 0, make([]byte, 16))
 	rec.Watch(id)
 	for i := 0; i < 60; i++ {
 		n.Step()

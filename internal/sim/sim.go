@@ -48,6 +48,34 @@ func (c Config) workers() int {
 	return w
 }
 
+// AutoShards picks a core.Config.Shards value for replicas of a
+// tiles-tile network run under this configuration: the cores the replica
+// pool leaves idle, so Monte Carlo parallelism and intra-run sharding
+// share the machine instead of oversubscribing it. With at least as many
+// replicas as workers every core is already busy and AutoShards returns 1
+// (sequential — the zero-allocation path). Shards are also capped at one
+// per 64 tiles: below that the per-round barrier overhead outweighs the
+// parallelism on meshes this small.
+func (c Config) AutoShards(tiles int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	busy := c.Replicas
+	if busy < 1 {
+		busy = 1
+	}
+	spare := w / busy
+	maxUseful := tiles / 64
+	if spare > maxUseful {
+		spare = maxUseful
+	}
+	if spare < 1 {
+		spare = 1
+	}
+	return spare
+}
+
 // Seeds returns the n per-replica seeds derived from the master seed.
 // The sequence is prefix-stable: Seeds(m, n)[r] depends only on m and r,
 // so growing a study keeps every already-run replica's seed.

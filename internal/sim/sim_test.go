@@ -234,3 +234,36 @@ func TestSummarizeSplitsCompletedFromEventStats(t *testing.T) {
 		t.Fatalf("completion rate %v", agg.CompletionRate)
 	}
 }
+
+func TestAutoShards(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   sim.Config
+		tiles int
+		want  int
+	}{
+		// Replicas saturate the pool: stay sequential.
+		{"saturated", sim.Config{Replicas: 8, Workers: 8}, 4096, 1},
+		{"oversubscribed", sim.Config{Replicas: 100, Workers: 4}, 4096, 1},
+		// One replica on an 8-core pool: all spare cores go to sharding.
+		{"single-replica", sim.Config{Replicas: 1, Workers: 8}, 4096, 8},
+		// Spare cores split across the running replicas.
+		{"split", sim.Config{Replicas: 2, Workers: 8}, 4096, 4},
+		// Small meshes never shard: one shard per 64 tiles, minimum 1.
+		{"small-mesh", sim.Config{Replicas: 1, Workers: 16}, 64, 1},
+		{"mesh-capped", sim.Config{Replicas: 1, Workers: 16}, 256, 4},
+	}
+	for _, c := range cases {
+		if got := c.cfg.AutoShards(c.tiles); got != c.want {
+			t.Errorf("%s: AutoShards(%d) = %d, want %d", c.name, c.tiles, got, c.want)
+		}
+	}
+}
+
+// TestAutoShardsZeroWorkersPositive pins the default-pool path: whatever
+// GOMAXPROCS is, the result is at least 1 (a valid core.Config.Shards).
+func TestAutoShardsZeroWorkersPositive(t *testing.T) {
+	if got := (sim.Config{Replicas: 1}).AutoShards(1 << 20); got < 1 {
+		t.Fatalf("AutoShards = %d, want >= 1", got)
+	}
+}

@@ -19,7 +19,7 @@ func traced(t *testing.T, cfg core.Config) (*Collector, packet.MsgID) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id := net.Inject(0, 15, 1, []byte("trace"))
+	id, _ := net.Inject(0, 15, 1, []byte("trace"))
 	net.Drain(200)
 	return col, id
 }

@@ -25,7 +25,7 @@ func TestFrameGlyphs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id := net.Inject(0, 8, 1, nil)
+	id, _ := net.Inject(0, 8, 1, nil)
 
 	// Before any round: only the source knows.
 	f := Frame(net, grid, id, 0, 8)
