@@ -11,6 +11,15 @@
 // recorder and writes the series (transmissions, CRC rejects, drops,
 // expiries, deliveries, aware fraction, energy per round) as JSONL, or
 // CSV when FILE ends in .csv. See docs/OBSERVABILITY.md.
+//
+// -checkpoint-every N -checkpoint-file FILE snapshot the complete run
+// state to FILE every N rounds (atomically — an interrupted save never
+// leaves a torn file); -resume-from FILE continues an interrupted run
+// from its last checkpoint. The resumed run is bit-identical to the
+// uninterrupted one, provided every other flag matches the original
+// invocation (verified via a config digest embedded in the file). The
+// -trace timeline cannot span a resume (events before the checkpoint are
+// gone), so -trace and -resume-from are mutually exclusive.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
@@ -25,6 +35,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/packet"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/viz"
@@ -50,6 +61,9 @@ var (
 	showTrace  = flag.Bool("trace", false, "print the message's full event timeline")
 	showViz    = flag.Bool("viz", false, "render the spread as an ASCII grid each round")
 	metricsOut = flag.String("metrics", "", "write the run's per-round series to this file (JSONL; .csv suffix selects CSV)")
+	ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint the run to -checkpoint-file every N rounds (0 = off)")
+	ckptFile   = flag.String("checkpoint-file", "", "checkpoint file path (needed with -checkpoint-every)")
+	resumeFrom = flag.String("resume-from", "", "resume the run from this checkpoint file (flags must match the original run)")
 )
 
 func main() {
@@ -86,37 +100,77 @@ func main() {
 		rec = metrics.NewRecorder(metrics.Config{Rounds: *maxR, Tech: energy.NoCLink025})
 		rec.Install(&cfg)
 	}
-	net, err := core.New(cfg)
-	if err != nil {
-		log.Fatal(err)
+	if *ckptEvery > 0 && *ckptFile == "" {
+		log.Fatal("-checkpoint-every needs -checkpoint-file")
 	}
-	id, err := net.Inject(packet.TileID(*src), packet.TileID(*dst), 1, make([]byte, *payload))
-	if err != nil {
-		log.Fatal(err)
+	if *resumeFrom != "" && *showTrace {
+		log.Fatal("-trace cannot span a resume; drop one of -trace / -resume-from")
 	}
-	if rec != nil {
-		rec.Watch(id)
+	meta := sim.CheckpointMeta{Replica: 0, Seed: *seed}
+	var net *core.Network
+	var id packet.MsgID
+	deliveredBeforeResume := false
+	if *resumeFrom != "" {
+		f, err := os.Open(*resumeFrom)
+		if err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		net, _, err = sim.ReadCheckpoint(f, cfg, rec)
+		f.Close()
+		if err != nil {
+			log.Fatalf("resume %s: %v", *resumeFrom, err)
+		}
+		// nocsim injects exactly one message before round 1, so the
+		// checkpointed run's message is always ID 1. A delivery that
+		// happened before the checkpoint is visible as destination
+		// awareness, but its round is not replayed.
+		id = 1
+		deliveredBeforeResume = net.AwareAt(id, packet.TileID(*dst))
+	} else {
+		var err error
+		net, err = core.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err = net.Inject(packet.TileID(*src), packet.TileID(*dst), 1, make([]byte, *payload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec != nil {
+			rec.Watch(id)
+		}
 	}
 
 	fmt.Printf("gossiping tile %d -> tile %d on a %dx%d NoC (p=%.2f, TTL=%d, Manhattan=%d)\n",
 		*src, *dst, *width, *height, *p, *ttl, grid.Manhattan(packet.TileID(*src), packet.TileID(*dst)))
+	if net.Round() > 0 {
+		fmt.Printf("resumed from %s at round %d\n", *resumeFrom, net.Round())
+	}
 	if *showViz {
 		fmt.Println(viz.Legend())
 	}
-	for round := 1; round <= *maxR && deliveryRound < 0; round++ {
+	for net.Round() < *maxR && deliveryRound < 0 && !deliveredBeforeResume {
 		net.Step()
-		fmt.Printf("round %3d: %2d/%d tiles aware\n", round, net.Aware(id), grid.Tiles())
+		fmt.Printf("round %3d: %2d/%d tiles aware\n", net.Round(), net.Aware(id), grid.Tiles())
 		if *showViz {
 			fmt.Print(viz.Frame(net, grid, id, packet.TileID(*src), packet.TileID(*dst)))
+		}
+		if *ckptEvery > 0 && net.Round()%*ckptEvery == 0 {
+			if err := saveCheckpoint(*ckptFile, meta, net, rec); err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
 		}
 		if net.Quiescent() {
 			break
 		}
 	}
 	c := net.Counters()
-	if deliveryRound < 0 {
+	switch {
+	case deliveredBeforeResume:
+		fmt.Println("result: delivered before the resume point (round not replayed)")
+	case deliveryRound < 0:
 		fmt.Println("result: NOT DELIVERED (every copy was lost or expired)")
-	} else {
+	default:
 		fmt.Printf("result: delivered in round %d\n", deliveryRound)
 	}
 	fmt.Printf("traffic: %d transmissions, %d bits\n", c.Energy.Transmissions, c.Energy.Bits)
@@ -135,6 +189,25 @@ func main() {
 		}
 		fmt.Printf("metrics: per-round series written to %s\n", *metricsOut)
 	}
+}
+
+// saveCheckpoint atomically writes the run's state — engine plus the
+// metrics recorder, when one is attached — to path (tmp + rename, so an
+// interruption mid-save never leaves a torn file).
+func saveCheckpoint(path string, meta sim.CheckpointMeta, net *core.Network, rec *metrics.Recorder) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	err = sim.WriteCheckpoint(tmp, meta, net, rec)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // writeMetrics exports the single run's series (a one-replica merge, so

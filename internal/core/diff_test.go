@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Randomized differential testing: the scenario tables in shard_test.go
+// and snapshot_test.go pin the engine's invariance promises on
+// hand-picked configurations; this file hammers the same promises across
+// a few hundred machine-generated ones. Every generated Config — random
+// topology, protocol knobs, fault mix, routers, forward limits, workload
+// — is executed three ways and the complete observable record must
+// agree:
+//
+//	sequential  ==  sharded (2 and 5 shards)  ==  snapshot-resumed
+//
+// The generator is seeded (diffMasterSeed) and splits one stream per
+// case, so every case is reproducible from its index alone: a failure
+// report names the case number, and re-running the test replays it.
+
+// diffMasterSeed roots the config generator. Changing it trades the
+// whole generated population for a fresh one — fine, but do it on
+// purpose, not accidentally.
+const diffMasterSeed = 0x5eed5
+
+// diffCases is the population size; -short runs a prefix (the cases are
+// index-seeded, so the subset is stable too).
+const (
+	diffCases      = 200
+	diffCasesShort = 30
+)
+
+// diffConfig is one generated test case: a scenario plus the rounds to
+// run and the checkpoint round for the resume leg.
+type diffConfig struct {
+	sc      shardScenario
+	resumeK int
+}
+
+// genTopology picks a random fabric. Small sizes on purpose: divergence
+// bugs are about phase ordering and RNG stream discipline, not scale,
+// and 200 cases must stay inside tier-1 time.
+func genTopology(g *rng.Stream) topology.Topology {
+	switch g.Intn(5) {
+	case 0:
+		return topology.NewGrid(2+g.Intn(5), 2+g.Intn(5))
+	case 1:
+		return topology.NewTorus(3+g.Intn(3), 3+g.Intn(3))
+	case 2:
+		return topology.NewFullyConnected(4 + g.Intn(12))
+	case 3:
+		return topology.NewRing(4 + g.Intn(12))
+	default:
+		// Two small grid clusters joined by one bridge link — the
+		// Chapter 5 shape, where routers and forward limits matter.
+		side := 2 + g.Intn(2)
+		tiles := side * side
+		gr := topology.NewGraph(2 * tiles)
+		link := func(a, b int) {
+			if err := gr.AddLink(packet.TileID(a), packet.TileID(b)); err != nil {
+				panic(err)
+			}
+		}
+		for c := 0; c < 2; c++ {
+			base := c * tiles
+			for y := 0; y < side; y++ {
+				for x := 0; x < side; x++ {
+					id := base + y*side + x
+					if x < side-1 {
+						link(id, id+1)
+					}
+					if y < side-1 {
+						link(id, id+side)
+					}
+				}
+			}
+		}
+		link(tiles-1, tiles)
+		return gr
+	}
+}
+
+// genFault rolls the full Chapter 2 knob set. Each knob is enabled
+// independently, so the population covers both isolated knobs and the
+// all-at-once mixes; crash knobs leave tile 0 protected so workloads are
+// not stillborn.
+func genFault(g *rng.Stream, tiles int) fault.Model {
+	var m fault.Model
+	if g.Bool(0.5) {
+		m.PUpset = 0.05 + 0.3*g.Float64()
+		if g.Bool(0.4) {
+			m.LiteralUpsets = true
+			m.ErrorModel = packet.ErrorModel(g.Intn(3))
+		}
+	}
+	if g.Bool(0.4) {
+		m.POverflow = 0.05 + 0.2*g.Float64()
+	}
+	if g.Bool(0.3) {
+		m.PLinkCrash = 0.1 * g.Float64()
+	}
+	if g.Bool(0.3) {
+		m.DeadTiles = g.Intn(tiles / 4)
+	} else if g.Bool(0.2) {
+		m.PTileCrash = 0.1 * g.Float64()
+	}
+	if g.Bool(0.3) {
+		m.SigmaSync = 1.5 * g.Float64()
+	}
+	m.Protect = []packet.TileID{0}
+	return m
+}
+
+// genCase builds test case idx. All randomness derives from the
+// per-case stream, so cases are independent and index-stable.
+func genCase(idx int) diffConfig {
+	g := rng.New(diffMasterSeed).Split(uint64(idx))
+	topo := genTopology(g)
+	tiles := topo.Tiles()
+
+	cfgTemplate := Config{
+		Topo:                 topo,
+		P:                    0.2 + 0.8*g.Float64(),
+		TTL:                  uint8(3 + g.Intn(14)),
+		MaxRounds:            1000,
+		Seed:                 g.Uint64(),
+		Fault:                genFault(g, tiles),
+		DisableDedup:         g.Bool(0.15),
+		StopSpreadOnDelivery: g.Bool(0.15),
+	}
+	if g.Bool(0.2) {
+		cfgTemplate.BufferCap = 1 + g.Intn(4)
+	}
+	// Without dedup, copies multiply by ~degree·P per round; on the
+	// high-fan-out fabrics an uncapped buffer and a long TTL make the
+	// copy population (and the event log) grow geometrically. Keep those
+	// cases finite: they still exercise the no-dedup code paths, just
+	// not at astronomical copy counts.
+	if cfgTemplate.DisableDedup {
+		if cfgTemplate.BufferCap == 0 {
+			cfgTemplate.BufferCap = 1 + g.Intn(4)
+		}
+		if cfgTemplate.TTL > 6 {
+			cfgTemplate.TTL = 3 + cfgTemplate.TTL%4
+		}
+	}
+
+	// Routers and forward limits on a few random tiles. The route tables
+	// are generated here as plain data so the setup closure, which runs
+	// once per engine instance, replays identically.
+	type routerSpec struct {
+		tile  packet.TileID
+		ports []packet.TileID
+		limit int
+	}
+	var routers []routerSpec
+	if g.Bool(0.3) {
+		for i, n := 0, 1+g.Intn(2); i < n; i++ {
+			t := packet.TileID(g.Intn(tiles))
+			nbrs := topo.Neighbors(t)
+			if len(nbrs) == 0 {
+				continue
+			}
+			spec := routerSpec{tile: t, limit: g.Intn(3)} // 0 = unlimited
+			for _, nb := range nbrs {
+				if g.Bool(0.7) {
+					spec.ports = append(spec.ports, nb)
+				}
+			}
+			routers = append(routers, spec)
+		}
+	}
+
+	var injections []injection
+	rounds := 10 + g.Intn(30)
+	for i, n := 0, 1+g.Intn(4); i < n; i++ {
+		in := injection{
+			beforeRound: g.Intn(rounds * 3 / 4),
+			src:         packet.TileID(g.Intn(tiles)),
+			dst:         packet.TileID(g.Intn(tiles)),
+			kind:        packet.Kind(g.Intn(3)),
+		}
+		if g.Bool(0.5) {
+			in.dst = packet.Broadcast
+		}
+		if g.Bool(0.6) {
+			in.payload = fmt.Sprintf("diff-%d-%d", idx, i)
+		}
+		injections = append(injections, in)
+	}
+
+	sc := shardScenario{
+		name:   fmt.Sprintf("case-%03d", idx),
+		cfg:    func() Config { return cfgTemplate },
+		inject: injections,
+		rounds: rounds,
+	}
+	if len(routers) > 0 {
+		sc.setup = func(n *Network) {
+			for _, r := range routers {
+				ports := r.ports
+				n.SetRouter(r.tile, func(*packet.Packet) []packet.TileID { return ports })
+				if r.limit > 0 {
+					n.SetForwardLimit(r.tile, r.limit)
+				}
+			}
+		}
+	}
+	return diffConfig{sc: sc, resumeK: 1 + g.Intn(rounds-1)}
+}
+
+// TestDifferentialRandomConfigs is the randomized differential pass. For
+// each generated case the sequential run is the reference; sharded runs
+// (2 and 5 shards) and a snapshot-resumed run (interrupt at a random
+// round, resume, finish) must reproduce it event-for-event. CI runs this
+// under -race as well, which turns every case into a concurrency probe
+// of the sharded engine.
+func TestDifferentialRandomConfigs(t *testing.T) {
+	cases := diffCases
+	if testing.Short() {
+		cases = diffCasesShort
+	}
+	for idx := 0; idx < cases; idx++ {
+		dc := genCase(idx)
+		t.Run(dc.sc.name, func(t *testing.T) {
+			want := runShardScenario(t, dc.sc, 1)
+			for _, shards := range []int{2, 5} {
+				got := runShardScenario(t, dc.sc, shards)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d diverged from sequential: %s",
+						shards, firstEventDiff(want.events, got.events))
+				}
+			}
+			got, _ := runResumedScenario(t, dc.sc, dc.resumeK, 1, 1)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("snapshot-resume at k=%d diverged from straight run: %s",
+					dc.resumeK, firstEventDiff(want.events, got.events))
+			}
+		})
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/crc"
+	"repro/internal/packet"
+	"repro/internal/snapshot"
+)
+
+// This file implements checkpoint/resume for the round engine: Snapshot
+// serializes the complete simulation state at a round barrier, Restore
+// rebuilds a Network that continues bit-identically — same events, same
+// counters, same RNG draws, same final state — as if the run had never
+// stopped. The headline guarantee, pinned by TestSnapshotResume* and the
+// randomized differential suite (diff_test.go):
+//
+//	Restore(Snapshot(run to round k)) → run to round n
+//
+// equals an uninterrupted n-round run byte for byte, for any k, any
+// shard count on either side, and any fault-knob combination.
+//
+// What the snapshot covers: the per-tile RNG streams, send buffers,
+// message-flag tables, forward cursors and limits, mailboxes, in-flight
+// arrivals (by-value copies and literal wire frames alike, with their
+// scheduled rounds), the network-wide message table (aware counts and
+// spread-stop tombstones), the dense ID allocator, the round counter and
+// the run Counters. What it deliberately does not cover: the Config
+// itself (function hooks cannot be serialized — Restore takes the
+// original Config from the caller and verifies a digest of its
+// deterministic fields), attached Process state (the IP cores are the
+// application's to checkpoint; re-Attach them after Restore), and
+// SetRouter functions (re-apply them; forward limits ARE captured).
+//
+// The fault injector is not serialized either, on purpose: permanent
+// failures are sampled deterministically from Config.Seed at New, so the
+// rebuilt Network re-derives the exact crash set — one more reason the
+// digest pins the seed and fault model.
+
+// corePayloadVersion versions the SecCore payload layout independently of
+// the container version.
+const corePayloadVersion = 1
+
+// arrival discriminants in the in-flight encoding.
+const (
+	arrValue uint8 = iota // by-value copy, clean
+	arrUpset              // by-value copy, scrambled in flight (analytic path)
+	arrFrame              // literal path: encoded, possibly corrupted wire frame
+)
+
+// ConfigDigest returns a checksum over cfg's deterministic,
+// behavior-defining fields and the full topology wiring. A snapshot
+// embeds the digest of the run that produced it; Restore refuses a cfg
+// whose digest differs, catching the classic checkpoint bug — resuming
+// under a subtly different configuration — before it can corrupt a
+// campaign. Shards is excluded (the sharded engine is bit-identical, so
+// a checkpoint may be resumed at any shard count), as are the function
+// fields (hooks, PortWeight), which the caller must re-supply unchanged.
+func ConfigDigest(cfg *Config) uint32 {
+	w := snapshot.NewWriter()
+	w.Int(cfg.Topo.Tiles())
+	for i := 0; i < cfg.Topo.Tiles(); i++ {
+		nbrs := cfg.Topo.Neighbors(packet.TileID(i))
+		w.Int(len(nbrs))
+		for _, nb := range nbrs {
+			w.U16(uint16(nb))
+		}
+	}
+	w.F64(cfg.P)
+	w.U8(cfg.TTL)
+	w.Int(cfg.BufferCap)
+	w.Int(cfg.MaxRounds)
+	w.U64(cfg.Seed)
+	w.Bool(cfg.DisableDedup)
+	w.Bool(cfg.StopSpreadOnDelivery)
+	f := &cfg.Fault
+	w.F64(f.PTileCrash)
+	w.Int(f.DeadTiles)
+	w.F64(f.PLinkCrash)
+	w.Int(f.DeadLinks)
+	w.F64(f.PUpset)
+	w.F64(f.POverflow)
+	w.F64(f.SigmaSync)
+	w.Bool(f.LiteralUpsets)
+	w.Int(int(f.ErrorModel))
+	w.Int(len(f.Protect))
+	for _, t := range f.Protect {
+		w.U16(uint16(t))
+	}
+	return crc.Checksum32(w.Bytes())
+}
+
+// Snapshot serializes the network's complete simulation state to w as a
+// single-section checkpoint container. It must be called at a round
+// barrier — between Steps, where no phase is executing and nothing is
+// staged in a lane — which is the only place single-threaded callers can
+// call it anyway. The snapshot is deterministic: two networks in
+// identical states produce identical bytes, which the differential suite
+// exploits as a whole-state equality oracle.
+func (n *Network) Snapshot(w io.Writer) error {
+	enc := snapshot.NewEncoder(w)
+	n.EncodeState(enc.Section(snapshot.SecCore))
+	return enc.Close()
+}
+
+// EncodeState writes the engine state as a SecCore payload. It is the
+// composable form of Snapshot, for callers (package sim) that assemble
+// containers with additional sections (metrics series, replica
+// metadata).
+func (n *Network) EncodeState(w *snapshot.Writer) {
+	w.Int(corePayloadVersion)
+	w.U32(ConfigDigest(&n.cfg))
+	w.Int(n.round)
+	w.Uvarint(uint64(n.nextID))
+	w.Bool(n.started)
+
+	// Counters.
+	w.Int(n.cnt.Energy.Transmissions)
+	w.Int(n.cnt.Energy.Bits)
+	w.Int(n.cnt.UpsetsInjected)
+	w.Int(n.cnt.UpsetsDetected)
+	w.Int(n.cnt.OverflowDrops)
+	w.Int(n.cnt.SlippedDeliveries)
+	w.Int(n.cnt.Deliveries)
+	w.Int(n.cnt.DeliveredPayloadBits)
+	w.Int(n.cnt.Duplicates)
+
+	// Per-message table ([0] is the unused sentinel slot).
+	w.Int(len(n.msgs) - 1)
+	for _, m := range n.msgs[1:] {
+		w.Int(int(m.aware))
+		w.Bool(m.dead)
+	}
+
+	// Per-tile state.
+	w.Int(len(n.tiles))
+	for _, t := range n.tiles {
+		for _, s := range t.rnd.State() {
+			w.U64(s)
+		}
+		w.Int(t.fwdCursor)
+		w.Int(t.fwdLimit)
+		w.WriteBytes(t.flags)
+		w.Int(len(t.sendBuf))
+		for i := range t.sendBuf {
+			encodePacket(w, &t.sendBuf[i])
+		}
+		w.Int(len(t.mailbox))
+		for _, p := range t.mailbox {
+			encodePacket(w, p)
+		}
+		encodeRing(w, &t.ring, n.round)
+	}
+}
+
+// encodePacket writes one packet.
+func encodePacket(w *snapshot.Writer, p *packet.Packet) {
+	w.Uvarint(uint64(p.ID))
+	w.U16(uint16(p.Src))
+	w.U16(uint16(p.Dst))
+	w.U8(uint8(p.Kind))
+	w.U8(p.TTL)
+	w.WriteBytes(p.Payload)
+}
+
+// encodeRing writes a tile's in-flight arrivals in consumption order. At
+// a round barrier every live arrival is scheduled for a round in
+// (round, round+len(buckets)]; each non-empty bucket index maps to
+// exactly one round in that window, so arrivals are emitted ordered by
+// (scheduled round, insertion order) — the order a resumed engine must
+// reproduce.
+func encodeRing(w *snapshot.Writer, r *arrivalRing, round int) {
+	w.Int(r.count)
+	for d := 1; d <= len(r.buckets); d++ {
+		when := round + d
+		bucket := r.buckets[when&(len(r.buckets)-1)]
+		for i := range bucket {
+			a := &bucket[i]
+			w.Int(d)
+			switch {
+			case a.frame != nil:
+				w.U8(arrFrame)
+				w.WriteBytes(a.frame)
+			case a.upset:
+				w.U8(arrUpset)
+				encodePacket(w, &a.pkt)
+			default:
+				w.U8(arrValue)
+				encodePacket(w, &a.pkt)
+			}
+		}
+	}
+}
+
+// Restore reads a checkpoint container written by Snapshot and rebuilds
+// the network mid-run. cfg must be the configuration of the run that
+// produced the snapshot — same topology, seed, fault model and protocol
+// knobs (verified against the embedded digest) — though Shards and the
+// function fields may differ; see EncodeState's file comment for what
+// the caller must re-apply (processes, routers). The returned network
+// continues from the snapshotted round exactly as the original would
+// have.
+func Restore(r io.Reader, cfg Config) (*Network, error) {
+	dec, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	sec, err := dec.Section(snapshot.SecCore)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreSection(sec, cfg)
+}
+
+// RestoreSection rebuilds a network from a decoded SecCore payload — the
+// composable form of Restore used by package sim's multi-section
+// checkpoint files. The reader must be positioned at the start of the
+// payload and is fully consumed.
+func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if v := sec.Int(); sec.Err() == nil && v != corePayloadVersion {
+		return nil, fmt.Errorf("core: checkpoint payload version %d, this build reads %d", v, corePayloadVersion)
+	}
+	if d := sec.U32(); sec.Err() == nil && d != ConfigDigest(&n.cfg) {
+		return nil, fmt.Errorf("core: checkpoint was taken under a different configuration (digest %08x != %08x)", d, ConfigDigest(&n.cfg))
+	}
+	n.round = sec.Int()
+	id := sec.Uvarint()
+	if id > math.MaxUint64/2 { // absurd allocator value ⇒ corrupt payload
+		return nil, fmt.Errorf("core: checkpoint nextID %d implausible", id)
+	}
+	n.nextID = packet.MsgID(id)
+	n.started = sec.Bool()
+
+	n.cnt.Energy.Transmissions = sec.Int()
+	n.cnt.Energy.Bits = sec.Int()
+	n.cnt.UpsetsInjected = sec.Int()
+	n.cnt.UpsetsDetected = sec.Int()
+	n.cnt.OverflowDrops = sec.Int()
+	n.cnt.SlippedDeliveries = sec.Int()
+	n.cnt.Deliveries = sec.Int()
+	n.cnt.DeliveredPayloadBits = sec.Int()
+	n.cnt.Duplicates = sec.Int()
+
+	nmsgs := sec.Count(2)
+	if sec.Err() == nil && uint64(nmsgs) != uint64(n.nextID) {
+		return nil, fmt.Errorf("core: checkpoint message table holds %d entries, allocator says %d", nmsgs, n.nextID)
+	}
+	n.msgs = make([]msgState, nmsgs+1)
+	for i := 1; i <= nmsgs; i++ {
+		aware := sec.Int()
+		if aware > len(n.tiles) {
+			return nil, fmt.Errorf("core: message %d aware count %d exceeds %d tiles", i, aware, len(n.tiles))
+		}
+		n.msgs[i] = msgState{aware: int32(aware), dead: sec.Bool()}
+	}
+
+	if tiles := sec.Count(1); sec.Err() == nil && tiles != len(n.tiles) {
+		return nil, fmt.Errorf("core: checkpoint holds %d tiles, topology has %d", tiles, len(n.tiles))
+	}
+	for _, t := range n.tiles {
+		var st [4]uint64
+		for i := range st {
+			st[i] = sec.U64()
+		}
+		if sec.Err() == nil {
+			if err := t.rnd.SetState(st); err != nil {
+				return nil, fmt.Errorf("core: tile %d: %w", t.id, err)
+			}
+		}
+		t.fwdCursor = sec.Int()
+		t.fwdLimit = sec.Int()
+		t.flags = sec.ReadBytes()
+		if uint64(len(t.flags)) > uint64(n.nextID)+1 {
+			return nil, fmt.Errorf("core: tile %d flag table covers %d messages, only %d exist", t.id, len(t.flags), n.nextID)
+		}
+		nbuf := sec.Count(1)
+		t.sendBuf = make([]packet.Packet, 0, nbuf)
+		for i := 0; i < nbuf; i++ {
+			p, err := decodePacket(sec, n)
+			if err != nil {
+				return nil, fmt.Errorf("core: tile %d send buffer: %w", t.id, err)
+			}
+			t.sendBuf = append(t.sendBuf, p)
+		}
+		nmail := sec.Count(1)
+		t.mailbox = make([]*packet.Packet, 0, nmail)
+		for i := 0; i < nmail; i++ {
+			p, err := decodePacket(sec, n)
+			if err != nil {
+				return nil, fmt.Errorf("core: tile %d mailbox: %w", t.id, err)
+			}
+			t.mailbox = append(t.mailbox, &p)
+		}
+		if err := decodeRing(sec, n, t); err != nil {
+			return nil, fmt.Errorf("core: tile %d arrival ring: %w", t.id, err)
+		}
+	}
+	if err := sec.Finish(); err != nil {
+		return nil, err
+	}
+	// Cross-check the restored aware counts against the flag tables they
+	// summarize: an inconsistency means a corrupt-but-CRC-colliding
+	// payload or an encoder bug, and either must not reach a run.
+	for id := packet.MsgID(1); id <= n.nextID; id++ {
+		aware := int32(0)
+		for _, t := range n.tiles {
+			if t.flagsOf(id) != 0 {
+				aware++
+			}
+		}
+		if aware != n.msgs[id].aware {
+			return nil, fmt.Errorf("core: message %d aware count %d inconsistent with flag tables (%d)", id, n.msgs[id].aware, aware)
+		}
+	}
+	return n, nil
+}
+
+// decodePacket reads one packet, validating every field against the
+// restored network's bounds: IDs must have been issued, tile IDs must
+// exist (Dst may also be Broadcast), and buffered TTLs must be alive —
+// values a snapshot of a consistent engine can never contain otherwise.
+func decodePacket(sec *snapshot.Reader, n *Network) (packet.Packet, error) {
+	var p packet.Packet
+	p.ID = packet.MsgID(sec.Uvarint())
+	p.Src = packet.TileID(sec.U16())
+	p.Dst = packet.TileID(sec.U16())
+	p.Kind = packet.Kind(sec.U8())
+	p.TTL = sec.U8()
+	payload := sec.ReadBytes()
+	if len(payload) > 0 {
+		p.Payload = payload
+	}
+	if err := sec.Err(); err != nil {
+		return p, err
+	}
+	if p.ID == 0 || p.ID > n.nextID {
+		return p, fmt.Errorf("packet names message %d, only %d issued", p.ID, n.nextID)
+	}
+	if int(p.Src) >= len(n.tiles) {
+		return p, fmt.Errorf("packet source tile %d out of range", p.Src)
+	}
+	if p.Dst != packet.Broadcast && int(p.Dst) >= len(n.tiles) {
+		return p, fmt.Errorf("packet destination tile %d out of range", p.Dst)
+	}
+	if p.TTL == 0 {
+		return p, fmt.Errorf("packet with expired TTL")
+	}
+	if len(payload) > packet.MaxPayload {
+		return p, fmt.Errorf("payload of %d bytes exceeds MaxPayload", len(payload))
+	}
+	return p, nil
+}
+
+// maxRestoredSlip bounds how far ahead a restored arrival may be
+// scheduled. Slips are ⌊|N(0, σ_synchr)|⌋ draws; at the σ values the
+// experiments sweep (≤ 2·T_R) a slip anywhere near this bound is a
+// >10000σ event, so any payload claiming one is corrupt — and the bound
+// keeps a hostile delta from forcing the arrival ring to grow without
+// limit during restore.
+const maxRestoredSlip = 1 << 16
+
+// decodeRing rebuilds t's in-flight arrivals by rescheduling them in the
+// serialized (consumption) order, which reconstructs both the ring
+// geometry and each bucket's insertion order.
+func decodeRing(sec *snapshot.Reader, n *Network, t *tile) error {
+	count := sec.Count(3) // delta + kind + at least one payload byte
+	for i := 0; i < count; i++ {
+		d := sec.Int()
+		if sec.Err() == nil && (d < 1 || d > maxRestoredSlip) {
+			return fmt.Errorf("arrival slip %d out of range [1, %d]", d, maxRestoredSlip)
+		}
+		var a arrival
+		switch kind := sec.U8(); kind {
+		case arrFrame:
+			a.frame = sec.ReadBytes()
+			if sec.Err() == nil && len(a.frame) < packet.EncodedLen(0) {
+				return fmt.Errorf("wire frame of %d bytes shorter than a header", len(a.frame))
+			}
+		case arrUpset, arrValue:
+			p, err := decodePacket(sec, n)
+			if err != nil {
+				return err
+			}
+			a.pkt = p
+			a.upset = kind == arrUpset
+		default:
+			if sec.Err() != nil {
+				return sec.Err()
+			}
+			return fmt.Errorf("unknown arrival kind %d", kind)
+		}
+		if err := sec.Err(); err != nil {
+			return err
+		}
+		t.ring.schedule(n.round, n.round+d, a)
+	}
+	return nil
+}

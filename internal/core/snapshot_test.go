@@ -1,0 +1,408 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/snapshot"
+	"repro/internal/topology"
+)
+
+// This file pins the checkpoint/resume contract (ISSUE 5 acceptance
+// criteria): Restore(Snapshot(run to round k)) → run to round n is
+// bit-identical to an uninterrupted n-round run — same event sequence,
+// same deliveries, same counters, same aware tables — for any k, any
+// shard count on either side of the checkpoint, and any fault-knob
+// combination. Two oracles enforce it: the observable record compared
+// with reflect.DeepEqual, and whole-state equality via the snapshot
+// bytes both runs produce at round n (two states that serialize
+// identically under a deterministic encoder ARE identical, in-flight
+// arrivals and RNG streams included).
+
+// everythingScenario enables every fault knob at once — literal upsets
+// with a burst error model, overflow, link and tile crashes with a
+// protect list, synchronization skew — plus a buffer cap, so a resumed
+// run has to replay every code path the engine has.
+func everythingScenario() shardScenario {
+	return shardScenario{
+		name: "everything",
+		cfg: func() Config {
+			return Config{
+				Topo: topology.NewGrid(6, 6), P: 0.55, TTL: 10,
+				BufferCap: 4, MaxRounds: 1000, Seed: 99,
+				Fault: fault.Model{
+					PUpset: 0.12, POverflow: 0.06, PLinkCrash: 0.04,
+					DeadTiles: 2, SigmaSync: 0.8,
+					LiteralUpsets: true, ErrorModel: packet.RandomBitError,
+					Protect: []packet.TileID{0, 21, 35},
+				},
+			}
+		},
+		inject: []injection{
+			{beforeRound: 0, src: 0, dst: packet.Broadcast, payload: "kickoff"},
+			{beforeRound: 5, src: 35, dst: 0, kind: 1, payload: "mid-run unicast"},
+			{beforeRound: 11, src: 21, dst: packet.Broadcast, payload: "late wave"},
+		},
+		rounds: 24,
+	}
+}
+
+// resumableScenarios is the shard-invariance scenario set minus the one
+// with attached Processes: IP-core state is the application's to
+// checkpoint (see the snapshot.go file comment), so process scenarios
+// cannot round-trip through Restore.
+func resumableScenarios(tb testing.TB) []shardScenario {
+	var out []shardScenario
+	for _, sc := range shardScenarios(tb) {
+		if sc.name == "grid-processes-receiver" {
+			continue
+		}
+		out = append(out, sc)
+	}
+	return append(out, everythingScenario())
+}
+
+// snapshotBytes serializes n and fails the test on error.
+func snapshotBytes(tb testing.TB, n *Network) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := n.Snapshot(&buf); err != nil {
+		tb.Fatalf("Snapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// runResumedScenario replays sc but interrupts it: it runs shardsBefore-
+// sharded to round k, snapshots, restores the snapshot into a fresh
+// shardsAfter-sharded network, and finishes the run there. The returned
+// record spans the whole run (events recorded on both sides of the
+// checkpoint concatenate), plus the final-state snapshot bytes for the
+// whole-state oracle.
+func runResumedScenario(tb testing.TB, sc shardScenario, k, shardsBefore, shardsAfter int) (shardSnapshot, []byte) {
+	tb.Helper()
+	var snap shardSnapshot
+	hook := func(cfg *Config) {
+		cfg.OnEvent = func(ev Event) { snap.events = append(snap.events, ev) }
+		cfg.OnDeliver = func(tl packet.TileID, p *packet.Packet, round int) {
+			snap.delivers = append(snap.delivers, deliverRec{
+				tile: tl, round: round, id: p.ID, payload: string(p.Payload),
+			})
+		}
+	}
+	inject := func(n *Network, round int, ids []packet.MsgID) []packet.MsgID {
+		for _, in := range sc.inject {
+			if in.beforeRound != round {
+				continue
+			}
+			var payload []byte
+			if in.payload != "" {
+				payload = []byte(in.payload)
+			}
+			ids = append(ids, mustInject(tb, n, in.src, in.dst, in.kind, payload))
+		}
+		return ids
+	}
+
+	cfg := sc.cfg()
+	cfg.Shards = shardsBefore
+	hook(&cfg)
+	n, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("%s: New: %v", sc.name, err)
+	}
+	if sc.setup != nil {
+		sc.setup(n)
+	}
+	var ids []packet.MsgID
+	for round := 0; round < k; round++ {
+		ids = inject(n, round, ids)
+		n.Step()
+	}
+
+	ckpt := snapshotBytes(tb, n)
+
+	cfg2 := sc.cfg()
+	cfg2.Shards = shardsAfter
+	hook(&cfg2)
+	n2, err := Restore(bytes.NewReader(ckpt), cfg2)
+	if err != nil {
+		tb.Fatalf("%s: Restore at k=%d: %v", sc.name, k, err)
+	}
+	if sc.setup != nil {
+		sc.setup(n2) // routers and forward limits are the caller's to re-apply
+	}
+	if n2.Round() != k {
+		tb.Fatalf("%s: restored network at round %d, want %d", sc.name, n2.Round(), k)
+	}
+	for round := k; round < sc.rounds; round++ {
+		ids = inject(n2, round, ids)
+		n2.Step()
+	}
+
+	snap.cnt = n2.Counters()
+	snap.rounds = n2.Round()
+	tiles := n2.Topology().Tiles()
+	for _, id := range ids {
+		snap.aware = append(snap.aware, n2.Aware(id))
+		for ti := 0; ti < tiles; ti++ {
+			snap.awareAt = append(snap.awareAt, n2.AwareAt(id, packet.TileID(ti)))
+		}
+	}
+	return snap, snapshotBytes(tb, n2)
+}
+
+// compareRuns asserts two full-run records are identical.
+func compareRuns(tb testing.TB, label string, want, got shardSnapshot) {
+	tb.Helper()
+	if !reflect.DeepEqual(got.events, want.events) {
+		tb.Fatalf("%s: event log diverged: %s", label, firstEventDiff(want.events, got.events))
+	}
+	if !reflect.DeepEqual(got.delivers, want.delivers) {
+		tb.Fatalf("%s: delivery log diverged\nstraight: %v\nresumed:  %v",
+			label, want.delivers, got.delivers)
+	}
+	if got.cnt != want.cnt {
+		tb.Fatalf("%s: counters diverged\nstraight: %+v\nresumed:  %+v", label, want.cnt, got.cnt)
+	}
+	if !reflect.DeepEqual(got.aware, want.aware) {
+		tb.Fatalf("%s: Aware counts diverged\nstraight: %v\nresumed:  %v",
+			label, want.aware, got.aware)
+	}
+	if !reflect.DeepEqual(got.awareAt, want.awareAt) {
+		tb.Fatalf("%s: AwareAt tables diverged", label)
+	}
+	if got.rounds != want.rounds {
+		tb.Fatalf("%s: rounds %d != %d", label, got.rounds, want.rounds)
+	}
+}
+
+// TestSnapshotResumeBitIdentity is the acceptance-criteria test: for
+// every resumable scenario — including the everything scenario with all
+// fault knobs enabled — interrupting at k ∈ {1, mid, n−1} and resuming
+// at shard counts {1, 4} (both sides of the checkpoint) reproduces the
+// straight-through run exactly, down to the final snapshot bytes.
+func TestSnapshotResumeBitIdentity(t *testing.T) {
+	for _, sc := range resumableScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			straight := runShardScenario(t, sc, 1)
+			if len(straight.events) == 0 {
+				t.Fatal("scenario produced no events — not a meaningful resume check")
+			}
+			// Final-state bytes of the uninterrupted run, for the
+			// whole-state oracle.
+			wantBytes := func() []byte {
+				cfg := sc.cfg()
+				n, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sc.setup != nil {
+					sc.setup(n)
+				}
+				for round := 0; round < sc.rounds; round++ {
+					for _, in := range sc.inject {
+						if in.beforeRound != round {
+							continue
+						}
+						var payload []byte
+						if in.payload != "" {
+							payload = []byte(in.payload)
+						}
+						mustInject(t, n, in.src, in.dst, in.kind, payload)
+					}
+					n.Step()
+				}
+				return snapshotBytes(t, n)
+			}()
+			for _, k := range []int{1, sc.rounds / 2, sc.rounds - 1} {
+				for _, shards := range [][2]int{{1, 1}, {1, 4}, {4, 1}, {4, 4}} {
+					got, gotBytes := runResumedScenario(t, sc, k, shards[0], shards[1])
+					label := sprintLabel(sc.name, k, shards)
+					compareRuns(t, label, straight, got)
+					if !bytes.Equal(gotBytes, wantBytes) {
+						t.Fatalf("%s: final snapshot bytes differ from straight run", label)
+					}
+				}
+				if testing.Short() {
+					break // one k per scenario keeps -short fast
+				}
+			}
+		})
+	}
+}
+
+func sprintLabel(name string, k int, shards [2]int) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteString("/k=")
+	writeInt(&b, k)
+	b.WriteString("/shards=")
+	writeInt(&b, shards[0])
+	b.WriteString("→")
+	writeInt(&b, shards[1])
+	return b.String()
+}
+
+func writeInt(b *strings.Builder, v int) {
+	if v >= 10 {
+		writeInt(b, v/10)
+	}
+	b.WriteByte(byte('0' + v%10))
+}
+
+// TestSnapshotDeterministic pins the whole-state oracle's premise: two
+// networks in identical states must serialize to identical bytes.
+func TestSnapshotDeterministic(t *testing.T) {
+	sc := everythingScenario()
+	run := func() []byte {
+		n, err := New(sc.cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustInject(t, n, 0, packet.Broadcast, 0, []byte("det"))
+		for i := 0; i < 12; i++ {
+			n.Step()
+		}
+		return snapshotBytes(t, n)
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("identical runs produced different snapshot bytes")
+	}
+}
+
+// TestRestoreRejectsDifferentConfig pins the digest guard: a checkpoint
+// must not resume under a configuration that would change behavior.
+func TestRestoreRejectsDifferentConfig(t *testing.T) {
+	base := Config{Topo: topology.NewGrid(4, 4), P: 0.5, TTL: 8, MaxRounds: 100, Seed: 7}
+	n, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInject(t, n, 0, packet.Broadcast, 0, nil)
+	for i := 0; i < 5; i++ {
+		n.Step()
+	}
+	ckpt := snapshotBytes(t, n)
+
+	mutations := map[string]func(*Config){
+		"seed":     func(c *Config) { c.Seed = 8 },
+		"p":        func(c *Config) { c.P = 0.6 },
+		"ttl":      func(c *Config) { c.TTL = 9 },
+		"topology": func(c *Config) { c.Topo = topology.NewGrid(4, 5) },
+		"fault":    func(c *Config) { c.Fault.PUpset = 0.1 },
+		"dedup":    func(c *Config) { c.DisableDedup = true },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Restore(bytes.NewReader(ckpt), cfg); err == nil {
+			t.Errorf("restore under mutated config %q succeeded, want digest error", name)
+		}
+	}
+
+	// Shards and function fields are deliberately outside the digest.
+	cfg := base
+	cfg.Shards = 4
+	cfg.OnEvent = func(Event) {}
+	if _, err := Restore(bytes.NewReader(ckpt), cfg); err != nil {
+		t.Errorf("restore with different Shards/hooks failed: %v", err)
+	}
+}
+
+// TestRestoreRejectsInconsistentState pins the post-CRC validation: a
+// structurally valid container whose payload violates engine invariants
+// must be rejected, not trusted. Each mutation re-encodes a legitimate
+// payload with one field broken and re-seals it in a fresh container, so
+// only RestoreSection's own checks can catch it.
+func TestRestoreRejectsInconsistentState(t *testing.T) {
+	cfg := Config{Topo: topology.NewGrid(3, 3), P: 0.6, TTL: 6, MaxRounds: 100, Seed: 5}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInject(t, n, 0, packet.Broadcast, 0, []byte("x"))
+	for i := 0; i < 3; i++ {
+		n.Step()
+	}
+
+	reseal := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		enc := snapshot.NewEncoder(&buf)
+		w := enc.Section(snapshot.SecCore)
+		w.WriteRaw(payload)
+		if err := enc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	good := func() []byte {
+		w := snapshot.NewWriter()
+		n.EncodeState(w)
+		return w.Bytes()
+	}()
+
+	if _, err := Restore(bytes.NewReader(reseal(good)), cfg); err != nil {
+		t.Fatalf("resealed unmodified payload rejected: %v", err)
+	}
+
+	// The digest lives at bytes [offset, offset+4) after the uvarint
+	// payload version; flipping it must fail even though the container
+	// CRC is valid.
+	bad := append([]byte(nil), good...)
+	bad[1] ^= 0xff // first digest byte (version 1 encodes as one byte)
+	if _, err := Restore(bytes.NewReader(reseal(bad)), cfg); err == nil {
+		t.Error("corrupted digest accepted")
+	}
+
+	// Truncated payload: a valid container whose core section ends
+	// mid-structure.
+	if _, err := Restore(bytes.NewReader(reseal(good[:len(good)-3])), cfg); err == nil {
+		t.Error("truncated payload accepted")
+	}
+
+	// Trailing garbage after a complete payload.
+	if _, err := Restore(bytes.NewReader(reseal(append(append([]byte(nil), good...), 1, 2, 3))), cfg); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestSnapshotOfQuiescentAndFreshNetworks covers the edges: a network
+// that has never stepped, and one that has fully quiesced.
+func TestSnapshotOfQuiescentAndFreshNetworks(t *testing.T) {
+	cfg := Config{Topo: topology.NewGrid(3, 3), P: 1, TTL: 4, MaxRounds: 100, Seed: 2}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh: round 0, nothing injected.
+	n2, err := Restore(bytes.NewReader(snapshotBytes(t, n)), cfg)
+	if err != nil {
+		t.Fatalf("restore of fresh network: %v", err)
+	}
+	mustInject(t, n2, 0, packet.Broadcast, 0, nil)
+	rounds := n2.Drain(50)
+
+	// The same run without the checkpoint detour must agree.
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInject(t, m, 0, packet.Broadcast, 0, nil)
+	if want := m.Drain(50); rounds != want || m.Counters() != n2.Counters() {
+		t.Fatalf("fresh-restore run diverged: %d rounds vs %d, %+v vs %+v",
+			rounds, want, n2.Counters(), m.Counters())
+	}
+
+	// Quiescent: everything expired, ring empty, buffers empty.
+	q, err := Restore(bytes.NewReader(snapshotBytes(t, m)), cfg)
+	if err != nil {
+		t.Fatalf("restore of quiescent network: %v", err)
+	}
+	if !q.Quiescent() || q.Round() != m.Round() || q.Counters() != m.Counters() {
+		t.Fatal("quiescent state did not round-trip")
+	}
+}

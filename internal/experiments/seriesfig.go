@@ -21,10 +21,24 @@ const (
 	broadcastMaxRounds = 72 // TTL + spread transient + draining margin
 )
 
+// BroadcastCheckpoints configures checkpoint/resume for the instrumented
+// broadcast study. The zero value disables both.
+type BroadcastCheckpoints struct {
+	// Save, when active, writes each replica's state to per-replica files
+	// every Save.Every rounds (see sim.Checkpointer).
+	Save sim.Checkpointer
+	// ResumeDir, when non-empty, resumes each replica from its checkpoint
+	// file in this directory (replicas without a file start fresh).
+	ResumeDir string
+}
+
 // broadcastSeriesReplica runs one replica of the canonical broadcast and
 // returns its recorded TimeSeries next to the engine's own Counters, so
-// tests can reconcile the two tallies event for event.
-func broadcastSeriesReplica(seed uint64, shards int) (*metrics.TimeSeries, core.Counters, error) {
+// tests can reconcile the two tallies event for event. With checkpoints
+// configured the replica saves its state periodically and resumes from a
+// prior save; the engine's bit-identical restore guarantees the returned
+// series is the same either way.
+func broadcastSeriesReplica(replica int, seed uint64, shards int, ck BroadcastCheckpoints) (*metrics.TimeSeries, core.Counters, error) {
 	g := topology.NewGrid(broadcastSide, broadcastSide)
 	center := g.ID(broadcastSide/2, broadcastSide/2)
 	rec := metrics.NewRecorder(metrics.Config{
@@ -37,18 +51,39 @@ func broadcastSeriesReplica(seed uint64, shards int) (*metrics.TimeSeries, core.
 		Fault: fault.Model{PUpset: 0.1, POverflow: 0.05, Protect: []packet.TileID{center}},
 	}
 	rec.Install(&cfg)
-	net, err := core.New(cfg)
-	if err != nil {
-		return nil, core.Counters{}, err
+	meta := sim.CheckpointMeta{Replica: replica, Seed: seed}
+
+	var net *core.Network
+	resumed := false
+	if ck.ResumeDir != "" {
+		var err error
+		net, resumed, err = sim.LoadReplica(ck.ResumeDir, meta, cfg, rec)
+		if err != nil {
+			return nil, core.Counters{}, err
+		}
 	}
-	id, err := net.Inject(center, packet.Broadcast, 0, make([]byte, 16))
-	if err != nil {
-		return nil, core.Counters{}, err
+	if !resumed {
+		var err error
+		net, err = core.New(cfg)
+		if err != nil {
+			return nil, core.Counters{}, err
+		}
+		id, err := net.Inject(center, packet.Broadcast, 0, make([]byte, 16))
+		if err != nil {
+			return nil, core.Counters{}, err
+		}
+		rec.Watch(id)
 	}
-	rec.Watch(id)
 	// Run until the broadcast has fully drained (every copy expired), so
-	// the TTL-expiry tail is part of the recorded trajectory.
-	net.Drain(broadcastMaxRounds)
+	// the TTL-expiry tail is part of the recorded trajectory. The loop is
+	// Drain(broadcastMaxRounds) unrolled so each round barrier can
+	// checkpoint — and, on resume, it continues from the restored round.
+	for net.Round() < broadcastMaxRounds && !net.Quiescent() {
+		net.Step()
+		if err := ck.Save.MaybeSave(meta, net, rec); err != nil {
+			return nil, core.Counters{}, err
+		}
+	}
 	return rec.Series(), net.Counters(), nil
 }
 
@@ -59,12 +94,20 @@ func broadcastSeriesReplica(seed uint64, shards int) (*metrics.TimeSeries, core.
 // sums reconcile exactly with the engine's core.Counters totals at any
 // worker count.
 func BroadcastMetrics(mc sim.Config) (*metrics.Aggregate, error) {
+	return BroadcastMetricsCheckpointed(mc, BroadcastCheckpoints{})
+}
+
+// BroadcastMetricsCheckpointed is BroadcastMetrics with checkpoint/resume:
+// each replica periodically saves its state to ck.Save and resumes from
+// ck.ResumeDir. The merged aggregate is byte-identical to an
+// uninterrupted run — the checkpoint layer cannot perturb the series.
+func BroadcastMetricsCheckpointed(mc sim.Config, ck BroadcastCheckpoints) (*metrics.Aggregate, error) {
 	// When the replica pool leaves cores idle, spend them inside each
 	// replica — the sharded engine is bit-identical, so the export stays
 	// byte-stable regardless of the pick.
 	shards := mc.AutoShards(broadcastSide * broadcastSide)
-	return sim.RunSeries(mc, func(_ int, seed uint64) (*metrics.TimeSeries, error) {
-		ts, _, err := broadcastSeriesReplica(seed, shards)
+	return sim.RunSeries(mc, func(replica int, seed uint64) (*metrics.TimeSeries, error) {
+		ts, _, err := broadcastSeriesReplica(replica, seed, shards, ck)
 		return ts, err
 	})
 }

@@ -9,7 +9,10 @@
 // relies on when sweeping a single parameter.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Stream is a deterministic pseudo-random stream. It is NOT safe for
 // concurrent use; derive one Stream per goroutine with Split.
@@ -43,6 +46,25 @@ func New(seed uint64) *Stream {
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// State exports the stream's internal xoshiro256** state. Together with
+// SetState it forms the checkpoint surface of the simulator: a Stream
+// restored from a captured state produces exactly the sequence the
+// original would have produced from that point on. The state is never
+// all-zero (New, Split and SetState all exclude it).
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// SetState overwrites the stream's state with one previously captured by
+// State. The all-zero state is not a valid xoshiro256** state (the
+// generator would emit zeros forever) and is rejected, which also makes
+// SetState safe on unvalidated checkpoint data.
+func (r *Stream) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("rng: SetState with all-zero state")
+	}
+	r.s = s
+	return nil
+}
 
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Stream) Uint64() uint64 {

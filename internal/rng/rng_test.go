@@ -318,3 +318,43 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = r.NormFloat64()
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	src := New(99)
+	for i := 0; i < 37; i++ { // advance off the seed state
+		src.Uint64()
+	}
+	snap := src.State()
+	restored := New(0)
+	if err := restored.SetState(snap); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		if got, want := restored.Uint64(), src.Uint64(); got != want {
+			t.Fatalf("restored stream diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestStateDoesNotAdvance(t *testing.T) {
+	s := New(7)
+	before := s.State()
+	_ = s.State()
+	if s.State() != before {
+		t.Fatal("State() advanced the stream")
+	}
+	if s.Uint64() == 0 && s.State() == before {
+		t.Fatal("stream did not advance after Uint64")
+	}
+}
+
+func TestSetStateRejectsZero(t *testing.T) {
+	s := New(1)
+	before := s.State()
+	if err := s.SetState([4]uint64{}); err == nil {
+		t.Fatal("SetState accepted the all-zero state")
+	}
+	if s.State() != before {
+		t.Fatal("rejected SetState mutated the stream")
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/snapshot"
+)
+
+// Checkpoint files let a Monte Carlo campaign survive interruption: each
+// replica periodically serializes its complete state — engine and
+// metrics recorder — to its own file, and a later run resumes every
+// replica from its file instead of from round 0. Because the engine's
+// checkpoint/resume is bit-identical (see internal/core/snapshot.go),
+// a resumed campaign produces byte-for-byte the figures and series an
+// uninterrupted one would have.
+//
+// One container file holds three sections: SecSim (replica index and
+// derived seed, so a file cannot silently be fed to the wrong replica),
+// SecCore (the engine) and, when a recorder is attached, SecMetrics (the
+// partial per-round series).
+
+// CheckpointMeta identifies which replica of which campaign a checkpoint
+// belongs to.
+type CheckpointMeta struct {
+	// Replica is the replica index within the campaign.
+	Replica int
+	// Seed is the replica's derived seed (Seeds(master, n)[Replica]).
+	Seed uint64
+}
+
+// WriteCheckpoint serializes one replica's state to w. rec may be nil
+// for uninstrumented replicas.
+func WriteCheckpoint(w io.Writer, meta CheckpointMeta, net *core.Network, rec *metrics.Recorder) error {
+	enc := snapshot.NewEncoder(w)
+	sw := enc.Section(snapshot.SecSim)
+	sw.Int(meta.Replica)
+	sw.U64(meta.Seed)
+	net.EncodeState(enc.Section(snapshot.SecCore))
+	if rec != nil {
+		rec.EncodeState(enc.Section(snapshot.SecMetrics))
+	}
+	return enc.Close()
+}
+
+// ReadCheckpoint rebuilds a replica's state from r. cfg must be the
+// replica's configuration (same rules as core.Restore: digest-checked,
+// hooks re-supplied by the caller). rec, if non-nil, must be a fresh
+// recorder built from the same metrics configuration; it is overwritten
+// with the checkpointed series. A checkpoint written without a recorder
+// cannot satisfy a non-nil rec and is rejected rather than silently
+// losing the already-recorded rounds.
+func ReadCheckpoint(r io.Reader, cfg core.Config, rec *metrics.Recorder) (*core.Network, CheckpointMeta, error) {
+	var meta CheckpointMeta
+	dec, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return nil, meta, err
+	}
+	ms, err := dec.Section(snapshot.SecSim)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.Replica = ms.Int()
+	meta.Seed = ms.U64()
+	if err := ms.Finish(); err != nil {
+		return nil, meta, err
+	}
+	cs, err := dec.Section(snapshot.SecCore)
+	if err != nil {
+		return nil, meta, err
+	}
+	net, err := core.RestoreSection(cs, cfg)
+	if err != nil {
+		return nil, meta, err
+	}
+	if rec != nil {
+		if !dec.Has(snapshot.SecMetrics) {
+			return nil, meta, errors.New("sim: checkpoint has no metrics section but a recorder was supplied")
+		}
+		rs, err := dec.Section(snapshot.SecMetrics)
+		if err != nil {
+			return nil, meta, err
+		}
+		if err := rec.RestoreState(rs); err != nil {
+			return nil, meta, err
+		}
+	}
+	return net, meta, nil
+}
+
+// Checkpointer writes periodic per-replica checkpoint files into a
+// directory. The zero value is inert: Active reports false and MaybeSave
+// does nothing, so run loops can call it unconditionally.
+type Checkpointer struct {
+	// Dir is the checkpoint directory (created on first save).
+	Dir string
+	// Every is the round interval between saves; <= 0 disables saving.
+	Every int
+}
+
+// Active reports whether this checkpointer will ever save.
+func (c *Checkpointer) Active() bool { return c != nil && c.Dir != "" && c.Every > 0 }
+
+// CheckpointPath names replica's checkpoint file under dir. All
+// checkpoint-aware tools agree on this layout, so a campaign can be
+// resumed by pointing -resume-from at a former -checkpoint-dir.
+func CheckpointPath(dir string, replica int) string {
+	return filepath.Join(dir, fmt.Sprintf("replica-%04d.ckpt", replica))
+}
+
+// MaybeSave writes a checkpoint if the checkpointer is active and net
+// sits on a multiple of the save interval. Call it after every Step, at
+// the round barrier.
+func (c *Checkpointer) MaybeSave(meta CheckpointMeta, net *core.Network, rec *metrics.Recorder) error {
+	if !c.Active() || net.Round() == 0 || net.Round()%c.Every != 0 {
+		return nil
+	}
+	return c.Save(meta, net, rec)
+}
+
+// Save unconditionally writes replica's checkpoint file. The write is
+// atomic — a temporary file renamed into place — so an interruption
+// mid-save leaves the previous checkpoint intact, never a torn file.
+func (c *Checkpointer) Save(meta CheckpointMeta, net *core.Network, rec *metrics.Recorder) error {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return fmt.Errorf("sim: checkpoint dir: %w", err)
+	}
+	path := CheckpointPath(c.Dir, meta.Replica)
+	tmp, err := os.CreateTemp(c.Dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	err = WriteCheckpoint(tmp, meta, net, rec)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadReplica restores one replica from dir's checkpoint file. A missing
+// file is not an error — it reports ok=false and the caller starts the
+// replica from round 0 (replicas checkpoint independently, so a campaign
+// interrupted mid-save resumes some replicas from files and runs the
+// rest fresh). A present-but-unreadable file IS an error: silently
+// restarting would discard completed work. The loaded meta is verified
+// against the expected identity.
+func LoadReplica(dir string, want CheckpointMeta, cfg core.Config, rec *metrics.Recorder) (*core.Network, bool, error) {
+	path := CheckpointPath(dir, want.Replica)
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("sim: resume: %w", err)
+	}
+	defer f.Close()
+	net, meta, err := ReadCheckpoint(f, cfg, rec)
+	if err != nil {
+		return nil, false, fmt.Errorf("sim: resume %s: %w", path, err)
+	}
+	if meta != want {
+		return nil, false, fmt.Errorf("sim: resume %s: checkpoint is replica %d seed %#x, expected replica %d seed %#x",
+			path, meta.Replica, meta.Seed, want.Replica, want.Seed)
+	}
+	return net, true, nil
+}

@@ -1,0 +1,113 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/topology"
+)
+
+// FuzzRestore feeds arbitrary bytes through every checkpoint decode
+// surface. The contract under fuzzing is narrow and absolute: corrupt,
+// truncated or hostile input must come back as an error — never a panic,
+// never an input-controlled huge allocation. Three surfaces are
+// exercised, in increasing depth:
+//
+//  1. the container codec (snapshot.Decode + section walk),
+//  2. the full checkpoint-file reader (sim.ReadCheckpoint), whose CRC
+//     turns almost all mutants into early ErrCorrupt,
+//  3. the post-CRC payload decoders (core.RestoreSection and
+//     metrics.RestoreState) fed the raw bytes directly — this is the
+//     path the CRC cannot shield, where the bounds checks and
+//     cross-field validation of the decoders themselves must hold.
+//
+// The seed corpus is built from REAL checkpoints (a mid-run faulty
+// broadcast, a fresh network, a recorder-less file), so the fuzzer
+// starts at the deep end of the decoders instead of spending its budget
+// getting past the magic number.
+
+// fuzzCfg is the configuration every decode attempt restores against.
+// Must be deterministic and cheap: it is rebuilt for every fuzz input.
+func fuzzCfg() core.Config {
+	return core.Config{
+		Topo: topology.NewGrid(4, 4), P: 0.6, TTL: 6, MaxRounds: 100, Seed: 42,
+	}
+}
+
+// realCheckpoint serializes an actual mid-run simulation — in-flight
+// arrivals, partial series and all — as seed-corpus material.
+func realCheckpoint(tb testing.TB, rounds int, withRecorder bool) []byte {
+	tb.Helper()
+	cfg := fuzzCfg()
+	cfg.Fault.PUpset = 0.2
+	cfg.Fault.SigmaSync = 0.7
+	var rec *metrics.Recorder
+	if withRecorder {
+		rec = metrics.NewRecorder(metrics.Config{Rounds: 64})
+		rec.Install(&cfg)
+	}
+	net, err := core.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	id, err := net.Inject(0, packet.Broadcast, 0, []byte("fuzz seed"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if rec != nil {
+		rec.Watch(id)
+	}
+	for i := 0; i < rounds; i++ {
+		net.Step()
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteCheckpoint(&buf, sim.CheckpointMeta{Replica: 1, Seed: 42}, net, rec); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzRestore(f *testing.F) {
+	f.Add(realCheckpoint(f, 4, true))  // mid-run, skewed arrivals in flight
+	f.Add(realCheckpoint(f, 0, true))  // fresh network, empty series
+	f.Add(realCheckpoint(f, 7, false)) // no metrics section
+	f.Add([]byte("SNOC"))              // magic alone
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Surface 1: the container codec. A container that decodes must
+		// also survive a full section walk.
+		if dec, err := snapshot.Decode(data); err == nil {
+			for _, id := range []snapshot.SectionID{snapshot.SecCore, snapshot.SecMetrics, snapshot.SecSim} {
+				if !dec.Has(id) {
+					continue
+				}
+				r, err := dec.Section(id)
+				if err != nil {
+					t.Fatalf("Has(%d) true but Section failed: %v", id, err)
+				}
+				for r.Err() == nil && r.Remaining() > 0 {
+					_ = r.ReadBytes() // arbitrary typed walk; must stay in bounds
+				}
+			}
+		}
+
+		// Surface 2: the checkpoint-file reader, recorder attached.
+		rec := metrics.NewRecorder(metrics.Config{Rounds: 64})
+		cfg := fuzzCfg()
+		rec.Install(&cfg)
+		_, _, _ = sim.ReadCheckpoint(bytes.NewReader(data), cfg, rec)
+
+		// Surface 3: raw payload decoders, no CRC shield. Errors are the
+		// expected outcome; only panics and runaway allocations can fail
+		// this fuzz target.
+		_, _ = core.RestoreSection(snapshot.NewReader(data), fuzzCfg())
+		rec2 := metrics.NewRecorder(metrics.Config{Rounds: 64})
+		_ = rec2.RestoreState(snapshot.NewReader(data))
+	})
+}

@@ -1,0 +1,434 @@
+// Package snapshot defines the checkpoint container format of the
+// simulator: a versioned, CRC-guarded binary envelope that carries the
+// complete state of an interrupted run so it can be resumed
+// bit-identically (see DESIGN.md, "Checkpoint format & invariants").
+//
+// The container is a flat sequence of sections:
+//
+//	magic "SNOC" (4) | version u16 BE (2) | sections... | CRC-32 BE (4)
+//	section: id uvarint | length uvarint | payload
+//
+// Each subsystem owns one section and encodes its payload with the
+// primitive codec below: the round engine (core), the metrics recorder
+// (metrics) and the Monte Carlo runner's replica metadata (sim). The
+// trailing CRC-32 — the repository's own internal/crc implementation, the
+// same code that guards packets on the wire — covers every preceding byte,
+// so a truncated or bit-flipped checkpoint is rejected before any section
+// is interpreted.
+//
+// Decoding is hardened against hostile input (FuzzRestore): every length
+// and count field is validated against the bytes actually present before
+// any allocation is sized from it, so corrupt data yields an error
+// wrapping ErrCorrupt — never a panic or an attacker-chosen allocation.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/crc"
+)
+
+// Version is the container format version this package writes. Decoders
+// reject versions they do not know (there is no cross-version migration:
+// a checkpoint is a short-lived artifact of one simulator build).
+const Version = 1
+
+// MaxLen bounds the size of a container a Decoder will read (64 MiB —
+// far above any realistic mesh state, far below an OOM).
+const MaxLen = 64 << 20
+
+// magic identifies a stochastic-NoC checkpoint container.
+var magic = [4]byte{'S', 'N', 'O', 'C'}
+
+// SectionID names one section of a container. IDs are a closed registry
+// (this package's constants) so independently developed sections cannot
+// collide; 0 is reserved.
+type SectionID uint64
+
+// The registered sections.
+const (
+	// SecCore is the round engine's complete state (internal/core).
+	SecCore SectionID = 1
+	// SecMetrics is the metrics recorder's partial per-round series
+	// (internal/metrics).
+	SecMetrics SectionID = 2
+	// SecSim is the Monte Carlo runner's replica metadata (internal/sim).
+	SecSim SectionID = 3
+)
+
+// ErrCorrupt is wrapped by every decoding error caused by malformed,
+// truncated or checksum-failing input. Callers that only need "is this
+// checkpoint usable" can errors.Is against it.
+var ErrCorrupt = errors.New("snapshot: corrupt or truncated data")
+
+// ErrVersion is wrapped by decoding errors caused by an unknown container
+// version — the data may be perfectly intact, just written by a different
+// simulator build.
+var ErrVersion = errors.New("snapshot: unsupported container version")
+
+// corruptf builds an ErrCorrupt-wrapping error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Writer accumulates one section's payload. The zero value is ready to
+// use; all methods append to an internal buffer, so encoding never fails
+// mid-way — errors surface only at Encoder.Close, when the container is
+// flushed to the underlying io.Writer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty standalone Writer, for callers that need a
+// raw payload outside a container (digest computation, tests).
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated payload. The slice aliases the Writer's
+// buffer and is invalidated by further writes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int appends a non-negative int as a uvarint. Negative values are a
+// programming error in the encoder and panic rather than corrupting the
+// stream silently.
+func (w *Writer) Int(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("snapshot: Writer.Int(%d) negative", v))
+	}
+	w.Uvarint(uint64(v))
+}
+
+// F64 appends a float64 as its IEEE 754 bit pattern (big-endian), which
+// round-trips every value including NaNs bit-exactly.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// WriteBytes appends a length-prefixed byte string.
+func (w *Writer) WriteBytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// WriteRaw appends b verbatim, with no length prefix. It exists for
+// callers that splice an already-encoded payload into a section (tests,
+// checkpoint repair tools); normal encoding should use WriteBytes.
+func (w *Writer) WriteRaw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Encoder writes one container to an io.Writer. Sections are appended
+// with Section and the container — header, sections, trailing CRC — is
+// flushed by Close.
+type Encoder struct {
+	w        io.Writer
+	sections []encSection
+}
+
+type encSection struct {
+	id SectionID
+	sw *Writer
+}
+
+// NewEncoder returns an Encoder that will flush a container to w on
+// Close.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Section starts a new section and returns the Writer for its payload.
+// The payload may be written until Close; sections are laid out in the
+// order they were started. Starting two sections with the same id is a
+// programming error and panics.
+func (e *Encoder) Section(id SectionID) *Writer {
+	if id == 0 {
+		panic("snapshot: SectionID 0 is reserved")
+	}
+	for _, s := range e.sections {
+		if s.id == id {
+			panic(fmt.Sprintf("snapshot: duplicate section id %d", id))
+		}
+	}
+	sw := NewWriter()
+	e.sections = append(e.sections, encSection{id: id, sw: sw})
+	return sw
+}
+
+// Close assembles the container and writes it to the underlying
+// io.Writer in one call.
+func (e *Encoder) Close() error {
+	body := NewWriter()
+	body.buf = append(body.buf, magic[:]...)
+	body.U16(Version)
+	for _, s := range e.sections {
+		body.Uvarint(uint64(s.id))
+		body.WriteBytes(s.sw.Bytes())
+	}
+	body.U32(crc.Checksum32(body.Bytes()))
+	_, err := e.w.Write(body.Bytes())
+	return err
+}
+
+// Decoder parses one container: it reads the input fully (bounded by
+// MaxLen), verifies the magic, version and trailing CRC-32, and indexes
+// the sections. Individual sections are then read with Section.
+type Decoder struct {
+	sections map[SectionID][]byte
+}
+
+// NewDecoder reads a complete container from r and validates its
+// envelope. All returned errors wrap ErrCorrupt (malformed data) or
+// ErrVersion (intact data from an unknown format version).
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxLen+1))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	return Decode(data)
+}
+
+// Decode parses a complete in-memory container (the io.Reader-free form
+// NewDecoder and the fuzz harness share).
+func Decode(data []byte) (*Decoder, error) {
+	if len(data) > MaxLen {
+		return nil, corruptf("container exceeds MaxLen (%d bytes)", len(data))
+	}
+	const headerLen = len(magic) + 2
+	const crcLen = 4
+	if len(data) < headerLen+crcLen {
+		return nil, corruptf("container too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, corruptf("bad magic %q", data[:4])
+	}
+	body, tail := data[:len(data)-crcLen], data[len(data)-crcLen:]
+	if got, want := crc.Checksum32(body), binary.BigEndian.Uint32(tail); got != want {
+		return nil, corruptf("CRC mismatch: computed %08x, stored %08x", got, want)
+	}
+	// The CRC passed, so the version field is trustworthy: an unknown
+	// version is a build mismatch, not corruption.
+	if v := binary.BigEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, this build reads %d", ErrVersion, v, Version)
+	}
+	d := &Decoder{sections: map[SectionID][]byte{}}
+	rest := body[headerLen:]
+	for len(rest) > 0 {
+		id, n := binary.Uvarint(rest)
+		if n <= 0 || id == 0 {
+			return nil, corruptf("bad section id")
+		}
+		rest = rest[n:]
+		length, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, corruptf("bad section length")
+		}
+		rest = rest[n:]
+		if length > uint64(len(rest)) {
+			return nil, corruptf("section %d declares %d bytes, %d remain", id, length, len(rest))
+		}
+		if _, dup := d.sections[SectionID(id)]; dup {
+			return nil, corruptf("duplicate section %d", id)
+		}
+		d.sections[SectionID(id)] = rest[:length]
+		rest = rest[length:]
+	}
+	return d, nil
+}
+
+// Has reports whether the container carries section id.
+func (d *Decoder) Has(id SectionID) bool {
+	_, ok := d.sections[id]
+	return ok
+}
+
+// Section returns a Reader over section id's payload, or an
+// ErrCorrupt-wrapping error if the container does not carry it.
+func (d *Decoder) Section(id SectionID) (*Reader, error) {
+	payload, ok := d.sections[id]
+	if !ok {
+		return nil, corruptf("missing section %d", id)
+	}
+	return NewReader(payload), nil
+}
+
+// Reader decodes one section payload. Errors are sticky: the first
+// malformed field poisons the Reader, every subsequent read returns a
+// zero value, and Err (or Finish) reports the failure — so decoders can
+// read a whole struct linearly and check once. All reads are
+// bounds-checked against the bytes actually present; no count or length
+// field can drive an allocation larger than the input itself.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader returns a Reader over a raw payload (the standalone form
+// used for digests, tests and the fuzz harness).
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = corruptf(format, args...)
+	}
+}
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread payload bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Finish returns the first decoding error, or an error if unread bytes
+// remain — a strict decoder calls it after the last field so that
+// trailing garbage (a sign of a format mismatch) cannot pass silently.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return corruptf("%d trailing bytes after last field", len(r.data)-r.off)
+	}
+	return nil
+}
+
+// take consumes n bytes, or poisons the reader.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.fail("need %d bytes, %d remain", n, r.Remaining())
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a non-negative int encoded by Writer.Int, rejecting values
+// that overflow int.
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if v > math.MaxInt {
+		r.fail("int field %d overflows", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Count reads an element count whose elements each occupy at least
+// elemMin encoded bytes, rejecting counts the remaining input cannot
+// possibly hold — the guard that keeps a corrupt count from sizing a
+// huge allocation.
+func (r *Reader) Count(elemMin int) int {
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	v := r.Uvarint()
+	if v > uint64(r.Remaining()/elemMin) {
+		r.fail("count %d exceeds remaining input (%d bytes, >=%d each)", v, r.Remaining(), elemMin)
+		return 0
+	}
+	return int(v)
+}
+
+// F64 reads a float64 written by Writer.F64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a boolean, rejecting bytes other than 0 and 1 (a corrupt
+// flag byte should fail loudly, not truthy-convert).
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bad bool byte")
+		return false
+	}
+}
+
+// ReadBytes reads a length-prefixed byte string written by WriteBytes,
+// returning a copy that does not alias the container buffer.
+func (r *Reader) ReadBytes() []byte {
+	n := r.Count(1)
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,190 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/crc"
+)
+
+// encode builds a small two-section container used across the tests.
+func encode(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	a := enc.Section(SecCore)
+	a.U8(7)
+	a.U16(0xbeef)
+	a.U32(0xdeadbeef)
+	a.U64(1 << 60)
+	a.Uvarint(300)
+	a.Int(42)
+	a.F64(math.Pi)
+	a.Bool(true)
+	a.WriteBytes([]byte("payload"))
+	b := enc.Section(SecMetrics)
+	b.WriteBytes(nil)
+	if err := enc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dec, err := NewDecoder(bytes.NewReader(encode(t)))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if !dec.Has(SecCore) || !dec.Has(SecMetrics) || dec.Has(SecSim) {
+		t.Fatal("section index wrong")
+	}
+	r, err := dec.Section(SecCore)
+	if err != nil {
+		t.Fatalf("Section: %v", err)
+	}
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.Bool(); !got {
+		t.Error("Bool = false")
+	}
+	if got := r.ReadBytes(); string(got) != "payload" {
+		t.Errorf("ReadBytes = %q", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	m, err := dec.Section(SecMetrics)
+	if err != nil {
+		t.Fatalf("Section(metrics): %v", err)
+	}
+	if got := m.ReadBytes(); len(got) != 0 {
+		t.Errorf("empty bytes decoded to %q", got)
+	}
+	if err := m.Finish(); err != nil {
+		t.Fatalf("Finish(metrics): %v", err)
+	}
+}
+
+func TestEveryBitFlipIsDetected(t *testing.T) {
+	good := encode(t)
+	for i := range good {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), good...)
+			bad[i] ^= 1 << bit
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("flipping byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestEveryTruncationIsDetected(t *testing.T) {
+	good := encode(t)
+	for n := 0; n < len(good); n++ {
+		if _, err := Decode(good[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestUnknownVersionRejected(t *testing.T) {
+	good := encode(t)
+	bad := append([]byte(nil), good...)
+	bad[4], bad[5] = 0x7f, 0xff // bump the version field...
+	// ...and re-seal the CRC so only the version mismatch remains.
+	var buf bytes.Buffer
+	body := bad[:len(bad)-4]
+	w := NewWriter()
+	w.buf = append(w.buf, body...)
+	w.U32(crc.Checksum32(body))
+	buf.Write(w.Bytes())
+	_, err := Decode(buf.Bytes())
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestMissingSection(t *testing.T) {
+	dec, err := Decode(encode(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Section(SecSim); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing section: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderGuards(t *testing.T) {
+	// A huge declared count must fail before any allocation is sized
+	// from it.
+	w := NewWriter()
+	w.Uvarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if n := r.Count(1); n != 0 || r.Err() == nil {
+		t.Fatalf("Count accepted an impossible element count (n=%d err=%v)", n, r.Err())
+	}
+
+	// Int overflow guard.
+	w = NewWriter()
+	w.Uvarint(math.MaxUint64)
+	r = NewReader(w.Bytes())
+	if r.Int(); r.Err() == nil {
+		t.Fatal("Int accepted a value exceeding MaxInt")
+	}
+
+	// Bool byte other than 0/1.
+	r = NewReader([]byte{2})
+	if r.Bool(); r.Err() == nil {
+		t.Fatal("Bool accepted byte 2")
+	}
+
+	// Sticky error: reads after a failure return zero values, and Finish
+	// reports the original failure.
+	r = NewReader([]byte{0xff}) // truncated uvarint continuation
+	_ = r.Uvarint()
+	first := r.Err()
+	if first == nil {
+		t.Fatal("truncated uvarint not detected")
+	}
+	if got := r.U64(); got != 0 {
+		t.Fatalf("read after failure returned %d", got)
+	}
+	if err := r.Finish(); !errors.Is(err, ErrCorrupt) || err != first {
+		t.Fatalf("Finish = %v, want the first error", err)
+	}
+}
+
+func TestFinishRejectsTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.U8()
+	if err := r.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Finish with trailing bytes = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOversizedContainerRejected(t *testing.T) {
+	if _, err := Decode(make([]byte, MaxLen+1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized container: err = %v, want ErrCorrupt", err)
+	}
+}

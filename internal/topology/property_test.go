@@ -1,0 +1,238 @@
+package topology_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/diversity"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Property tests over every fabric builder in the repository. The round
+// engine's phase functions assume, without checking, that a topology is a
+// simple undirected graph: every neighbor list names valid tiles, links
+// are symmetric, no tile is its own neighbor, and no link appears twice.
+// A builder that breaks one of those (say, a torus constructor that
+// duplicates a wraparound link) would silently skew forwarding odds
+// rather than fail loudly — exactly the kind of bug a property sweep over
+// the whole builder family catches and a per-builder example test misses.
+
+// fabric is one named topology instance plus the degree bounds its
+// construction promises.
+type fabric struct {
+	name     string
+	topo     topology.Topology
+	minDeg   int
+	maxDeg   int
+	expected int // total links, -1 if not pinned
+}
+
+// allFabrics enumerates every builder across its parameter range: grids
+// and tori of assorted shapes, complete graphs, rings, and the three
+// Chapter 5 diversity architectures (flat mesh, hierarchical NoC with a
+// central crossbar router, bus-connected NoCs).
+func allFabrics() []fabric {
+	var fs []fabric
+	for w := 1; w <= 6; w++ {
+		for h := 1; h <= 6; h++ {
+			minDeg, maxDeg := 2, 4 // corner, interior
+			if w == 1 || h == 1 {
+				minDeg, maxDeg = 1, 2 // line ends
+			}
+			if w == 1 && h == 1 {
+				minDeg, maxDeg = 0, 0
+			}
+			fs = append(fs, fabric{
+				name:     fmt.Sprintf("grid-%dx%d", w, h),
+				topo:     topology.NewGrid(w, h),
+				minDeg:   minDeg,
+				maxDeg:   maxDeg,
+				expected: w*(h-1) + h*(w-1),
+			})
+		}
+	}
+	for w := 3; w <= 6; w++ {
+		for h := 3; h <= 6; h++ {
+			fs = append(fs, fabric{
+				name:     fmt.Sprintf("torus-%dx%d", w, h),
+				topo:     topology.NewTorus(w, h),
+				minDeg:   4, // every torus tile is interior
+				maxDeg:   4,
+				expected: 2 * w * h,
+			})
+		}
+	}
+	for n := 2; n <= 16; n++ {
+		fs = append(fs, fabric{
+			name:     fmt.Sprintf("complete-%d", n),
+			topo:     topology.NewFullyConnected(n),
+			minDeg:   n - 1,
+			maxDeg:   n - 1,
+			expected: n * (n - 1) / 2,
+		})
+	}
+	for n := 3; n <= 12; n++ {
+		fs = append(fs, fabric{
+			name:     fmt.Sprintf("ring-%d", n),
+			topo:     topology.NewRing(n),
+			minDeg:   2,
+			maxDeg:   2,
+			expected: n,
+		})
+	}
+	// Diversity architectures. The flat mesh is an 8x8 grid (corner
+	// degree 2). The bridged variants are four 4x4 clusters plus a hub:
+	// cluster corners have degree 2, the gateway tiles gain a fifth
+	// link, and the hub itself has exactly 4 (one per gateway).
+	for _, kind := range []diversity.Kind{
+		diversity.FlatNoC, diversity.HierarchicalNoC, diversity.BusConnectedNoCs,
+	} {
+		arch := diversity.Build(kind)
+		maxDeg := 4
+		if kind != diversity.FlatNoC {
+			maxDeg = 5 // gateway: 4 mesh links + the bridge
+		}
+		fs = append(fs, fabric{
+			name:     kind.String(),
+			topo:     arch.Topo,
+			minDeg:   2,
+			maxDeg:   maxDeg,
+			expected: -1,
+		})
+	}
+	return fs
+}
+
+// TestFabricGraphInvariants checks the simple-undirected-graph contract
+// on every fabric: in-range neighbor IDs, no self-loops, no duplicate
+// entries, and symmetry (u lists v iff v lists u).
+func TestFabricGraphInvariants(t *testing.T) {
+	for _, f := range allFabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			n := f.topo.Tiles()
+			if n <= 0 {
+				t.Fatalf("Tiles() = %d", n)
+			}
+			for u := 0; u < n; u++ {
+				uid := packet.TileID(u)
+				nbrs := f.topo.Neighbors(uid)
+				seen := make(map[packet.TileID]bool, len(nbrs))
+				for _, v := range nbrs {
+					if int(v) < 0 || int(v) >= n {
+						t.Fatalf("tile %d lists out-of-range neighbor %d (n=%d)", u, v, n)
+					}
+					if v == uid {
+						t.Fatalf("tile %d is its own neighbor", u)
+					}
+					if seen[v] {
+						t.Fatalf("tile %d lists neighbor %d twice", u, v)
+					}
+					seen[v] = true
+					// Symmetry: v must list u back.
+					back := false
+					for _, w := range f.topo.Neighbors(v) {
+						if w == uid {
+							back = true
+							break
+						}
+					}
+					if !back {
+						t.Fatalf("asymmetric link: %d lists %d but not vice versa", u, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFabricDegreeBounds checks each builder's promised degree envelope
+// and, where the link count has a closed form, the exact total.
+func TestFabricDegreeBounds(t *testing.T) {
+	for _, f := range allFabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			n := f.topo.Tiles()
+			degSum := 0
+			for u := 0; u < n; u++ {
+				d := len(f.topo.Neighbors(packet.TileID(u)))
+				degSum += d
+				if d < f.minDeg || d > f.maxDeg {
+					t.Fatalf("tile %d degree %d outside [%d, %d]", u, d, f.minDeg, f.maxDeg)
+				}
+			}
+			if degSum%2 != 0 {
+				t.Fatalf("odd degree sum %d: some link is one-directional", degSum)
+			}
+			if f.expected >= 0 && degSum/2 != f.expected {
+				t.Fatalf("links = %d, want %d", degSum/2, f.expected)
+			}
+		})
+	}
+}
+
+// TestFabricConnected checks that every builder yields one connected
+// component — the baseline every reachability experiment assumes before
+// faults start partitioning things.
+func TestFabricConnected(t *testing.T) {
+	for _, f := range allFabrics() {
+		t.Run(f.name, func(t *testing.T) {
+			_, n := topology.ConnectedComponents(f.topo, topology.AllAlive, topology.AllLinksAlive)
+			if n != 1 {
+				t.Fatalf("components = %d, want 1", n)
+			}
+		})
+	}
+}
+
+// TestDiversityClusterStructure pins the placement metadata the Chapter 5
+// comparison depends on: clusters tile the fabric exactly, the bridge is
+// not a member of any cluster, and in the bridged architectures each
+// cluster reaches the bridge through exactly one gateway.
+func TestDiversityClusterStructure(t *testing.T) {
+	for _, kind := range []diversity.Kind{
+		diversity.FlatNoC, diversity.HierarchicalNoC, diversity.BusConnectedNoCs,
+	} {
+		arch := diversity.Build(kind)
+		t.Run(kind.String(), func(t *testing.T) {
+			seen := make(map[packet.TileID]bool)
+			for c, tiles := range arch.Clusters {
+				if len(tiles) != 16 {
+					t.Fatalf("cluster %d has %d tiles, want 16", c, len(tiles))
+				}
+				for _, tile := range tiles {
+					if seen[tile] {
+						t.Fatalf("tile %d appears in two clusters", tile)
+					}
+					if tile == arch.Bridge {
+						t.Fatalf("bridge %d listed as a compute tile", tile)
+					}
+					seen[tile] = true
+				}
+			}
+			want := arch.Topo.Tiles()
+			if arch.Bridge != diversity.NoBridge {
+				want--
+			}
+			if len(seen) != want {
+				t.Fatalf("clusters cover %d tiles, fabric has %d compute tiles", len(seen), want)
+			}
+			if arch.Bridge == diversity.NoBridge {
+				return
+			}
+			// The hub must link to exactly one gateway per cluster.
+			hubNbrs := arch.Topo.Neighbors(arch.Bridge)
+			if len(hubNbrs) != len(arch.Clusters) {
+				t.Fatalf("bridge degree %d, want %d", len(hubNbrs), len(arch.Clusters))
+			}
+			perCluster := make(map[int]int)
+			for _, g := range hubNbrs {
+				perCluster[int(g)/16]++
+			}
+			for c := range arch.Clusters {
+				if perCluster[c] != 1 {
+					t.Fatalf("cluster %d has %d gateways, want 1", c, perCluster[c])
+				}
+			}
+		})
+	}
+}
