@@ -1,0 +1,169 @@
+// Command benchgate compares a fresh benchjson document against a
+// committed baseline and fails when a gated metric regresses beyond a
+// tolerance. It is the teeth behind the CI memory-footprint gate: the
+// bench job converts a -benchmem run to JSON with benchjson, then
+// benchgate holds its bytes_per_op against the checked-in BENCH_6.json.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_6.json [-bench REGEXP] [-metric bytes_per_op] [-tol 0.10] < current.json
+//
+// Only upward movement fails (more bytes is a regression; fewer is an
+// improvement and prints as such). Benchmarks present in just one of the
+// two documents are reported but do not gate — a renamed or new benchmark
+// should not break CI until its baseline is committed.
+//
+// Exit status: 0 when every compared benchmark is within tolerance,
+// 1 on regression, 2 on usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+)
+
+// Result mirrors the benchjson result schema; fields irrelevant to
+// gating are left to json.RawMessage-free omission.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// Doc mirrors the benchjson top-level document.
+type Doc struct {
+	Results []Result `json:"results"`
+}
+
+// metric extracts the gated metric from a result. The three standard
+// columns have dedicated names; anything else is looked up in the
+// ReportMetric extras.
+func (r *Result) metric(name string) (float64, bool) {
+	switch name {
+	case "ns_per_op":
+		return r.NsPerOp, true
+	case "bytes_per_op":
+		return r.BytesPerOp, true
+	case "allocs_per_op":
+		return r.AllocsPerOp, true
+	}
+	v, ok := r.Metrics[name]
+	return v, ok
+}
+
+// Verdict is the outcome of comparing one benchmark between documents.
+type Verdict struct {
+	Name      string
+	Base      float64
+	Current   float64
+	Regresses bool
+}
+
+// Compare gates every benchmark matching pick that appears in both
+// documents: metric values may grow by at most tol (fractional, e.g.
+// 0.10) over the baseline before the verdict flags a regression. A
+// baseline of zero gates absolutely — any nonzero current value beyond
+// zero tolerance regresses, since a relative bound on zero is vacuous.
+func Compare(baseline, current Doc, pick *regexp.Regexp, metricName string, tol float64) []Verdict {
+	base := map[string]Result{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var out []Verdict
+	for _, cur := range current.Results {
+		if pick != nil && !pick.MatchString(cur.Name) {
+			continue
+		}
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		bv, bok := b.metric(metricName)
+		cv, cok := cur.metric(metricName)
+		if !bok || !cok {
+			continue
+		}
+		limit := bv * (1 + tol)
+		out = append(out, Verdict{
+			Name: cur.Name, Base: bv, Current: cv,
+			Regresses: cv > limit,
+		})
+	}
+	return out
+}
+
+func readDoc(r io.Reader) (Doc, error) {
+	var d Doc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return Doc{}, err
+	}
+	return d, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	baselinePath := flag.String("baseline", "", "committed benchjson baseline (required)")
+	benchPat := flag.String("bench", "", "regexp of benchmark names to gate (default: all shared)")
+	metricName := flag.String("metric", "bytes_per_op", "metric column to gate")
+	tol := flag.Float64("tol", 0.10, "allowed fractional growth over baseline")
+	flag.Parse()
+
+	if *baselinePath == "" {
+		log.Println("-baseline is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var pick *regexp.Regexp
+	if *benchPat != "" {
+		var err error
+		if pick, err = regexp.Compile(*benchPat); err != nil {
+			log.Printf("bad -bench pattern: %v", err)
+			os.Exit(2)
+		}
+	}
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	baseline, err := readDoc(bf)
+	bf.Close()
+	if err != nil {
+		log.Printf("parsing %s: %v", *baselinePath, err)
+		os.Exit(2)
+	}
+	current, err := readDoc(os.Stdin)
+	if err != nil {
+		log.Printf("parsing stdin: %v", err)
+		os.Exit(2)
+	}
+
+	verdicts := Compare(baseline, current, pick, *metricName, *tol)
+	if len(verdicts) == 0 {
+		log.Printf("no shared benchmarks to gate (metric %s)", *metricName)
+		os.Exit(2)
+	}
+	failed := false
+	for _, v := range verdicts {
+		status := "ok"
+		if v.Regresses {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %s: %.1f -> %.1f (limit %.1f) %s\n",
+			v.Name, *metricName, v.Base, v.Current, v.Base*(1+*tol), status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func doc(results ...Result) Doc { return Doc{Results: results} }
+
+func TestCompareGatesGrowth(t *testing.T) {
+	baseline := doc(
+		Result{Name: "BenchmarkStepGrid256x256", BytesPerOp: 1000},
+		Result{Name: "BenchmarkStepGrid8x8", BytesPerOp: 10},
+	)
+	current := doc(
+		Result{Name: "BenchmarkStepGrid256x256", BytesPerOp: 1099}, // within 10%
+		Result{Name: "BenchmarkStepGrid8x8", BytesPerOp: 12},       // 20% over
+	)
+	vs := Compare(baseline, current, nil, "bytes_per_op", 0.10)
+	if len(vs) != 2 {
+		t.Fatalf("got %d verdicts, want 2", len(vs))
+	}
+	byName := map[string]Verdict{}
+	for _, v := range vs {
+		byName[v.Name] = v
+	}
+	if byName["BenchmarkStepGrid256x256"].Regresses {
+		t.Error("1099 vs 1000 at 10% tolerance flagged as regression")
+	}
+	if !byName["BenchmarkStepGrid8x8"].Regresses {
+		t.Error("12 vs 10 at 10% tolerance not flagged")
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	vs := Compare(
+		doc(Result{Name: "B", BytesPerOp: 1000}),
+		doc(Result{Name: "B", BytesPerOp: 1}),
+		nil, "bytes_per_op", 0.10)
+	if len(vs) != 1 || vs[0].Regresses {
+		t.Fatalf("improvement flagged: %+v", vs)
+	}
+}
+
+func TestCompareZeroBaselineGatesAbsolutely(t *testing.T) {
+	vs := Compare(
+		doc(Result{Name: "B", BytesPerOp: 0}),
+		doc(Result{Name: "B", BytesPerOp: 5}),
+		nil, "bytes_per_op", 0.10)
+	if len(vs) != 1 || !vs[0].Regresses {
+		t.Fatalf("growth from a zero baseline not flagged: %+v", vs)
+	}
+}
+
+func TestCompareSkipsUnsharedAndFiltered(t *testing.T) {
+	baseline := doc(
+		Result{Name: "Shared", BytesPerOp: 10},
+		Result{Name: "BaselineOnly", BytesPerOp: 10},
+	)
+	current := doc(
+		Result{Name: "Shared", BytesPerOp: 10},
+		Result{Name: "CurrentOnly", BytesPerOp: 99999},
+	)
+	vs := Compare(baseline, current, nil, "bytes_per_op", 0.10)
+	if len(vs) != 1 || vs[0].Name != "Shared" {
+		t.Fatalf("unshared benchmarks gated: %+v", vs)
+	}
+	vs = Compare(baseline, current, regexp.MustCompile("^NoMatch"), "bytes_per_op", 0.10)
+	if len(vs) != 0 {
+		t.Fatalf("filtered benchmarks gated: %+v", vs)
+	}
+}
+
+func TestCompareCustomMetric(t *testing.T) {
+	baseline := doc(Result{Name: "B", Metrics: map[string]float64{"rounds/sec": 100}})
+	current := doc(Result{Name: "B", Metrics: map[string]float64{"rounds/sec": 150}})
+	vs := Compare(baseline, current, nil, "rounds/sec", 0.10)
+	if len(vs) != 1 || !vs[0].Regresses {
+		t.Fatalf("custom metric not gated: %+v", vs)
+	}
+	// Missing metric on either side: skipped, not a false failure.
+	if vs := Compare(baseline, current, nil, "missing_metric", 0.10); len(vs) != 0 {
+		t.Fatalf("missing metric produced verdicts: %+v", vs)
+	}
+}
+
+func TestReadDoc(t *testing.T) {
+	d, err := readDoc(strings.NewReader(`{"results":[{"name":"B","bytes_per_op":42}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Results) != 1 || d.Results[0].BytesPerOp != 42 {
+		t.Fatalf("parsed %+v", d)
+	}
+	if _, err := readDoc(strings.NewReader("not json")); err == nil {
+		t.Fatal("bad input parsed without error")
+	}
+}

@@ -134,6 +134,59 @@ func BenchmarkStepGrid64x64(b *testing.B) {
 	}
 }
 
+// benchChurn measures one inject+Step round of a side×side recycling mesh
+// under sustained unicast churn — the mega-mesh workload of the memory
+// refactor. Unlike the broadcast fixtures above, the live message
+// population turns over every TTL rounds, so this kernel exercises slot
+// retirement, free-list reuse and the bitset row clears alongside
+// forwarding. B/op is the gate metric: at steady state the table is
+// warm and a round should allocate only delivery mailbox entries and
+// retired-ledger accretion, independent of mesh size.
+func benchChurn(b *testing.B, side, perRound, shards int) {
+	g := topology.NewGrid(side, side)
+	cfg := Config{
+		Topo: g, P: 0.5, TTL: 8, MaxRounds: 1 << 30, Seed: 0xE5CA1A,
+		Recycle: true, Shards: shards,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tiles := side * side
+	round := 0
+	churnRound := func() {
+		for i := 0; i < perRound; i++ {
+			src := packet.TileID((round*perRound*2654435761 + i*40503) % tiles)
+			if _, err := n.Inject(src, src^1, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		n.Step()
+		round++
+	}
+	for round < 30 { // warm up: slot table and rings reach steady capacity
+		churnRound()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churnRound()
+	}
+}
+
+// BenchmarkStepGrid256x256 is the 65536-tile churn kernel — the smallest
+// mesh the AutoShards mega heuristic treats as a mega-mesh, and the mesh
+// the CI memory gate benchmarks with -benchmem against the committed
+// baseline.
+func BenchmarkStepGrid256x256(b *testing.B) {
+	benchChurn(b, 256, 8, 8)
+}
+
+// BenchmarkStepGrid512x512 is the tentpole 262144-tile churn kernel.
+func BenchmarkStepGrid512x512(b *testing.B) {
+	benchChurn(b, 512, 8, 8)
+}
+
 // BenchmarkStepGrid8x8Literal measures the hardware-faithful path: every
 // transmission is encoded to a wire frame and CRC-checked at reception.
 func BenchmarkStepGrid8x8Literal(b *testing.B) {

@@ -18,11 +18,16 @@
 // between computation and communication").
 //
 // The round engine is the hot path of every Monte Carlo replica, so its
-// steady state allocates (almost) nothing: per-message state lives in flat
-// generation tables indexed by the dense MsgID space (table.go), in-flight
-// copies travel by value through small per-tile arrival rings (ring.go),
-// and per-tile contexts and neighbor lists are built once at New. See
-// DESIGN.md, "Engine internals & performance".
+// steady state allocates (almost) nothing: per-message state lives in
+// slot-major bitset tables indexed by the slot half of the MsgID
+// (table.go), in-flight copies travel by value through small per-tile
+// arrival rings (ring.go), and per-tile contexts and neighbor lists are
+// built once at New. With Config.Recycle the tables are additionally
+// bounded by the *live* message population — expired-everywhere messages
+// are retired at round barriers and their IDs recycled under a fresh
+// generation tag — which is what lets the engine sustain mega-meshes
+// (512×512 and beyond). See DESIGN.md, "Engine internals & performance"
+// and "Message-state lifecycle".
 package core
 
 import (
@@ -97,6 +102,20 @@ type Config struct {
 	// functions must be pure (they already must be) and are called
 	// concurrently when Shards > 1.
 	Shards int
+	// Recycle bounds the message tables by the live message population
+	// instead of the ever-issued one: a message whose buffered copies have
+	// all expired and whose in-flight copies have drained is retired at
+	// the next round barrier, and its table slot is reissued to a later
+	// message under a fresh generation tag (see table.go). Long
+	// continuous-injection workloads on mega-meshes need it; the default
+	// (off) preserves the historical dense ID sequence, keeps Aware and
+	// AwareAt answerable for the whole run, and is byte-identical to
+	// engines that predate recycling. The observable difference when on:
+	// MsgIDs of later messages reuse slots (so event logs differ from a
+	// recycle-off run), and per-tile awareness of retired messages is
+	// forgotten (AwareAt reports false; Aware still reports the final
+	// count, from the retired ledger).
+	Recycle bool
 	// DisableDedup turns off duplicate suppression in the send buffer,
 	// for the ablation study (the thesis keeps exactly one copy).
 	DisableDedup bool
@@ -213,6 +232,14 @@ func (c *Config) Validate() error {
 	if c.Shards < 0 {
 		return errors.New("core: negative Shards")
 	}
+	// The literal path serializes every transmission into a Chapter 2
+	// wire frame, whose addresses are 16 bits: fabrics beyond that run on
+	// the analytic path only (identical behaviour up to the CRC's
+	// undetected-error probability; see fault.Model.LiteralUpsets).
+	if c.Fault.LiteralUpsets && c.Topo.Tiles() > int(packet.MaxWireTile)+1 {
+		return fmt.Errorf("core: LiteralUpsets needs wire-addressable tiles (%d > %d)",
+			c.Topo.Tiles(), int(packet.MaxWireTile)+1)
+	}
 	return c.Fault.Validate()
 }
 
@@ -238,6 +265,14 @@ type Counters struct {
 	DeliveredPayloadBits int
 	// Duplicates counts received copies suppressed by dedup.
 	Duplicates int
+	// Retired counts messages whose table slot was reclaimed by ID
+	// recycling (Config.Recycle); always 0 with recycling off.
+	Retired int
+	// GhostFrames counts CRC-escaped wire frames that decoded cleanly but
+	// named a message generation that no longer (or never) existed — the
+	// stale-ID aliases the generation tag exists to catch. Each is also a
+	// detected upset.
+	GhostFrames int
 }
 
 // tile is the per-tile runtime state: the Fig. 3-5 hardware interface.
@@ -247,7 +282,6 @@ type Counters struct {
 type tile struct {
 	id      packet.TileID
 	sendBuf []packet.Packet // live copies, owned by value
-	flags   []uint8         // per-message present/seen bits (table.go)
 	ring    arrivalRing     // in-flight copies keyed by arrival round
 	proc    Process
 	rnd     *rng.Stream // forwarding decisions + app randomness
@@ -267,9 +301,12 @@ type Network struct {
 	inj    *fault.Injector
 	tiles  []*tile
 	round  int
-	nextID packet.MsgID
+	nextID packet.MsgID // last issued packed ID (slot | generation<<32)
 	cnt    Counters
-	msgs   []msgState // per-message state indexed by MsgID; [0] unused
+	tbl    msgTable // per-message state, slot-indexed (table.go)
+	// recycle caches cfg.Recycle for the hot paths (inflight/copy
+	// accounting and the per-Step retirement barrier run only under it).
+	recycle bool
 
 	// seqLane is the direct execution lane covering every tile: the
 	// whole sequential engine runs on it, and in sharded mode so do
@@ -303,7 +340,12 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, topo: cfg.Topo, inj: inj, msgs: make([]msgState, 1, 8), procsDirty: true}
+	n := &Network{cfg: cfg, topo: cfg.Topo, inj: inj, recycle: cfg.Recycle, procsDirty: true}
+	n.tbl.initTable(cfg.Topo.Tiles())
+	if n.recycle {
+		n.tbl.copies = make([]int32, 1, 8)
+		n.tbl.inflight = make([]int32, 1, 8)
+	}
 	// Without synchronization skew every copy arrives in the round it was
 	// sent, so one recycled arrival bucket per tile covers all traffic.
 	ringLen := 1
@@ -363,15 +405,19 @@ func (n *Network) SetRouter(t packet.TileID, route func(p *packet.Packet) []pack
 // have held one (the shaded tiles of the Fig. 3-3 walkthrough). The count
 // is maintained incrementally as flags flip, so polling it every round
 // (as the dissemination experiments do) is O(1), not a scan of the mesh.
+// Under Config.Recycle a retired message answers with its final count,
+// kept in the retired ledger.
 func (n *Network) Aware(id packet.MsgID) int {
-	if uint64(id) >= uint64(len(n.msgs)) {
-		return 0
+	if n.current(id) {
+		return int(n.tbl.aware[msgSlot(id)])
 	}
-	return int(n.msgs[id].aware)
+	return int(n.tbl.retired[id])
 }
 
 // AwareAt reports whether tile t knows message id (holds or has held a
-// copy).
+// copy). Per-tile awareness of a message retired by Config.Recycle is
+// forgotten with its slot: AwareAt then reports false even if Aware still
+// reports the ledgered count.
 func (n *Network) AwareAt(id packet.MsgID, t packet.TileID) bool {
 	if int(t) >= len(n.tiles) {
 		return false
@@ -431,7 +477,7 @@ func (n *Network) Topology() topology.Topology { return n.topo }
 //
 // Contract for a crashed source: a dead tile cannot talk, so the message
 // is silently dropped — but the returned MsgID is still consumed from the
-// dense ID space (IDs identify injection attempts, not successful ones).
+// ID space (IDs identify injection attempts, not successful ones).
 // The caller cannot distinguish the no-op from the return value alone;
 // check Injector().TileAlive(src) beforehand, or observe that Aware(id)
 // stays 0 — a live injection always has Aware(id) >= 1 (the originator
@@ -453,14 +499,6 @@ func (n *Network) Inject(src, dst packet.TileID, kind packet.Kind, payload []byt
 	return id, nil
 }
 
-// newMsgID issues the next dense message ID and extends the per-message
-// state table to cover it.
-func (n *Network) newMsgID() packet.MsgID {
-	n.nextID++
-	n.msgs = append(n.msgs, msgState{})
-	return n.nextID
-}
-
 // emit publishes a protocol event if a listener is attached.
 func (n *Network) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgID) {
 	if n.cfg.OnEvent != nil {
@@ -472,7 +510,7 @@ func (n *Network) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgI
 // The packet is copied by value; the caller keeps ownership of *p. Counts
 // and events go through the executing lane.
 func (n *Network) enqueue(ln *lane, t *tile, p *packet.Packet) {
-	if !n.cfg.DisableDedup && t.flagsOf(p.ID)&flagPresent != 0 {
+	if !n.cfg.DisableDedup && n.rowBit(n.tbl.present[msgSlot(p.ID)], t.id) {
 		ln.cnt.Duplicates++
 		return
 	}
@@ -488,6 +526,9 @@ func (n *Network) enqueue(ln *lane, t *tile, p *packet.Packet) {
 		ln.unshare(p)
 	}
 	t.sendBuf = append(t.sendBuf, *p)
+	if n.recycle {
+		n.addCopies(msgSlot(p.ID), 1)
+	}
 	n.setPresent(t, p.ID)
 }
 
@@ -499,6 +540,9 @@ func (n *Network) dropOldest(t *tile) {
 	copy(t.sendBuf, t.sendBuf[1:])
 	t.sendBuf[len(t.sendBuf)-1] = packet.Packet{}
 	t.sendBuf = t.sendBuf[:len(t.sendBuf)-1]
+	if n.recycle {
+		n.addCopies(msgSlot(id), -1)
+	}
 	n.clearPresent(t, id)
 }
 
@@ -512,12 +556,12 @@ func (n *Network) deliver(ln *lane, t *tile, p *packet.Packet) {
 	if p.Dst != t.id && p.Dst != packet.Broadcast {
 		return
 	}
-	if t.flagsOf(p.ID)&flagSeen != 0 {
+	if n.rowBit(n.tbl.seen[msgSlot(p.ID)], t.id) {
 		return
 	}
 	n.setSeen(t, p.ID)
 	if n.cfg.StopSpreadOnDelivery && p.Dst == t.id {
-		n.stateOf(p.ID).dead = true
+		n.markDead(p.ID)
 	}
 	if ln.borrowed == p {
 		ln.unshare(p)
@@ -574,6 +618,12 @@ func (n *Network) Step() {
 		n.phaseForward(&n.seqLane)
 		n.phaseReceive(&n.seqLane)
 	}
+	if n.recycle {
+		// Round barrier: no phase is executing and nothing is staged, so
+		// expired-everywhere messages can be retired before observers
+		// sample the round (they see ledgered Aware counts, same values).
+		n.retireExpired()
+	}
 
 	if n.cfg.Observer != nil {
 		n.cfg.Observer(n.round, n)
@@ -613,6 +663,9 @@ func (n *Network) phaseAge(ln *lane) {
 			p := &t.sendBuf[i]
 			p.TTL--
 			if p.TTL == 0 || n.isDead(p.ID) {
+				if n.recycle {
+					n.addCopies(msgSlot(p.ID), -1)
+				}
 				n.clearPresent(t, p.ID)
 				ln.emit(EvExpire, t.id, t.id, p.ID)
 				continue
@@ -694,6 +747,12 @@ func (n *Network) phaseReceive(ln *lane) {
 		bucket := t.ring.take(n.round)
 		for i := range bucket {
 			a := &bucket[i]
+			if n.recycle {
+				// The arrival is consumed this round whatever its fate;
+				// a.pkt.ID still holds the originating ID even on the
+				// literal path (stashed by transmit, before any decode).
+				n.addInflight(msgSlot(a.pkt.ID), -1)
+			}
 			var p *packet.Packet
 			switch {
 			case a.frame != nil:
@@ -739,12 +798,21 @@ func (n *Network) phaseReceive(ln *lane) {
 // aliases a.frame (DecodeInto is zero-copy), so the phase-4 loop recycles
 // the frame only after the arrival is fully consumed; on failure the
 // frame is recycled here and nil is returned. A decoded ID the network
-// never issued is proof of corruption too — a CRC escape (~2^-16 per
-// scrambled frame) can smuggle a frame past the checksum, and rejecting
-// impossible IDs keeps the flat tables bounded by the real message count.
+// never issued — a slot the table doesn't cover, or a generation the slot
+// is not currently bound to — is proof of corruption too: a CRC escape
+// (~2^-16 per scrambled frame) can smuggle a frame past the checksum, and
+// rejecting impossible IDs keeps the tables bounded by the real message
+// count. With recycling on, the generation check is also what keeps a
+// stale frame from aliasing the slot's next tenant; those near-misses
+// (structurally valid slot, wrong tenant) are tallied as GhostFrames.
 func (n *Network) decodeArrival(ln *lane, t *tile, a *arrival) *packet.Packet {
 	err := packet.DecodeInto(&a.pkt, a.frame)
-	if err != nil || a.pkt.ID == 0 || a.pkt.ID > n.nextID {
+	if err != nil || !n.current(a.pkt.ID) {
+		if err == nil {
+			if s := msgSlot(a.pkt.ID); s != 0 && int(s) <= n.issuedSlots() {
+				ln.cnt.GhostFrames++
+			}
+		}
 		a.pkt.Payload = nil // drop the alias before pooling the frame
 		ln.pool.put(a.frame)
 		a.frame = nil
@@ -786,7 +854,10 @@ func (n *Network) transmit(ln *lane, t *tile, nb packet.TileID, p *packet.Packet
 			n.inj.CorruptFrame(frame, t.rnd)
 			ln.cnt.UpsetsInjected++
 		}
-		ln.send(nb, when, arrival{frame: frame})
+		// The arrival's by-value packet is unused on the literal path, so
+		// its ID field carries the originating message for the in-flight
+		// accounting — the frame itself may be corrupted beyond trust.
+		ln.send(nb, when, arrival{frame: frame, pkt: packet.Packet{ID: p.ID}})
 	} else {
 		a := arrival{pkt: *p}
 		if n.inj.UpsetHappens(t.rnd) {

@@ -9,9 +9,13 @@ import "repro/internal/packet"
 // path the copy is the encoded wire frame, drawn from the network's frame
 // pool.
 type arrival struct {
-	pkt   packet.Packet // fast path (ignored if frame is set)
-	frame []byte        // literal path: encoded, possibly corrupted
-	upset bool          // fast path: transmission was scrambled
+	// pkt is the copy itself on the fast path. When frame is set only
+	// pkt.ID is meaningful: it names the originating message for the
+	// in-flight accounting of ID recycling (the frame's own ID field may
+	// be corrupted beyond trust).
+	pkt   packet.Packet
+	frame []byte // literal path: encoded, possibly corrupted
+	upset bool   // fast path: transmission was scrambled
 }
 
 // ringInitLen is the initial bucket count of an arrivalRing. It must be a

@@ -130,8 +130,14 @@ func (ln *lane) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgID)
 
 // send hands one in-flight arrival to its destination tile: directly
 // into the arrival ring on a direct lane, staged in the outbox (merged
-// in sending-tile order after the phase-3 barrier) otherwise.
+// in sending-tile order after the phase-3 barrier) otherwise. Either way
+// the copy is now committed to arrive, so the in-flight count of its
+// message rises here — exactly once per arrival, since every staged
+// outbound is scheduled by the merge.
 func (ln *lane) send(dst packet.TileID, when int, a arrival) {
+	if ln.net.recycle {
+		ln.net.addInflight(msgSlot(a.pkt.ID), 1)
+	}
 	if ln.direct {
 		ln.net.tiles[dst].ring.schedule(ln.net.round, when, a)
 		return
@@ -309,4 +315,6 @@ func (c *Counters) add(d *Counters) {
 	c.Deliveries += d.Deliveries
 	c.DeliveredPayloadBits += d.DeliveredPayloadBits
 	c.Duplicates += d.Duplicates
+	c.Retired += d.Retired
+	c.GhostFrames += d.GhostFrames
 }

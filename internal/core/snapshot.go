@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 
 	"repro/internal/crc"
 	"repro/internal/packet"
@@ -40,8 +41,16 @@ import (
 // digest pins the seed and fault model.
 
 // corePayloadVersion versions the SecCore payload layout independently of
-// the container version.
-const corePayloadVersion = 1
+// the container version. Version 2 (the bitset/recycling engine) encodes
+// the message table slot-major — generations, occupancy, tile bitmaps,
+// the free list and the retired ledger — and stamps every in-flight wire
+// frame with its originating ID; version 1 (the dense per-tile-flags
+// engine) is still decoded, for checkpoints written before the refactor
+// (restoreV1).
+const corePayloadVersion = 2
+
+// corePayloadVersionV1 is the pre-recycling payload layout, kept readable.
+const corePayloadVersionV1 = 1
 
 // arrival discriminants in the in-flight encoding.
 const (
@@ -60,12 +69,19 @@ const (
 // fields (hooks, PortWeight), which the caller must re-supply unchanged.
 func ConfigDigest(cfg *Config) uint32 {
 	w := snapshot.NewWriter()
+	// Tile IDs widened to 32 bits with the mega-mesh work, but digests of
+	// pre-existing checkpoints hash 16-bit IDs; meshes that fit keep the
+	// narrow hashing so those digests stay verifiable.
+	tileW := func(t packet.TileID) { w.U16(uint16(t)) }
+	if cfg.Topo.Tiles() > int(packet.MaxWireTile) {
+		tileW = func(t packet.TileID) { w.U32(uint32(t)) }
+	}
 	w.Int(cfg.Topo.Tiles())
 	for i := 0; i < cfg.Topo.Tiles(); i++ {
 		nbrs := cfg.Topo.Neighbors(packet.TileID(i))
 		w.Int(len(nbrs))
 		for _, nb := range nbrs {
-			w.U16(uint16(nb))
+			tileW(nb)
 		}
 	}
 	w.F64(cfg.P)
@@ -87,7 +103,7 @@ func ConfigDigest(cfg *Config) uint32 {
 	w.Int(int(f.ErrorModel))
 	w.Int(len(f.Protect))
 	for _, t := range f.Protect {
-		w.U16(uint16(t))
+		tileW(t)
 	}
 	return crc.Checksum32(w.Bytes())
 }
@@ -112,6 +128,10 @@ func (n *Network) Snapshot(w io.Writer) error {
 func (n *Network) EncodeState(w *snapshot.Writer) {
 	w.Int(corePayloadVersion)
 	w.U32(ConfigDigest(&n.cfg))
+	// The recycle flag lives in the payload, not the digest (so version-1
+	// digests stay valid); restore still refuses a mismatch with
+	// cfg.Recycle — the retirement barrier is behavior-defining.
+	w.Bool(n.recycle)
 	w.Int(n.round)
 	w.Uvarint(uint64(n.nextID))
 	w.Bool(n.started)
@@ -126,12 +146,53 @@ func (n *Network) EncodeState(w *snapshot.Writer) {
 	w.Int(n.cnt.Deliveries)
 	w.Int(n.cnt.DeliveredPayloadBits)
 	w.Int(n.cnt.Duplicates)
+	w.Int(n.cnt.Retired)
+	w.Int(n.cnt.GhostFrames)
 
-	// Per-message table ([0] is the unused sentinel slot).
-	w.Int(len(n.msgs) - 1)
-	for _, m := range n.msgs[1:] {
-		w.Int(int(m.aware))
-		w.Bool(m.dead)
+	// Message table, slot-major (slot 0 is the unused sentinel). Rows are
+	// only stored for occupied slots — a retired slot's rows are zero by
+	// construction. Buffered-copy and in-flight counts are not stored:
+	// restore recomputes them from the send buffers and arrival rings
+	// they summarize.
+	tb := &n.tbl
+	w.Int(tb.slots())
+	for s := 1; s <= tb.slots(); s++ {
+		w.U32(tb.gens[s])
+		var bits uint8
+		if tb.occ[s] {
+			bits |= slotOccupied
+		}
+		if tb.dead[s] {
+			bits |= slotDead
+		}
+		w.U8(bits)
+		if tb.occ[s] {
+			w.Int(int(tb.aware[s]))
+			for _, word := range tb.present[s] {
+				w.U64(word)
+			}
+			for _, word := range tb.seen[s] {
+				w.U64(word)
+			}
+		}
+	}
+	// Free list, in FIFO order — slot reuse order is observable through
+	// the IDs a resumed run issues, so it must survive the round trip.
+	w.Int(len(tb.free) - tb.freeHead)
+	for _, s := range tb.free[tb.freeHead:] {
+		w.U32(s)
+	}
+	// Retired ledger, sorted by ID: map iteration order must not leak
+	// into the bytes (snapshots of equal states are byte-equal).
+	ids := make([]packet.MsgID, 0, len(tb.retired))
+	for id := range tb.retired {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	w.Int(len(ids))
+	for _, id := range ids {
+		w.Uvarint(uint64(id))
+		w.Int(int(tb.retired[id]))
 	}
 
 	// Per-tile state.
@@ -142,7 +203,6 @@ func (n *Network) EncodeState(w *snapshot.Writer) {
 		}
 		w.Int(t.fwdCursor)
 		w.Int(t.fwdLimit)
-		w.WriteBytes(t.flags)
 		w.Int(len(t.sendBuf))
 		for i := range t.sendBuf {
 			encodePacket(w, &t.sendBuf[i])
@@ -155,11 +215,18 @@ func (n *Network) EncodeState(w *snapshot.Writer) {
 	}
 }
 
-// encodePacket writes one packet.
+// Message-table slot state bits in the version-2 payload.
+const (
+	slotOccupied uint8 = 1 << 0
+	slotDead     uint8 = 1 << 1
+)
+
+// encodePacket writes one packet. Tile IDs are 32 bits in the version-2
+// payload (version-1 payloads carried 16; restoreV1 widens on read).
 func encodePacket(w *snapshot.Writer, p *packet.Packet) {
 	w.Uvarint(uint64(p.ID))
-	w.U16(uint16(p.Src))
-	w.U16(uint16(p.Dst))
+	w.U32(uint32(p.Src))
+	w.U32(uint32(p.Dst))
 	w.U8(uint8(p.Kind))
 	w.U8(p.TTL)
 	w.WriteBytes(p.Payload)
@@ -182,6 +249,12 @@ func encodeRing(w *snapshot.Writer, r *arrivalRing, round int) {
 			switch {
 			case a.frame != nil:
 				w.U8(arrFrame)
+				// The originating ID rides along (see arrival): the
+				// in-flight accounting of ID recycling needs it, and the
+				// frame bytes may be corrupted beyond trust. Zero only in
+				// networks restored from version-1 checkpoints, which
+				// cannot run with recycling anyway.
+				w.Uvarint(uint64(a.pkt.ID))
 				w.WriteBytes(a.frame)
 			case a.upset:
 				w.U8(arrUpset)
@@ -223,15 +296,152 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v := sec.Int(); sec.Err() == nil && v != corePayloadVersion {
-		return nil, fmt.Errorf("core: checkpoint payload version %d, this build reads %d", v, corePayloadVersion)
+	v := sec.Int()
+	if sec.Err() == nil && v != corePayloadVersion && v != corePayloadVersionV1 {
+		return nil, fmt.Errorf("core: checkpoint payload version %d, this build reads %d and %d",
+			v, corePayloadVersionV1, corePayloadVersion)
 	}
 	if d := sec.U32(); sec.Err() == nil && d != ConfigDigest(&n.cfg) {
 		return nil, fmt.Errorf("core: checkpoint was taken under a different configuration (digest %08x != %08x)", d, ConfigDigest(&n.cfg))
 	}
+	if v == corePayloadVersionV1 && sec.Err() == nil {
+		return restoreV1(sec, n)
+	}
+	if recycle := sec.Bool(); sec.Err() == nil && recycle != n.recycle {
+		return nil, fmt.Errorf("core: checkpoint written with Recycle=%v, config says %v", recycle, n.recycle)
+	}
 	n.round = sec.Int()
 	id := sec.Uvarint()
-	if id > math.MaxUint64/2 { // absurd allocator value ⇒ corrupt payload
+	n.started = sec.Bool()
+
+	n.cnt.Energy.Transmissions = sec.Int()
+	n.cnt.Energy.Bits = sec.Int()
+	n.cnt.UpsetsInjected = sec.Int()
+	n.cnt.UpsetsDetected = sec.Int()
+	n.cnt.OverflowDrops = sec.Int()
+	n.cnt.SlippedDeliveries = sec.Int()
+	n.cnt.Deliveries = sec.Int()
+	n.cnt.DeliveredPayloadBits = sec.Int()
+	n.cnt.Duplicates = sec.Int()
+	n.cnt.Retired = sec.Int()
+	n.cnt.GhostFrames = sec.Int()
+
+	// Message table. Each slot costs at least 5 bytes (generation + state
+	// bits), which bounds a hostile count before anything is allocated.
+	tb := &n.tbl
+	nslots := sec.Count(5)
+	for s := 1; s <= nslots; s++ {
+		tb.appendSlot()
+		tb.gens[s] = sec.U32()
+		bits := sec.U8()
+		if sec.Err() != nil {
+			return nil, sec.Err()
+		}
+		if bits&^(slotOccupied|slotDead) != 0 {
+			return nil, fmt.Errorf("core: slot %d has unknown state bits %#x", s, bits)
+		}
+		if !n.recycle && (bits&slotOccupied == 0 || tb.gens[s] != 0) {
+			return nil, fmt.Errorf("core: slot %d retired or generation-tagged in a non-recycling checkpoint", s)
+		}
+		if bits&slotOccupied == 0 {
+			if bits&slotDead != 0 {
+				return nil, fmt.Errorf("core: slot %d dead but not occupied", s)
+			}
+			continue
+		}
+		tb.occ[s] = true
+		tb.dead[s] = bits&slotDead != 0
+		tb.live++
+		aware := sec.Int()
+		if sec.Err() == nil && (aware < 0 || aware > len(n.tiles)) {
+			return nil, fmt.Errorf("core: slot %d aware count %d out of [0, %d]", s, aware, len(n.tiles))
+		}
+		tb.aware[s] = int32(aware)
+		if err := decodeRow(sec, tb.present[s], len(n.tiles)); err != nil {
+			return nil, fmt.Errorf("core: slot %d present row: %w", s, err)
+		}
+		if err := decodeRow(sec, tb.seen[s], len(n.tiles)); err != nil {
+			return nil, fmt.Errorf("core: slot %d seen row: %w", s, err)
+		}
+	}
+	tb.peakLive = tb.live
+	if nfree := sec.Count(4); sec.Err() == nil {
+		if nfree != nslots-tb.live {
+			return nil, fmt.Errorf("core: free list holds %d slots, table has %d retired", nfree, nslots-tb.live)
+		}
+		listed := make([]bool, nslots+1)
+		for i := 0; i < nfree; i++ {
+			s := sec.U32()
+			if sec.Err() != nil {
+				break
+			}
+			if s == 0 || int(s) > nslots || tb.occ[s] || listed[s] {
+				return nil, fmt.Errorf("core: free list entry %d invalid (slot %d)", i, s)
+			}
+			listed[s] = true
+			tb.free = append(tb.free, s)
+		}
+	}
+	nret := sec.Count(2)
+	var prev packet.MsgID
+	for i := 0; i < nret; i++ {
+		rid := packet.MsgID(sec.Uvarint())
+		aware := sec.Int()
+		if sec.Err() != nil {
+			break
+		}
+		if i > 0 && rid <= prev {
+			return nil, fmt.Errorf("core: retired ledger not sorted at entry %d", i)
+		}
+		prev = rid
+		s := msgSlot(rid)
+		if s == 0 || int(s) > nslots || msgGen(rid) >= tb.gens[s] {
+			return nil, fmt.Errorf("core: retired ledger names impossible message %d", rid)
+		}
+		if aware < 1 || aware > len(n.tiles) {
+			return nil, fmt.Errorf("core: retired message %d aware count %d out of [1, %d]", rid, aware, len(n.tiles))
+		}
+		if tb.retired == nil {
+			tb.retired = make(map[packet.MsgID]int32, nret)
+		}
+		tb.retired[rid] = int32(aware)
+	}
+
+	// nextID must name the table's coordinates: its slot in range, its
+	// generation no later than the slot's current binding.
+	if sec.Err() == nil {
+		if nslots == 0 && id != 0 {
+			return nil, fmt.Errorf("core: checkpoint nextID %d but empty message table", id)
+		}
+		if nslots > 0 {
+			nid := packet.MsgID(id)
+			if s := msgSlot(nid); s == 0 || int(s) > nslots || msgGen(nid) > tb.gens[s] {
+				return nil, fmt.Errorf("core: checkpoint nextID %d implausible", id)
+			}
+		}
+		n.nextID = packet.MsgID(id)
+	}
+
+	if err := restoreTiles(sec, n); err != nil {
+		return nil, err
+	}
+	if err := sec.Finish(); err != nil {
+		return nil, err
+	}
+	return n, n.crossCheckAware()
+}
+
+// restoreV1 decodes the pre-recycling payload (dense per-message records
+// plus per-tile flag byte arrays) into the bitset tables. Recycling
+// cannot resume from it: version 1 predates the generation tags and
+// in-flight stamps retirement depends on.
+func restoreV1(sec *snapshot.Reader, n *Network) (*Network, error) {
+	if n.recycle {
+		return nil, fmt.Errorf("core: version-1 checkpoint predates ID recycling; resume with Config.Recycle disabled")
+	}
+	n.round = sec.Int()
+	id := sec.Uvarint()
+	if id > math.MaxUint32 { // v1 IDs were dense counters; 2^32 is far past any real run
 		return nil, fmt.Errorf("core: checkpoint nextID %d implausible", id)
 	}
 	n.nextID = packet.MsgID(id)
@@ -247,89 +457,184 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 	n.cnt.DeliveredPayloadBits = sec.Int()
 	n.cnt.Duplicates = sec.Int()
 
+	tb := &n.tbl
 	nmsgs := sec.Count(2)
 	if sec.Err() == nil && uint64(nmsgs) != uint64(n.nextID) {
 		return nil, fmt.Errorf("core: checkpoint message table holds %d entries, allocator says %d", nmsgs, n.nextID)
 	}
-	n.msgs = make([]msgState, nmsgs+1)
-	for i := 1; i <= nmsgs; i++ {
+	for s := 1; s <= nmsgs; s++ {
+		tb.appendSlot()
 		aware := sec.Int()
-		if aware > len(n.tiles) {
-			return nil, fmt.Errorf("core: message %d aware count %d exceeds %d tiles", i, aware, len(n.tiles))
+		if sec.Err() == nil && (aware < 0 || aware > len(n.tiles)) {
+			return nil, fmt.Errorf("core: message %d aware count %d out of [0, %d]", s, aware, len(n.tiles))
 		}
-		n.msgs[i] = msgState{aware: int32(aware), dead: sec.Bool()}
+		tb.occ[s] = true
+		tb.live++
+		tb.aware[s] = int32(aware)
+		tb.dead[s] = sec.Bool()
 	}
+	tb.peakLive = tb.live
 
 	if tiles := sec.Count(1); sec.Err() == nil && tiles != len(n.tiles) {
 		return nil, fmt.Errorf("core: checkpoint holds %d tiles, topology has %d", tiles, len(n.tiles))
 	}
 	for _, t := range n.tiles {
-		var st [4]uint64
-		for i := range st {
-			st[i] = sec.U64()
+		if err := restoreTileScalars(sec, t); err != nil {
+			return nil, err
 		}
-		if sec.Err() == nil {
-			if err := t.rnd.SetState(st); err != nil {
-				return nil, fmt.Errorf("core: tile %d: %w", t.id, err)
+		// The per-tile flag bytes of the old layout become row bits.
+		flags := sec.ReadBytes()
+		if uint64(len(flags)) > uint64(n.nextID)+1 {
+			return nil, fmt.Errorf("core: tile %d flag table covers %d messages, only %d exist", t.id, len(flags), n.nextID)
+		}
+		for id := 1; id < len(flags); id++ {
+			f := flags[id]
+			if f&^(flagPresent|flagSeen) != 0 {
+				return nil, fmt.Errorf("core: tile %d has unknown flag bits %#x for message %d", t.id, f, id)
+			}
+			if f&flagPresent != 0 {
+				n.rowSet(tb.present[id], t.id)
+			}
+			if f&flagSeen != 0 {
+				n.rowSet(tb.seen[id], t.id)
 			}
 		}
-		t.fwdCursor = sec.Int()
-		t.fwdLimit = sec.Int()
-		t.flags = sec.ReadBytes()
-		if uint64(len(t.flags)) > uint64(n.nextID)+1 {
-			return nil, fmt.Errorf("core: tile %d flag table covers %d messages, only %d exist", t.id, len(t.flags), n.nextID)
-		}
-		nbuf := sec.Count(1)
-		t.sendBuf = make([]packet.Packet, 0, nbuf)
-		for i := 0; i < nbuf; i++ {
-			p, err := decodePacket(sec, n)
-			if err != nil {
-				return nil, fmt.Errorf("core: tile %d send buffer: %w", t.id, err)
-			}
-			t.sendBuf = append(t.sendBuf, p)
-		}
-		nmail := sec.Count(1)
-		t.mailbox = make([]*packet.Packet, 0, nmail)
-		for i := 0; i < nmail; i++ {
-			p, err := decodePacket(sec, n)
-			if err != nil {
-				return nil, fmt.Errorf("core: tile %d mailbox: %w", t.id, err)
-			}
-			t.mailbox = append(t.mailbox, &p)
-		}
-		if err := decodeRing(sec, n, t); err != nil {
-			return nil, fmt.Errorf("core: tile %d arrival ring: %w", t.id, err)
+		if err := restoreTileTraffic(sec, n, t, true); err != nil {
+			return nil, err
 		}
 	}
 	if err := sec.Finish(); err != nil {
 		return nil, err
 	}
-	// Cross-check the restored aware counts against the flag tables they
-	// summarize: an inconsistency means a corrupt-but-CRC-colliding
-	// payload or an encoder bug, and either must not reach a run.
-	for id := packet.MsgID(1); id <= n.nextID; id++ {
-		aware := int32(0)
-		for _, t := range n.tiles {
-			if t.flagsOf(id) != 0 {
-				aware++
-			}
+	return n, n.crossCheckAware()
+}
+
+// restoreTiles decodes the version-2 per-tile array.
+func restoreTiles(sec *snapshot.Reader, n *Network) error {
+	if tiles := sec.Count(1); sec.Err() == nil && tiles != len(n.tiles) {
+		return fmt.Errorf("core: checkpoint holds %d tiles, topology has %d", tiles, len(n.tiles))
+	}
+	for _, t := range n.tiles {
+		if err := restoreTileScalars(sec, t); err != nil {
+			return err
 		}
-		if aware != n.msgs[id].aware {
-			return nil, fmt.Errorf("core: message %d aware count %d inconsistent with flag tables (%d)", id, n.msgs[id].aware, aware)
+		if err := restoreTileTraffic(sec, n, t, false); err != nil {
+			return err
 		}
 	}
-	return n, nil
+	return nil
+}
+
+// restoreTileScalars decodes a tile's RNG state and forwarding cursor.
+func restoreTileScalars(sec *snapshot.Reader, t *tile) error {
+	var st [4]uint64
+	for i := range st {
+		st[i] = sec.U64()
+	}
+	if sec.Err() == nil {
+		if err := t.rnd.SetState(st); err != nil {
+			return fmt.Errorf("core: tile %d: %w", t.id, err)
+		}
+	}
+	t.fwdCursor = sec.Int()
+	t.fwdLimit = sec.Int()
+	return nil
+}
+
+// restoreTileTraffic decodes a tile's send buffer, mailbox and arrival
+// ring, recomputing the buffered-copy counts recycling retires on. v1
+// selects the legacy ring layout, whose wire frames carry no originating
+// ID.
+func restoreTileTraffic(sec *snapshot.Reader, n *Network, t *tile, v1 bool) error {
+	nbuf := sec.Count(1)
+	t.sendBuf = make([]packet.Packet, 0, nbuf)
+	for i := 0; i < nbuf; i++ {
+		p, err := decodePacket(sec, n, false, v1)
+		if err != nil {
+			return fmt.Errorf("core: tile %d send buffer: %w", t.id, err)
+		}
+		t.sendBuf = append(t.sendBuf, p)
+		if n.recycle {
+			n.addCopies(msgSlot(p.ID), 1)
+		}
+	}
+	nmail := sec.Count(1)
+	t.mailbox = make([]*packet.Packet, 0, nmail)
+	for i := 0; i < nmail; i++ {
+		// Mailbox copies await phase-1 consumption and do not hold their
+		// message live: the ID may already name a retired generation.
+		p, err := decodePacket(sec, n, true, v1)
+		if err != nil {
+			return fmt.Errorf("core: tile %d mailbox: %w", t.id, err)
+		}
+		t.mailbox = append(t.mailbox, &p)
+	}
+	if err := decodeRing(sec, n, t, v1); err != nil {
+		return fmt.Errorf("core: tile %d arrival ring: %w", t.id, err)
+	}
+	return nil
+}
+
+// decodeRow reads one tile bitmap (fixed word count) and rejects set bits
+// beyond the last tile — phantom tiles would corrupt the popcount
+// cross-check and every word-wise scan downstream.
+func decodeRow(sec *snapshot.Reader, row []uint64, tiles int) error {
+	for i := range row {
+		row[i] = sec.U64()
+	}
+	if err := sec.Err(); err != nil {
+		return err
+	}
+	if tail := tiles & 63; tail != 0 {
+		if row[len(row)-1]&^(uint64(1)<<tail-1) != 0 {
+			return fmt.Errorf("bits set beyond tile %d", tiles-1)
+		}
+	}
+	return nil
+}
+
+// crossCheckAware verifies every occupied slot's serialized aware count
+// against the popcount of its rows: an inconsistency means a
+// corrupt-but-CRC-colliding payload or an encoder bug, and either must
+// not reach a run. Word-wise, so the check is O(slots × tiles/64).
+func (n *Network) crossCheckAware() error {
+	tb := &n.tbl
+	for s := 1; s <= tb.slots(); s++ {
+		if !tb.occ[s] {
+			continue
+		}
+		if scan := tb.awareScan(uint32(s)); scan != tb.aware[s] {
+			return fmt.Errorf("core: slot %d aware count %d inconsistent with its rows (%d)", s, tb.aware[s], scan)
+		}
+	}
+	return nil
 }
 
 // decodePacket reads one packet, validating every field against the
-// restored network's bounds: IDs must have been issued, tile IDs must
-// exist (Dst may also be Broadcast), and buffered TTLs must be alive —
-// values a snapshot of a consistent engine can never contain otherwise.
-func decodePacket(sec *snapshot.Reader, n *Network) (packet.Packet, error) {
+// restored network's bounds: IDs must name the current tenant of their
+// slot (live copies pin their message), tile IDs must exist (Dst may also
+// be Broadcast), and buffered TTLs must be alive — values a snapshot of a
+// consistent engine can never contain otherwise. allowStale admits IDs of
+// already-retired generations, which only mailbox copies may carry. v1
+// payloads carried 16-bit tile IDs with the all-ones broadcast sentinel;
+// version 2 stores the in-memory 32-bit IDs directly.
+func decodePacket(sec *snapshot.Reader, n *Network, allowStale, v1 bool) (packet.Packet, error) {
 	var p packet.Packet
 	p.ID = packet.MsgID(sec.Uvarint())
-	p.Src = packet.TileID(sec.U16())
-	p.Dst = packet.TileID(sec.U16())
+	if v1 {
+		readTile := func() packet.TileID {
+			raw := sec.U16()
+			if raw == 0xffff {
+				return packet.Broadcast
+			}
+			return packet.TileID(raw)
+		}
+		p.Src = readTile()
+		p.Dst = readTile()
+	} else {
+		p.Src = packet.TileID(sec.U32())
+		p.Dst = packet.TileID(sec.U32())
+	}
 	p.Kind = packet.Kind(sec.U8())
 	p.TTL = sec.U8()
 	payload := sec.ReadBytes()
@@ -339,8 +644,8 @@ func decodePacket(sec *snapshot.Reader, n *Network) (packet.Packet, error) {
 	if err := sec.Err(); err != nil {
 		return p, err
 	}
-	if p.ID == 0 || p.ID > n.nextID {
-		return p, fmt.Errorf("packet names message %d, only %d issued", p.ID, n.nextID)
+	if !n.validRestoredID(p.ID, allowStale) {
+		return p, fmt.Errorf("packet names message %d, which the table does not hold", p.ID)
 	}
 	if int(p.Src) >= len(n.tiles) {
 		return p, fmt.Errorf("packet source tile %d out of range", p.Src)
@@ -357,6 +662,19 @@ func decodePacket(sec *snapshot.Reader, n *Network) (packet.Packet, error) {
 	return p, nil
 }
 
+// validRestoredID reports whether a deserialized MsgID is admissible:
+// current always, a retired generation of an issued slot when allowStale.
+func (n *Network) validRestoredID(id packet.MsgID, allowStale bool) bool {
+	if n.current(id) {
+		return true
+	}
+	if !allowStale {
+		return false
+	}
+	s := msgSlot(id)
+	return s != 0 && uint64(s) < uint64(len(n.tbl.gens)) && msgGen(id) < n.tbl.gens[s]
+}
+
 // maxRestoredSlip bounds how far ahead a restored arrival may be
 // scheduled. Slips are ⌊|N(0, σ_synchr)|⌋ draws; at the σ values the
 // experiments sweep (≤ 2·T_R) a slip anywhere near this bound is a
@@ -367,8 +685,13 @@ const maxRestoredSlip = 1 << 16
 
 // decodeRing rebuilds t's in-flight arrivals by rescheduling them in the
 // serialized (consumption) order, which reconstructs both the ring
-// geometry and each bucket's insertion order.
-func decodeRing(sec *snapshot.Reader, n *Network, t *tile) error {
+// geometry and each bucket's insertion order. Every rescheduled arrival
+// raises its message's in-flight count (the mirror of lane.send), which
+// is what keeps retirement from freeing a slot whose frames are still in
+// the air. v1 payloads predate the per-frame originating ID; frames read
+// from them carry ID zero, admissible only because a v1 restore never
+// recycles.
+func decodeRing(sec *snapshot.Reader, n *Network, t *tile, v1 bool) error {
 	count := sec.Count(3) // delta + kind + at least one payload byte
 	for i := 0; i < count; i++ {
 		d := sec.Int()
@@ -378,12 +701,21 @@ func decodeRing(sec *snapshot.Reader, n *Network, t *tile) error {
 		var a arrival
 		switch kind := sec.U8(); kind {
 		case arrFrame:
+			if !v1 {
+				a.pkt.ID = packet.MsgID(sec.Uvarint())
+				if sec.Err() == nil && a.pkt.ID == 0 && n.recycle {
+					return fmt.Errorf("in-flight frame without originating ID in a recycling checkpoint")
+				}
+				if sec.Err() == nil && a.pkt.ID != 0 && !n.current(a.pkt.ID) {
+					return fmt.Errorf("in-flight frame originates from message %d, which the table does not hold", a.pkt.ID)
+				}
+			}
 			a.frame = sec.ReadBytes()
 			if sec.Err() == nil && len(a.frame) < packet.EncodedLen(0) {
 				return fmt.Errorf("wire frame of %d bytes shorter than a header", len(a.frame))
 			}
 		case arrUpset, arrValue:
-			p, err := decodePacket(sec, n)
+			p, err := decodePacket(sec, n, false, v1)
 			if err != nil {
 				return err
 			}
@@ -397,6 +729,9 @@ func decodeRing(sec *snapshot.Reader, n *Network, t *tile) error {
 		}
 		if err := sec.Err(); err != nil {
 			return err
+		}
+		if n.recycle {
+			n.addInflight(msgSlot(a.pkt.ID), 1)
 		}
 		t.ring.schedule(n.round, n.round+d, a)
 	}

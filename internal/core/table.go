@@ -1,104 +1,374 @@
 package core
 
 import (
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/packet"
 )
 
-// This file holds the flat per-message state tables that replace the
-// engine's former hash maps (per-tile present/seen sets and the
-// network-wide spread-stop set). MsgIDs are issued densely from 1 by
-// newMsgID, so a message's state lives at slice index ID: dedup, the
-// delivery-once filter, Aware/AwareAt and the spread-stop check are all
-// O(1) loads with no hashing, and the aware count per message is
-// maintained incrementally instead of being recomputed by scanning every
-// tile each round.
+// This file holds the per-message state tables of the engine: which tiles
+// currently buffer a copy of each message (present), which have taken
+// delivery or originated it (seen), the incremental aware counts, the
+// spread-stop tombstones — and the slot allocator that bounds all of it.
+//
+// Representation. A MsgID packs a table slot in its low 32 bits and a
+// generation (epoch) tag in its high 32 bits. Per-slot state is slot-major:
+// one []uint64 tile bitmap per slot for the present flags and one for the
+// seen flags, so dedup, the delivery-once filter, AwareAt and the
+// spread-stop check are all single word loads, awareness cross-checks are
+// word-wise popcounts, and retiring a message frees O(tiles/64) words
+// instead of touching a byte in every tile's private array (the former
+// per-tile []uint8 layout, whose memory was O(tiles × ever-issued)).
+//
+// Lifecycle. Without Config.Recycle the allocator only ever appends:
+// generations stay 0, packed IDs coincide numerically with the former
+// dense sequence 1, 2, 3, ..., and every byte of observable behaviour is
+// unchanged. With Recycle enabled, a message whose buffered copies have
+// all expired and whose in-flight copies have drained is retired at the
+// next round barrier (retireExpired): its final aware count moves to the
+// retired ledger, its rows are cleared, its slot's generation increments
+// and the slot joins a FIFO free list for the next newMsgID. Memory is
+// then bounded by the peak number of concurrently-live messages. A wire
+// frame that decodes to a stale generation names a message that no longer
+// exists ("ghost"): it is discarded as a detected upset and counted in
+// Counters.GhostFrames, so a recycled slot can never alias old traffic.
 
-// Per-tile message flags.
+// Per-tile message flags, as reported by tile.flagsOf.
 const (
 	flagPresent uint8 = 1 << 0 // a copy is in the tile's send buffer
 	flagSeen    uint8 = 1 << 1 // the message was delivered here (or originated here)
 )
 
-// msgState is the network-wide per-message record, indexed by MsgID.
-type msgState struct {
-	// aware counts tiles whose flags for this message are non-zero —
-	// exactly the tiles the scanning Aware() used to count.
-	aware int32
-	// dead marks a delivered unicast under StopSpreadOnDelivery. Folding
-	// the tombstone into this table (instead of the former dedicated map)
-	// bounds its memory to the message table that must exist anyway.
-	dead bool
+// MsgID packing: low 32 bits select the table slot, high 32 bits carry
+// the slot's generation at issue time. Slot 0 is the unused sentinel
+// (MsgID 0 means "no message"), so generation-0 packed IDs are exactly
+// the dense IDs the engine issued before recycling existed.
+const msgGenShift = 32
+
+// packMsgID composes a MsgID from a slot and its generation.
+func packMsgID(slot, gen uint32) packet.MsgID {
+	return packet.MsgID(gen)<<msgGenShift | packet.MsgID(slot)
 }
 
-// stateOf returns the state record for id, which must have been issued by
-// newMsgID (the engine validates decoded IDs before using them).
-func (n *Network) stateOf(id packet.MsgID) *msgState { return &n.msgs[id] }
+// msgSlot extracts the table slot of id.
+func msgSlot(id packet.MsgID) uint32 { return uint32(id) }
+
+// msgGen extracts the generation tag of id.
+func msgGen(id packet.MsgID) uint32 { return uint32(id >> msgGenShift) }
+
+// msgTable is the network-wide message-state store. All per-slot slices
+// are indexed by slot; index 0 is the unused sentinel. Scalar state
+// (generation, aware count, tombstone, occupancy) is parallel-array; the
+// present/seen flags are tile bitmaps handed out by the row arena.
+type msgTable struct {
+	words  int // words per tile bitmap (ceil(tiles/64))
+	stride int // allocation stride of a row, >= words (cache-line padding)
+	arena  []uint64
+
+	gens     []uint32   // generation currently bound to each slot
+	aware    []int32    // tiles aware (present|seen non-empty); atomic under par
+	copies   []int32    // buffered copies network-wide (recycle only); atomic under par
+	inflight []int32    // copies scheduled in arrival rings (recycle only); atomic under par
+	dead     []bool     // spread-stop tombstone
+	occ      []bool     // slot currently bound to a live message
+	present  [][]uint64 // per-slot tile bitmap: a copy is buffered at tile
+	seen     [][]uint64 // per-slot tile bitmap: delivered at / originated by tile
+
+	// FIFO free list of retired slots: freed at freeTail-side append,
+	// reused from freeHead. FIFO (not LIFO) keeps slot reuse order
+	// independent of retirement batching, and maximizes the gap between a
+	// slot's retirement and its reuse.
+	free     []uint32
+	freeHead int
+
+	// retired maps a retired message's full packed ID to its final aware
+	// count, so Aware stays answerable (and the metrics recorder's
+	// awareness series stays frozen, not zeroed) after the slot moved on.
+	// Entries are O(retired messages) but tile-independent: they are the
+	// price of keeping history without per-tile state. Zero-aware retirees
+	// are not stored (absent means 0).
+	retired map[packet.MsgID]int32
+
+	live     int // occupied slots
+	peakLive int // high-water mark of live
+}
+
+// tableStridePadTiles is the mesh size from which rows are padded to
+// whole 64-byte cache lines: shard lanes CAS adjacent words of adjacent
+// rows concurrently, and on meshes large enough to shard, padding keeps
+// two rows from false-sharing a line. Below it (rows shorter than a
+// line) padding would multiply the table's memory for meshes where
+// sharding is pointless anyway.
+const tableStridePadTiles = 512
+
+// tableArenaRows is how many rows a fresh arena block carves: row
+// allocation costs one make per tableArenaRows slots instead of one
+// each, and keeps rows of consecutive slots contiguous.
+const tableArenaRows = 32
+
+// initTable sizes the table for a tiles-tile network.
+func (tb *msgTable) initTable(tiles int) {
+	tb.words = (tiles + 63) / 64
+	tb.stride = tb.words
+	if tiles >= tableStridePadTiles {
+		tb.stride = (tb.words + 7) &^ 7
+	}
+	tb.gens = make([]uint32, 1, 8)
+	tb.aware = make([]int32, 1, 8)
+	tb.dead = make([]bool, 1, 8)
+	tb.occ = make([]bool, 1, 8)
+	tb.present = make([][]uint64, 1, 8)
+	tb.seen = make([][]uint64, 1, 8)
+}
+
+// row carves one zeroed tile bitmap from the arena.
+func (tb *msgTable) row() []uint64 {
+	if len(tb.arena) < tb.stride {
+		tb.arena = make([]uint64, tb.stride*tableArenaRows)
+	}
+	r := tb.arena[:tb.words:tb.stride]
+	tb.arena = tb.arena[tb.stride:]
+	return r
+}
+
+// appendSlot extends every parallel array by one slot and returns its
+// index. Slices double via append, so issuing m messages reallocates
+// each array O(log m) times over a run; rows come from the arena.
+func (tb *msgTable) appendSlot() uint32 {
+	s := uint32(len(tb.gens))
+	tb.gens = append(tb.gens, 0)
+	tb.aware = append(tb.aware, 0)
+	tb.dead = append(tb.dead, false)
+	tb.occ = append(tb.occ, false)
+	tb.present = append(tb.present, tb.row())
+	tb.seen = append(tb.seen, tb.row())
+	if tb.copies != nil {
+		tb.copies = append(tb.copies, 0)
+		tb.inflight = append(tb.inflight, 0)
+	}
+	return s
+}
+
+// slots returns how many slots the table holds (excluding the sentinel).
+func (tb *msgTable) slots() int { return len(tb.gens) - 1 }
+
+// issuedSlots returns how many message slots the network's table covers —
+// with recycling off, exactly how many messages were ever issued.
+func (n *Network) issuedSlots() int { return n.tbl.slots() }
+
+// newMsgID binds a slot to a new message and returns its packed ID: a
+// retired slot from the free list when recycling, a fresh slot otherwise.
+func (n *Network) newMsgID() packet.MsgID {
+	tb := &n.tbl
+	var s uint32
+	if tb.freeHead < len(tb.free) {
+		s = tb.free[tb.freeHead]
+		tb.freeHead++
+		if tb.freeHead == len(tb.free) {
+			clear(tb.free)
+			tb.free = tb.free[:0]
+			tb.freeHead = 0
+		}
+	} else {
+		s = tb.appendSlot()
+	}
+	tb.occ[s] = true
+	tb.live++
+	if tb.live > tb.peakLive {
+		tb.peakLive = tb.live
+	}
+	id := packMsgID(s, tb.gens[s])
+	n.nextID = id
+	return id
+}
+
+// retireExpired runs at the round barrier of every Step when recycling is
+// enabled: a live message with no buffered copy anywhere and nothing in
+// flight can never be heard from again, so its slot is reclaimed. The
+// ascending-slot scan and the FIFO free list make retirement — and every
+// ID issued after it — deterministic and shard-count independent. Scan
+// cost is O(slots), bounded by the peak live population, plus
+// O(tiles/64) to clear the rows of each retiree.
+func (n *Network) retireExpired() {
+	tb := &n.tbl
+	for s := 1; s < len(tb.occ); s++ {
+		if !tb.occ[s] || tb.copies[s] != 0 || tb.inflight[s] != 0 {
+			continue
+		}
+		if a := tb.aware[s]; a > 0 {
+			if tb.retired == nil {
+				tb.retired = make(map[packet.MsgID]int32)
+			}
+			tb.retired[packMsgID(uint32(s), tb.gens[s])] = a
+		}
+		tb.gens[s]++
+		tb.occ[s] = false
+		tb.dead[s] = false
+		tb.aware[s] = 0
+		clear(tb.present[s])
+		clear(tb.seen[s])
+		tb.free = append(tb.free, uint32(s))
+		tb.live--
+		n.cnt.Retired++
+	}
+}
+
+// current reports whether id names the message its slot is bound to right
+// now — the generation check that turns recycled-slot aliases into
+// ghosts. Only externally-supplied IDs need it (Aware, AwareAt, decoded
+// wire frames, restored packets): IDs reaching the internal hot paths
+// ride on live copies, whose existence blocks retirement of their slot.
+func (n *Network) current(id packet.MsgID) bool {
+	s := msgSlot(id)
+	return s != 0 && uint64(s) < uint64(len(n.tbl.gens)) &&
+		n.tbl.occ[s] && n.tbl.gens[s] == msgGen(id)
+}
+
+// markDead tombstones a delivered unicast under StopSpreadOnDelivery.
+func (n *Network) markDead(id packet.MsgID) { n.tbl.dead[msgSlot(id)] = true }
 
 // isDead reports whether id was tombstoned by spread termination. Out of
 // range IDs (never issued) are never dead.
 func (n *Network) isDead(id packet.MsgID) bool {
-	if uint64(id) >= uint64(len(n.msgs)) {
+	s := msgSlot(id)
+	if uint64(s) >= uint64(len(n.tbl.dead)) {
 		return false
 	}
-	return n.msgs[id].dead
+	return n.tbl.dead[s]
 }
 
-// flagsOf returns t's flags for id, zero if the tile never touched it.
+// rowBit reads tile t's bit of row. While shard goroutines are live
+// (n.par) word loads are atomic: lanes only flip bits of their own tiles,
+// but tiles of several lanes share each 64-tile word.
+func (n *Network) rowBit(row []uint64, t packet.TileID) bool {
+	w := &row[t>>6]
+	var v uint64
+	if n.par {
+		v = atomic.LoadUint64(w)
+	} else {
+		v = *w
+	}
+	return v&(1<<(t&63)) != 0
+}
+
+// rowSet sets tile t's bit of row and reports whether it was already set.
+// Under n.par the word update is a CAS loop (atomic Or lands in Go 1.23;
+// this module builds on 1.22): bit transitions of distinct tiles commute,
+// so the final words are exactly the sequential engine's regardless of
+// interleaving.
+func (n *Network) rowSet(row []uint64, t packet.TileID) bool {
+	w := &row[t>>6]
+	mask := uint64(1) << (t & 63)
+	if n.par {
+		for {
+			old := atomic.LoadUint64(w)
+			if old&mask != 0 {
+				return true
+			}
+			if atomic.CompareAndSwapUint64(w, old, old|mask) {
+				return false
+			}
+		}
+	}
+	old := *w
+	*w = old | mask
+	return old&mask != 0
+}
+
+// rowClear clears tile t's bit of row and reports whether it was set.
+func (n *Network) rowClear(row []uint64, t packet.TileID) bool {
+	w := &row[t>>6]
+	mask := uint64(1) << (t & 63)
+	if n.par {
+		for {
+			old := atomic.LoadUint64(w)
+			if old&mask == 0 {
+				return false
+			}
+			if atomic.CompareAndSwapUint64(w, old, old&^mask) {
+				return true
+			}
+		}
+	}
+	old := *w
+	*w = old &^ mask
+	return old&mask != 0
+}
+
+// flagsOf returns t's flags for id, zero if the tile never touched it (or
+// if id names a retired generation — per-tile history dies with the slot;
+// only the aggregate count survives in the retired ledger).
 func (t *tile) flagsOf(id packet.MsgID) uint8 {
-	if uint64(id) >= uint64(len(t.flags)) {
+	n := t.ctx.net
+	if !n.current(id) {
 		return 0
 	}
-	return t.flags[id]
+	s := msgSlot(id)
+	var f uint8
+	if n.rowBit(n.tbl.present[s], t.id) {
+		f |= flagPresent
+	}
+	if n.rowBit(n.tbl.seen[s], t.id) {
+		f |= flagSeen
+	}
+	return f
 }
 
-// growFlags extends t.flags to cover id. Growth doubles, so a tile that
-// touches m messages reallocates O(log m) times over a whole run.
-func (t *tile) growFlags(id packet.MsgID) {
-	need := int(id) + 1
-	if need <= len(t.flags) {
-		return
-	}
-	if need <= cap(t.flags) {
-		n := len(t.flags)
-		t.flags = t.flags[:need]
-		for i := n; i < need; i++ {
-			t.flags[i] = 0
-		}
-		return
-	}
-	grown := make([]uint8, need, 2*need)
-	copy(grown, t.flags)
-	t.flags = grown
-}
-
-// addAware adjusts id's aware count by delta (always ±1). The flags
+// addAware adjusts slot s's aware count by delta (always ±1). The bits
 // guarding the transitions are tile-local, but the count itself is shared
 // across tiles: while shard goroutines are live (n.par) the update is
 // atomic. The ±1 transitions commute, so the end-of-phase counts are
 // exactly the sequential engine's regardless of interleaving; n.par flips
 // only on the stepping goroutine, and the goroutine-spawn / WaitGroup
 // barrier orders the flip against every shard's accesses.
-func (n *Network) addAware(id packet.MsgID, delta int32) {
+func (n *Network) addAware(s uint32, delta int32) {
 	if n.par {
-		atomic.AddInt32(&n.msgs[id].aware, delta)
+		atomic.AddInt32(&n.tbl.aware[s], delta)
 		return
 	}
-	n.msgs[id].aware += delta
+	n.tbl.aware[s] += delta
 }
 
-// setPresent marks a buffered copy of id at t, updating the aware count on
-// the 0 -> aware transition.
-func (n *Network) setPresent(t *tile, id packet.MsgID) {
-	f := t.flagsOf(id)
-	if f&flagPresent != 0 {
+// addCopies adjusts the buffered-copy count of slot s; recycle only.
+// Unlike the present flag (one bit per tile however many copies the
+// no-dedup ablation buffers), this counts actual send-buffer entries, so
+// a slot retires only when no copy exists anywhere.
+func (n *Network) addCopies(s uint32, delta int32) {
+	if n.tbl.copies == nil {
 		return
 	}
-	t.growFlags(id)
-	t.flags[id] = f | flagPresent
-	if f == 0 {
-		n.addAware(id, 1)
+	if n.par {
+		atomic.AddInt32(&n.tbl.copies[s], delta)
+		return
+	}
+	n.tbl.copies[s] += delta
+}
+
+// addInflight adjusts the in-flight count of slot s; recycle only.
+// Incremented when a transmission is committed to an arrival ring (or
+// staged for the outbox merge that will schedule it), decremented when
+// phase 4 consumes the arrival — whatever its fate.
+func (n *Network) addInflight(s uint32, delta int32) {
+	if n.tbl.inflight == nil {
+		return
+	}
+	if n.par {
+		atomic.AddInt32(&n.tbl.inflight[s], delta)
+		return
+	}
+	n.tbl.inflight[s] += delta
+}
+
+// setPresent marks a buffered copy of id at t, updating the aware count
+// on the unaware -> aware transition.
+func (n *Network) setPresent(t *tile, id packet.MsgID) {
+	s := msgSlot(id)
+	if n.rowSet(n.tbl.present[s], t.id) {
+		return
+	}
+	if !n.rowBit(n.tbl.seen[s], t.id) {
+		n.addAware(s, 1)
 	}
 }
 
@@ -106,25 +376,76 @@ func (n *Network) setPresent(t *tile, id packet.MsgID) {
 // count if the tile has also never taken delivery — the same instant the
 // scanning Aware() stopped counting the tile.
 func (n *Network) clearPresent(t *tile, id packet.MsgID) {
-	f := t.flagsOf(id)
-	if f&flagPresent == 0 {
+	s := msgSlot(id)
+	if !n.rowClear(n.tbl.present[s], t.id) {
 		return
 	}
-	t.flags[id] = f &^ flagPresent
-	if f == flagPresent {
-		n.addAware(id, -1)
+	if !n.rowBit(n.tbl.seen[s], t.id) {
+		n.addAware(s, -1)
 	}
 }
 
 // setSeen marks id as delivered at (or originated by) t.
 func (n *Network) setSeen(t *tile, id packet.MsgID) {
-	f := t.flagsOf(id)
-	if f&flagSeen != 0 {
+	s := msgSlot(id)
+	if n.rowSet(n.tbl.seen[s], t.id) {
 		return
 	}
-	t.growFlags(id)
-	t.flags[id] = f | flagSeen
-	if f == 0 {
-		n.addAware(id, 1)
+	if !n.rowBit(n.tbl.present[s], t.id) {
+		n.addAware(s, 1)
 	}
+}
+
+// MemStats summarizes the message-table footprint of a Network — the
+// state whose growth the mega-mesh refactor bounds. All byte figures are
+// computed from the table's own geometry (rows, parallel arrays, free
+// list, retired ledger), not from runtime heap statistics, so they are
+// deterministic and comparable across runs.
+type MemStats struct {
+	// Slots is the table's slot count — with recycling, bounded by the
+	// peak live population; without, the number of messages ever issued.
+	Slots int
+	// Live is the number of currently occupied slots.
+	Live int
+	// PeakLive is the high-water mark of Live over the run.
+	PeakLive int
+	// RetiredLedger is the number of entries in the retired-awareness
+	// ledger (tile-independent, O(retired messages with nonzero aware)).
+	RetiredLedger int
+	// TableBytes is the message table's total footprint: both tile-bitmap
+	// rows per slot plus every parallel array, the free list and an
+	// estimate (two words per entry) of the retired ledger.
+	TableBytes int
+}
+
+// Mem returns the current message-table footprint. Divide TableBytes by
+// the tile count for the bytes-per-tile figure the scaling experiments
+// report.
+func (n *Network) Mem() MemStats {
+	tb := &n.tbl
+	slots := tb.slots()
+	bytes := slots*tb.stride*8*2 + // present + seen rows
+		len(tb.gens)*4 + len(tb.aware)*4 + len(tb.dead) + len(tb.occ) +
+		len(tb.copies)*4 + len(tb.inflight)*4 +
+		len(tb.free)*4 + len(tb.retired)*16
+	return MemStats{
+		Slots:         slots,
+		Live:          tb.live,
+		PeakLive:      tb.peakLive,
+		RetiredLedger: len(tb.retired),
+		TableBytes:    bytes,
+	}
+}
+
+// awareScan recomputes slot s's aware count word-wise from its rows —
+// the popcount of present|seen. Restore uses it to cross-check the
+// serialized counts; it is the slow-path truth the incremental count
+// must always equal.
+func (tb *msgTable) awareScan(s uint32) int32 {
+	var c int
+	p, q := tb.present[s], tb.seen[s]
+	for i := range p {
+		c += bits.OnesCount64(p[i] | q[i])
+	}
+	return int32(c)
 }

@@ -57,6 +57,83 @@ func scalingBroadcast(side, shards int, seed uint64) (res core.Result, secs floa
 	return res, time.Since(start).Seconds(), nil
 }
 
+// MegaChurnRow is one mesh size of the mega-mesh churn study: a
+// recycling fabric under sustained injection, reported as throughput
+// plus the memory-per-tile figures the PR 6 refactor is about.
+type MegaChurnRow struct {
+	// Side is the mesh edge; Tiles = Side².
+	Side, Tiles int
+	// Shards is the shard count the run executed with.
+	Shards int
+	// Rounds and Injected describe the workload: Rounds churn rounds with
+	// Injected total fresh broadcasts spread uniformly across them.
+	Rounds, Injected int
+	// Retired counts slots reclaimed by ID recycling over the run.
+	Retired int
+	// MidSlots and EndSlots are the slot-table size at the half-way
+	// point and at the end — equal values demonstrate the table is
+	// bounded by the live population, not by messages issued.
+	MidSlots, EndSlots int
+	// LiveEnd is the live message population after the final round.
+	LiveEnd int
+	// BytesPerTile is the message table's end-of-run footprint divided
+	// by the tile count.
+	BytesPerTile float64
+	// RoundsPerSec is the measured churn-round throughput.
+	RoundsPerSec float64
+}
+
+// MegaChurn runs the sustained-injection study on each mesh side:
+// perRound fresh broadcasts per round for the given number of rounds,
+// with ID recycling on and TTL-bounded spread, so the live population —
+// and, the point of the exercise, the message table — stays constant
+// while messages issued grows without bound. shards <= 1 auto-picks via
+// sim.Config.AutoShards (mega-meshes take the whole pool).
+func MegaChurn(sides []int, perRound, rounds, shards int, seed uint64) ([]MegaChurnRow, error) {
+	rows := make([]MegaChurnRow, 0, len(sides))
+	for _, side := range sides {
+		tiles := side * side
+		sc := shards
+		if sc <= 1 {
+			sc = sim.Config{Replicas: 1}.AutoShards(tiles)
+		}
+		g := topology.NewGrid(side, side)
+		cfg := core.Config{
+			Topo: g, P: 0.5, TTL: 16, MaxRounds: 1 << 30, Seed: seed,
+			Recycle: true, Shards: sc,
+		}
+		net, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		midSlots := 0
+		start := time.Now()
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < perRound; i++ {
+				src := packet.TileID((round*perRound*2654435761 + i*40503) % tiles)
+				if _, err := net.Inject(src, packet.Broadcast, 0, nil); err != nil {
+					return nil, err
+				}
+			}
+			net.Step()
+			if round == rounds/2 {
+				midSlots = net.Mem().Slots
+			}
+		}
+		secs := time.Since(start).Seconds()
+		m := net.Mem()
+		rows = append(rows, MegaChurnRow{
+			Side: side, Tiles: tiles, Shards: sc,
+			Rounds: rounds, Injected: rounds * perRound,
+			Retired:  net.Counters().Retired,
+			MidSlots: midSlots, EndSlots: m.Slots, LiveEnd: m.Live,
+			BytesPerTile: float64(m.TableBytes) / float64(tiles),
+			RoundsPerSec: float64(rounds) / secs,
+		})
+	}
+	return rows, nil
+}
+
 // GridScaling is the intra-run parallelism study: for each mesh side it
 // executes the identical broadcast replica sequentially and with the
 // sharded engine, checks the two outcomes are bit-identical (rounds,

@@ -87,14 +87,14 @@ func (m *Model) Validate() error {
 type Injector struct {
 	model     Model
 	tileAlive []bool
-	linkDead  map[uint32]bool
+	linkDead  map[uint64]bool
 }
 
-func linkKey(a, b packet.TileID) uint32 {
+func linkKey(a, b packet.TileID) uint64 {
 	if a > b {
 		a, b = b, a
 	}
-	return uint32(a)<<16 | uint32(b)
+	return uint64(a)<<32 | uint64(b)
 }
 
 // NewInjector samples the permanent failures of model over topo using r.
@@ -107,7 +107,7 @@ func NewInjector(topo topology.Topology, model Model, r *rng.Stream) (*Injector,
 	inj := &Injector{
 		model:     model,
 		tileAlive: make([]bool, topo.Tiles()),
-		linkDead:  map[uint32]bool{},
+		linkDead:  map[uint64]bool{},
 	}
 	for i := range inj.tileAlive {
 		inj.tileAlive[i] = true

@@ -20,10 +20,24 @@ import (
 
 // TileID identifies a tile in the network. The value Broadcast addresses
 // every tile (used by pure-dissemination workloads such as Fig. 3-1).
-type TileID uint16
+//
+// TileID is 32 bits in memory so that mega-meshes (512×512 and beyond)
+// are addressable, but the wire format of Chapter 2 carries 16-bit tile
+// addresses: frames can only name tiles up to MaxWireTile, and Encode
+// rejects packets beyond it. Fabrics larger than the wire address space
+// run on the analytic transmission path, which never serializes a frame.
+type TileID uint32
 
-// Broadcast is the destination value meaning "every tile".
-const Broadcast TileID = 0xffff
+// Broadcast is the destination value meaning "every tile". On the wire it
+// is carried as wireBroadcast (the all-ones 16-bit address).
+const Broadcast TileID = 0xffffffff
+
+// MaxWireTile is the largest tile ID a wire frame can address: the
+// 16-bit address space minus the broadcast sentinel.
+const MaxWireTile TileID = 0xfffe
+
+// wireBroadcast is the on-wire encoding of Broadcast.
+const wireBroadcast uint16 = 0xffff
 
 // MsgID is a network-unique message identity. Tiles deduplicate on it, so
 // two packets with equal MsgID must be copies of the same logical message.
@@ -58,6 +72,10 @@ var ErrTooLarge = errors.New("packet: payload exceeds MaxPayload")
 
 // ErrTruncated is returned by Decode for inputs shorter than a header.
 var ErrTruncated = errors.New("packet: truncated frame")
+
+// ErrTileUnaddressable is returned by Encode when a packet's source or
+// destination exceeds the 16-bit wire address space (MaxWireTile).
+var ErrTileUnaddressable = errors.New("packet: tile ID exceeds the 16-bit wire address space")
 
 // ErrCRC is returned by Decode when the checksum does not match; this is
 // how a tile observes a data upset.
@@ -124,10 +142,18 @@ func EncodeTo(dst []byte, p *Packet) error {
 	if len(dst) != EncodedLen(len(p.Payload)) {
 		return ErrBadFrameLen
 	}
+	src, err := wireTile(p.Src)
+	if err != nil {
+		return err
+	}
+	dstAddr, err := wireTile(p.Dst)
+	if err != nil {
+		return err
+	}
 	buf := dst
 	binary.BigEndian.PutUint64(buf[0:8], uint64(p.ID))
-	binary.BigEndian.PutUint16(buf[8:10], uint16(p.Src))
-	binary.BigEndian.PutUint16(buf[10:12], uint16(p.Dst))
+	binary.BigEndian.PutUint16(buf[8:10], src)
+	binary.BigEndian.PutUint16(buf[10:12], dstAddr)
 	buf[12] = byte(p.Kind)
 	buf[13] = p.TTL
 	binary.BigEndian.PutUint16(buf[14:16], uint16(len(p.Payload)))
@@ -135,6 +161,17 @@ func EncodeTo(dst []byte, p *Packet) error {
 	sum := frameCRC(buf)
 	binary.BigEndian.PutUint16(buf[len(buf)-crcLen:], sum)
 	return nil
+}
+
+// wireTile converts a tile ID to its 16-bit wire address.
+func wireTile(t TileID) (uint16, error) {
+	if t == Broadcast {
+		return wireBroadcast, nil
+	}
+	if t > MaxWireTile {
+		return 0, ErrTileUnaddressable
+	}
+	return uint16(t), nil
 }
 
 // frameCRC computes the CRC-16 over a frame, skipping the mutable TTL byte
@@ -150,6 +187,14 @@ func frameCRC(frame []byte) uint16 {
 		s.ClockByte(b)
 	}
 	return s.Sum()
+}
+
+// memTile converts a 16-bit wire address back to a tile ID.
+func memTile(w uint16) TileID {
+	if w == wireBroadcast {
+		return Broadcast
+	}
+	return TileID(w)
 }
 
 // Decode parses a wire frame, verifying the CRC. A CRC failure returns
@@ -186,8 +231,8 @@ func DecodeInto(dst *Packet, frame []byte) error {
 		return ErrCRC
 	}
 	dst.ID = MsgID(binary.BigEndian.Uint64(frame[0:8]))
-	dst.Src = TileID(binary.BigEndian.Uint16(frame[8:10]))
-	dst.Dst = TileID(binary.BigEndian.Uint16(frame[10:12]))
+	dst.Src = memTile(binary.BigEndian.Uint16(frame[8:10]))
+	dst.Dst = memTile(binary.BigEndian.Uint16(frame[10:12]))
 	dst.Kind = Kind(frame[12])
 	dst.TTL = frame[13]
 	if payloadLen > 0 {

@@ -48,6 +48,15 @@ func (c Config) workers() int {
 	return w
 }
 
+// megaShardTiles is the fabric size at which AutoShards stops trading
+// shards against replica parallelism and simply uses the whole pool.
+// At 65536+ tiles one replica's state tables are tens of megabytes, so
+// running Workers mega-replicas side by side multiplies peak memory by
+// the pool size, and a single sequential round is long enough that the
+// shard barrier overhead is noise. Better to run replicas one at a time,
+// each sharded across every core.
+const megaShardTiles = 1 << 16
+
 // AutoShards picks a core.Config.Shards value for replicas of a
 // tiles-tile network run under this configuration: the cores the replica
 // pool leaves idle, so Monte Carlo parallelism and intra-run sharding
@@ -55,18 +64,23 @@ func (c Config) workers() int {
 // replicas as workers every core is already busy and AutoShards returns 1
 // (sequential — the zero-allocation path). Shards are also capped at one
 // per 64 tiles: below that the per-round barrier overhead outweighs the
-// parallelism on meshes this small.
+// parallelism on meshes this small. Mega-meshes (megaShardTiles tiles and
+// up) ignore the replica count and shard with the full pool — see
+// megaShardTiles for why.
 func (c Config) AutoShards(tiles int) int {
 	w := c.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	busy := c.Replicas
-	if busy < 1 {
-		busy = 1
-	}
-	spare := w / busy
 	maxUseful := tiles / 64
+	spare := w
+	if tiles < megaShardTiles {
+		busy := c.Replicas
+		if busy < 1 {
+			busy = 1
+		}
+		spare = w / busy
+	}
 	if spare > maxUseful {
 		spare = maxUseful
 	}

@@ -252,6 +252,12 @@ func TestAutoShards(t *testing.T) {
 		// Small meshes never shard: one shard per 64 tiles, minimum 1.
 		{"small-mesh", sim.Config{Replicas: 1, Workers: 16}, 64, 1},
 		{"mesh-capped", sim.Config{Replicas: 1, Workers: 16}, 256, 4},
+		// Mega-meshes shard with the whole pool even when replicas
+		// saturate it: concurrent mega-replicas would multiply peak
+		// memory by the pool size.
+		{"mega-saturated", sim.Config{Replicas: 8, Workers: 8}, 512 * 512, 8},
+		{"mega-boundary", sim.Config{Replicas: 100, Workers: 4}, 1 << 16, 4},
+		{"below-mega", sim.Config{Replicas: 100, Workers: 4}, 1<<16 - 64, 1},
 	}
 	for _, c := range cases {
 		if got := c.cfg.AutoShards(c.tiles); got != c.want {

@@ -72,10 +72,38 @@ func realCheckpoint(tb testing.TB, rounds int, withRecorder bool) []byte {
 	return buf.Bytes()
 }
 
+// recycledCheckpoint serializes a churned recycling network: retired
+// slots, a populated free list and awareness ledger, and reissued
+// generations — the v2 payload sections a dense checkpoint never has.
+func recycledCheckpoint(tb testing.TB) []byte {
+	tb.Helper()
+	cfg := fuzzCfg()
+	cfg.Recycle = true
+	cfg.TTL = 3
+	net, err := core.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Enough churn rounds for slots to expire, retire and be reissued
+	// with bumped generations.
+	for round := 0; round < 12; round++ {
+		if _, err := net.Inject(packet.TileID(round%16), packet.Broadcast, 0, nil); err != nil {
+			tb.Fatal(err)
+		}
+		net.Step()
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteCheckpoint(&buf, sim.CheckpointMeta{Replica: 1, Seed: 42}, net, nil); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 func FuzzRestore(f *testing.F) {
 	f.Add(realCheckpoint(f, 4, true))  // mid-run, skewed arrivals in flight
 	f.Add(realCheckpoint(f, 0, true))  // fresh network, empty series
 	f.Add(realCheckpoint(f, 7, false)) // no metrics section
+	f.Add(recycledCheckpoint(f))       // v2: free list, ledger, generations
 	f.Add([]byte("SNOC"))              // magic alone
 	f.Add([]byte{})
 
@@ -107,6 +135,12 @@ func FuzzRestore(f *testing.F) {
 		// expected outcome; only panics and runaway allocations can fail
 		// this fuzz target.
 		_, _ = core.RestoreSection(snapshot.NewReader(data), fuzzCfg())
+		// Same surface with recycling on: only this config reaches the
+		// free-list, ledger and generation validation of the v2 decoder.
+		rcfg := fuzzCfg()
+		rcfg.Recycle = true
+		rcfg.TTL = 3
+		_, _ = core.RestoreSection(snapshot.NewReader(data), rcfg)
 		rec2 := metrics.NewRecorder(metrics.Config{Rounds: 64})
 		_ = rec2.RestoreState(snapshot.NewReader(data))
 	})

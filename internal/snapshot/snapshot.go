@@ -37,9 +37,11 @@ import (
 // a checkpoint is a short-lived artifact of one simulator build).
 const Version = 1
 
-// MaxLen bounds the size of a container a Decoder will read (64 MiB —
-// far above any realistic mesh state, far below an OOM).
-const MaxLen = 64 << 20
+// MaxLen bounds the size of a container a Decoder will read (256 MiB —
+// far below an OOM, but with room for mega-mesh state: a churning
+// 1024×1024 fabric serializes to ~52 MiB of per-tile RNG and traffic
+// state).
+const MaxLen = 256 << 20
 
 // magic identifies a stochastic-NoC checkpoint container.
 var magic = [4]byte{'S', 'N', 'O', 'C'}
