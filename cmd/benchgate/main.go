@@ -1,17 +1,24 @@
 // Command benchgate compares a fresh benchjson document against a
 // committed baseline and fails when a gated metric regresses beyond a
-// tolerance. It is the teeth behind the CI memory-footprint gate: the
-// bench job converts a -benchmem run to JSON with benchjson, then
-// benchgate holds its bytes_per_op against the checked-in BENCH_6.json.
+// tolerance. It is the teeth behind the CI regression gates: the bench
+// jobs convert a -benchmem run to JSON with benchjson, then benchgate
+// holds its bytes_per_op (memory gate, BENCH_6.json) or ns_per_op (CPU
+// gate, BENCH_7.json) against the checked-in baseline.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_6.json [-bench REGEXP] [-metric bytes_per_op] [-tol 0.10] < current.json
+//	benchgate -baseline BENCH_7.json [-bench REGEXP] [-metric ns_per_op] [-tol 0.10] [-min-iters N] < current.json
 //
-// Only upward movement fails (more bytes is a regression; fewer is an
-// improvement and prints as such). Benchmarks present in just one of the
-// two documents are reported but do not gate — a renamed or new benchmark
-// should not break CI until its baseline is committed.
+// Only upward movement fails (more bytes or nanoseconds is a regression;
+// fewer is an improvement and prints as such). Benchmarks present in just
+// one of the two documents are reported but do not gate — a renamed or
+// new benchmark should not break CI until its baseline is committed.
+//
+// -min-iters is the timing-gate sanity check: a benchmark measured with
+// fewer iterations than the floor (in either document) is skipped rather
+// than gated, because single-digit iteration counts of a timing metric
+// measure scheduler noise. If the floor skips every shared benchmark the
+// run exits 2 — a gate that measured nothing must not read as green.
 //
 // Exit status: 0 when every compared benchmark is within tolerance,
 // 1 on regression, 2 on usage or input errors.
@@ -60,11 +67,15 @@ func (r *Result) metric(name string) (float64, bool) {
 }
 
 // Verdict is the outcome of comparing one benchmark between documents.
+// LowIters marks a benchmark whose measured run fell below the -min-iters
+// floor: its timing is too noisy to gate, so Regresses is never set and
+// the caller reports it as skipped instead of passed.
 type Verdict struct {
 	Name      string
 	Base      float64
 	Current   float64
 	Regresses bool
+	LowIters  bool
 }
 
 // Compare gates every benchmark matching pick that appears in both
@@ -72,7 +83,14 @@ type Verdict struct {
 // 0.10) over the baseline before the verdict flags a regression. A
 // baseline of zero gates absolutely — any nonzero current value beyond
 // zero tolerance regresses, since a relative bound on zero is vacuous.
-func Compare(baseline, current Doc, pick *regexp.Regexp, metricName string, tol float64) []Verdict {
+//
+// minIters is the sanity floor for timing metrics: a benchmark whose
+// current run (or whose baseline) executed fewer iterations is reported
+// with LowIters set and never flagged — a handful of iterations of a
+// millisecond benchmark measures scheduler luck, not the code. Zero
+// disables the floor (right for -benchmem byte counts, which are exact
+// at any iteration count).
+func Compare(baseline, current Doc, pick *regexp.Regexp, metricName string, tol float64, minIters int64) []Verdict {
 	base := map[string]Result{}
 	for _, r := range baseline.Results {
 		base[r.Name] = r
@@ -89,6 +107,10 @@ func Compare(baseline, current Doc, pick *regexp.Regexp, metricName string, tol 
 		bv, bok := b.metric(metricName)
 		cv, cok := cur.metric(metricName)
 		if !bok || !cok {
+			continue
+		}
+		if minIters > 0 && (cur.Iterations < minIters || b.Iterations < minIters) {
+			out = append(out, Verdict{Name: cur.Name, Base: bv, Current: cv, LowIters: true})
 			continue
 		}
 		limit := bv * (1 + tol)
@@ -116,6 +138,7 @@ func main() {
 	benchPat := flag.String("bench", "", "regexp of benchmark names to gate (default: all shared)")
 	metricName := flag.String("metric", "bytes_per_op", "metric column to gate")
 	tol := flag.Float64("tol", 0.10, "allowed fractional growth over baseline")
+	minIters := flag.Int64("min-iters", 0, "skip benchmarks measured with fewer iterations (0 = gate all)")
 	flag.Parse()
 
 	if *baselinePath == "" {
@@ -148,20 +171,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	verdicts := Compare(baseline, current, pick, *metricName, *tol)
+	verdicts := Compare(baseline, current, pick, *metricName, *tol, *minIters)
 	if len(verdicts) == 0 {
 		log.Printf("no shared benchmarks to gate (metric %s)", *metricName)
 		os.Exit(2)
 	}
-	failed := false
+	failed, gated := false, 0
 	for _, v := range verdicts {
 		status := "ok"
-		if v.Regresses {
+		switch {
+		case v.LowIters:
+			status = fmt.Sprintf("skipped (under %d iterations — raise -benchtime)", *minIters)
+		case v.Regresses:
 			status = "REGRESSION"
 			failed = true
+			gated++
+		default:
+			gated++
 		}
 		fmt.Printf("%-40s %s: %.1f -> %.1f (limit %.1f) %s\n",
 			v.Name, *metricName, v.Base, v.Current, v.Base*(1+*tol), status)
+	}
+	if gated == 0 {
+		// Every shared benchmark was under-iterated: the gate measured
+		// nothing, which is a CI configuration error, not a pass.
+		log.Printf("every benchmark ran under %d iterations; nothing gated", *minIters)
+		os.Exit(2)
 	}
 	if failed {
 		os.Exit(1)

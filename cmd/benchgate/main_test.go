@@ -17,7 +17,7 @@ func TestCompareGatesGrowth(t *testing.T) {
 		Result{Name: "BenchmarkStepGrid256x256", BytesPerOp: 1099}, // within 10%
 		Result{Name: "BenchmarkStepGrid8x8", BytesPerOp: 12},       // 20% over
 	)
-	vs := Compare(baseline, current, nil, "bytes_per_op", 0.10)
+	vs := Compare(baseline, current, nil, "bytes_per_op", 0.10, 0)
 	if len(vs) != 2 {
 		t.Fatalf("got %d verdicts, want 2", len(vs))
 	}
@@ -37,7 +37,7 @@ func TestCompareImprovementPasses(t *testing.T) {
 	vs := Compare(
 		doc(Result{Name: "B", BytesPerOp: 1000}),
 		doc(Result{Name: "B", BytesPerOp: 1}),
-		nil, "bytes_per_op", 0.10)
+		nil, "bytes_per_op", 0.10, 0)
 	if len(vs) != 1 || vs[0].Regresses {
 		t.Fatalf("improvement flagged: %+v", vs)
 	}
@@ -47,7 +47,7 @@ func TestCompareZeroBaselineGatesAbsolutely(t *testing.T) {
 	vs := Compare(
 		doc(Result{Name: "B", BytesPerOp: 0}),
 		doc(Result{Name: "B", BytesPerOp: 5}),
-		nil, "bytes_per_op", 0.10)
+		nil, "bytes_per_op", 0.10, 0)
 	if len(vs) != 1 || !vs[0].Regresses {
 		t.Fatalf("growth from a zero baseline not flagged: %+v", vs)
 	}
@@ -62,11 +62,11 @@ func TestCompareSkipsUnsharedAndFiltered(t *testing.T) {
 		Result{Name: "Shared", BytesPerOp: 10},
 		Result{Name: "CurrentOnly", BytesPerOp: 99999},
 	)
-	vs := Compare(baseline, current, nil, "bytes_per_op", 0.10)
+	vs := Compare(baseline, current, nil, "bytes_per_op", 0.10, 0)
 	if len(vs) != 1 || vs[0].Name != "Shared" {
 		t.Fatalf("unshared benchmarks gated: %+v", vs)
 	}
-	vs = Compare(baseline, current, regexp.MustCompile("^NoMatch"), "bytes_per_op", 0.10)
+	vs = Compare(baseline, current, regexp.MustCompile("^NoMatch"), "bytes_per_op", 0.10, 0)
 	if len(vs) != 0 {
 		t.Fatalf("filtered benchmarks gated: %+v", vs)
 	}
@@ -75,13 +75,62 @@ func TestCompareSkipsUnsharedAndFiltered(t *testing.T) {
 func TestCompareCustomMetric(t *testing.T) {
 	baseline := doc(Result{Name: "B", Metrics: map[string]float64{"rounds/sec": 100}})
 	current := doc(Result{Name: "B", Metrics: map[string]float64{"rounds/sec": 150}})
-	vs := Compare(baseline, current, nil, "rounds/sec", 0.10)
+	vs := Compare(baseline, current, nil, "rounds/sec", 0.10, 0)
 	if len(vs) != 1 || !vs[0].Regresses {
 		t.Fatalf("custom metric not gated: %+v", vs)
 	}
 	// Missing metric on either side: skipped, not a false failure.
-	if vs := Compare(baseline, current, nil, "missing_metric", 0.10); len(vs) != 0 {
+	if vs := Compare(baseline, current, nil, "missing_metric", 0.10, 0); len(vs) != 0 {
 		t.Fatalf("missing metric produced verdicts: %+v", vs)
+	}
+}
+
+// TestCompareMinIters pins the timing-gate sanity floor: a benchmark
+// measured with too few iterations — in either document — is reported
+// LowIters and never flagged, however bad its numbers look; at or above
+// the floor it gates normally, and a zero floor gates everything.
+func TestCompareMinIters(t *testing.T) {
+	baseline := doc(
+		Result{Name: "Noisy", Iterations: 3, NsPerOp: 100},
+		Result{Name: "Solid", Iterations: 500, NsPerOp: 100},
+		Result{Name: "BaseStarved", Iterations: 2, NsPerOp: 100},
+	)
+	current := doc(
+		Result{Name: "Noisy", Iterations: 4, NsPerOp: 900},       // 9x over, but under floor
+		Result{Name: "Solid", Iterations: 500, NsPerOp: 130},     // over tol, well measured
+		Result{Name: "BaseStarved", Iterations: 500, NsPerOp: 1}, // baseline under floor
+	)
+	vs := Compare(baseline, current, nil, "ns_per_op", 0.10, 10)
+	if len(vs) != 3 {
+		t.Fatalf("got %d verdicts, want 3: %+v", len(vs), vs)
+	}
+	byName := map[string]Verdict{}
+	for _, v := range vs {
+		byName[v.Name] = v
+	}
+	if v := byName["Noisy"]; !v.LowIters || v.Regresses {
+		t.Errorf("under-iterated benchmark gated: %+v", v)
+	}
+	if v := byName["BaseStarved"]; !v.LowIters || v.Regresses {
+		t.Errorf("under-iterated baseline gated: %+v", v)
+	}
+	if v := byName["Solid"]; v.LowIters || !v.Regresses {
+		t.Errorf("well-measured regression missed: %+v", v)
+	}
+	// Exactly at the floor gates; zero floor gates even one iteration.
+	vs = Compare(
+		doc(Result{Name: "B", Iterations: 10, NsPerOp: 100}),
+		doc(Result{Name: "B", Iterations: 10, NsPerOp: 200}),
+		nil, "ns_per_op", 0.10, 10)
+	if len(vs) != 1 || vs[0].LowIters || !vs[0].Regresses {
+		t.Fatalf("at-floor benchmark not gated: %+v", vs)
+	}
+	vs = Compare(
+		doc(Result{Name: "B", Iterations: 1, NsPerOp: 100}),
+		doc(Result{Name: "B", Iterations: 1, NsPerOp: 200}),
+		nil, "ns_per_op", 0.10, 0)
+	if len(vs) != 1 || vs[0].LowIters || !vs[0].Regresses {
+		t.Fatalf("zero floor skipped a benchmark: %+v", vs)
 	}
 }
 

@@ -33,6 +33,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/energy"
 	"repro/internal/fault"
@@ -116,6 +118,23 @@ type Config struct {
 	// forgotten (AwareAt reports false; Aware still reports the final
 	// count, from the retired ledger).
 	Recycle bool
+	// BatchDraws selects the batched forwarding-draw kernel (off by
+	// default, like Recycle): on the default-router, nil-PortWeight path,
+	// the per-(message, port) Bernoulli draws of phase 3 are replaced by
+	// one 64-bit port mask per buffered message (degree ≤ 4) or, when
+	// p·trials is small, geometric skip-sampling straight to the next
+	// forwarded copy (batch.go). The kernel changes the RNG *realization*
+	// — a run with the knob on consumes different random numbers than the
+	// default path, so event logs differ draw for draw — but not the
+	// distribution: every (message, port) pair still forwards
+	// independently with probability P (exactly for the skip sampler, to
+	// within 2^-17 for the mask lanes; validated against the closed-form
+	// flooding recursion in internal/gossip). Tiles with a router, and
+	// every tile when PortWeight is set, use the default per-port draws
+	// regardless. Sharding invariance and checkpoint/resume hold under
+	// the kernel; the snapshot payload records the choice and Restore
+	// refuses a mismatch.
+	BatchDraws bool
 	// DisableDedup turns off duplicate suppression in the send buffer,
 	// for the ablation study (the thesis keeps exactly one copy).
 	DisableDedup bool
@@ -281,13 +300,19 @@ type Counters struct {
 // in-flight copies sit in a per-tile arrival ring keyed by arrival round.
 type tile struct {
 	id      packet.TileID
+	alive   bool            // inj.TileAlive(id), cached at New (crash state is immutable)
 	sendBuf []packet.Packet // live copies, owned by value
 	ring    arrivalRing     // in-flight copies keyed by arrival round
 	proc    Process
-	rnd     *rng.Stream // forwarding decisions + app randomness
+	rnd     rng.Stream // forwarding decisions + app randomness (by value: hot state stays on the tile's cache lines)
 	mailbox []*packet.Packet
 	nbrs    []packet.TileID // topo.Neighbors(id), cached at New
-	ctx     Ctx             // reusable context handed to the Process
+	// nbrAlive caches inj.LinkAlive(id, nbrs[i]) per port: the per-copy
+	// link-liveness test in transmit is a slice load instead of a map
+	// lookup. Valid for the network's lifetime — crash faults are sampled
+	// once, before round 0.
+	nbrAlive []bool
+	ctx      Ctx // reusable context handed to the Process
 
 	fwdLimit  int // max messages forwarded per round; 0 = unlimited
 	fwdCursor int // round-robin position for rate-limited forwarding
@@ -304,9 +329,34 @@ type Network struct {
 	nextID packet.MsgID // last issued packed ID (slot | generation<<32)
 	cnt    Counters
 	tbl    msgTable // per-message state, slot-indexed (table.go)
+	// pThresh is cfg.P in 53-bit fixed point, precomputed once so the
+	// innermost forwarding draw is a single integer compare —
+	// decision-identical to the former Float64() < P (see rng.MakeThreshold).
+	pThresh rng.Threshold
+	// upsetT/overflowT mirror the injector's fixed-point thresholds: the
+	// per-transmission and per-reception draws are then direct BoolT
+	// calls the compiler inlines (the injector methods are equivalent but
+	// sit behind a call).
+	upsetT    rng.Threshold
+	overflowT rng.Threshold
 	// recycle caches cfg.Recycle for the hot paths (inflight/copy
 	// accounting and the per-Step retirement barrier run only under it).
 	recycle bool
+	// batch caches cfg.BatchDraws; batchT16 and invLn1mP are the mask
+	// threshold and skip-sampler constant precomputed for it (batch.go).
+	batch    bool
+	batchT16 uint32
+	invLn1mP float64
+
+	// bufOcc/rcvOcc are the per-tile occupancy bitmaps the phase loops
+	// iterate instead of sweeping every tile (occupancy.go). Exact at
+	// round barriers; bufOcc bit set ⇔ send buffer non-empty, rcvOcc bit
+	// set ⇔ arrival ring non-empty.
+	bufOcc []uint64
+	rcvOcc []uint64
+	// procTiles lists the tiles with an attached Process, rebuilt from
+	// procsDirty, so phase 1 visits only them.
+	procTiles []*tile
 
 	// seqLane is the direct execution lane covering every tile: the
 	// whole sequential engine runs on it, and in sharded mode so do
@@ -318,6 +368,11 @@ type Network struct {
 	// aware-count updates switch to atomics under it. It is only
 	// written by the stepping goroutine between barriers.
 	par bool
+	// alignedLanes is true when every lane boundary falls on a 64-tile
+	// word boundary (initLanes): no two lanes then share any word of the
+	// tile bitmaps (message rows, occupancy), and the bit flips skip
+	// their CAS loops even while shard goroutines are live.
+	alignedLanes bool
 	// hasReceiver caches whether any attached process implements
 	// Receiver (recomputed when procsDirty; consulted by stepShards).
 	hasReceiver bool
@@ -340,7 +395,15 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, topo: cfg.Topo, inj: inj, recycle: cfg.Recycle, procsDirty: true}
+	n := &Network{
+		cfg: cfg, topo: cfg.Topo, inj: inj, recycle: cfg.Recycle,
+		procsDirty: true, pThresh: rng.MakeThreshold(cfg.P),
+		upsetT: inj.UpsetThreshold(), overflowT: inj.OverflowThreshold(),
+		batch: cfg.BatchDraws, batchT16: maskThreshold16(cfg.P),
+		invLn1mP: skipConstant(cfg.P),
+	}
+	n.bufOcc = make([]uint64, occWords(cfg.Topo.Tiles()))
+	n.rcvOcc = make([]uint64, occWords(cfg.Topo.Tiles()))
 	n.tbl.initTable(cfg.Topo.Tiles())
 	if n.recycle {
 		n.tbl.copies = make([]int32, 1, 8)
@@ -352,12 +415,22 @@ func New(cfg Config) (*Network, error) {
 	if cfg.Fault.SigmaSync > 0 {
 		ringLen = ringInitLen
 	}
+	// One contiguous backing array for all tiles: the per-round phases
+	// sweep every tile, and sequential layout is what lets the hardware
+	// prefetcher hide that sweep on mega-meshes (a per-tile heap object
+	// costs a cache miss per tile per phase). Tiles are only ever accessed
+	// through the stable n.tiles pointers, never copied.
+	backing := make([]tile, cfg.Topo.Tiles())
 	n.tiles = make([]*tile, cfg.Topo.Tiles())
 	for i := range n.tiles {
-		t := &tile{
-			id:   packet.TileID(i),
-			rnd:  master.Split(uint64(i) + 1),
-			nbrs: cfg.Topo.Neighbors(packet.TileID(i)),
+		t := &backing[i]
+		t.id = packet.TileID(i)
+		t.alive = inj.TileAlive(t.id)
+		t.rnd = *master.Split(uint64(i) + 1)
+		t.nbrs = cfg.Topo.Neighbors(packet.TileID(i))
+		t.nbrAlive = make([]bool, len(t.nbrs))
+		for j, nb := range t.nbrs {
+			t.nbrAlive[j] = inj.LinkAlive(t.id, nb)
 		}
 		t.ring.initLen = ringLen
 		t.ctx = Ctx{net: n, tile: t}
@@ -380,6 +453,31 @@ func New(cfg Config) (*Network, error) {
 func (n *Network) Attach(t packet.TileID, proc Process) {
 	n.tiles[t].proc = proc
 	n.procsDirty = true
+}
+
+// refreshProcs rebuilds the process-bearing tile list (and the Receiver
+// flag stepShards consults) when Attach has run since the last rebuild.
+// Phase 1 and Completed iterate procTiles instead of the whole mesh — on
+// a mega-mesh with a handful of processes that is the difference between
+// a few pointer loads and a quarter-million per round. Attachments made
+// mid-round (from Init or Round) take effect at the next rebuild point,
+// the start of the following Step.
+func (n *Network) refreshProcs() {
+	if !n.procsDirty {
+		return
+	}
+	n.procsDirty = false
+	n.procTiles = n.procTiles[:0]
+	n.hasReceiver = false
+	for _, t := range n.tiles {
+		if t.proc == nil {
+			continue
+		}
+		n.procTiles = append(n.procTiles, t)
+		if _, ok := t.proc.(Receiver); ok {
+			n.hasReceiver = true
+		}
+	}
 }
 
 // SetForwardLimit caps how many distinct messages tile t may forward per
@@ -428,11 +526,16 @@ func (n *Network) AwareAt(id packet.MsgID, t packet.TileID) bool {
 // Quiescent reports whether no tile holds a live message and nothing is
 // in flight — the network has drained. Energy comparisons step until
 // quiescence so that every transmission a workload causes is billed.
-// Each tile's arrival ring keeps an in-flight counter, so the check is
-// O(tiles).
+// The occupancy bitmaps are exact at round barriers (occupancy.go), so
+// the check is O(tiles/64) word compares.
 func (n *Network) Quiescent() bool {
-	for _, t := range n.tiles {
-		if len(t.sendBuf) > 0 || t.ring.count > 0 {
+	for _, w := range n.bufOcc {
+		if w != 0 {
+			return false
+		}
+	}
+	for _, w := range n.rcvOcc {
+		if w != 0 {
 			return false
 		}
 	}
@@ -526,6 +629,9 @@ func (n *Network) enqueue(ln *lane, t *tile, p *packet.Packet) {
 		ln.unshare(p)
 	}
 	t.sendBuf = append(t.sendBuf, *p)
+	if len(t.sendBuf) == 1 {
+		n.occSet(n.bufOcc, uint32(t.id)) // buffer went non-empty
+	}
 	if n.recycle {
 		n.addCopies(msgSlot(p.ID), 1)
 	}
@@ -603,11 +709,12 @@ func (n *Network) Step() {
 	if !n.started {
 		n.started = true
 		for _, t := range n.tiles {
-			if t.proc != nil && n.inj.TileAlive(t.id) {
+			if t.proc != nil && t.alive {
 				t.proc.Init(&t.ctx)
 			}
 		}
 	}
+	n.refreshProcs()
 	n.round++
 
 	n.phaseCompute()
@@ -635,9 +742,10 @@ func (n *Network) Step() {
 
 // phaseCompute is phase 1 — computation: run the IP cores; they read the
 // mailbox filled during the previous round and may create new messages.
+// Only the process-bearing tiles (refreshProcs) are visited.
 func (n *Network) phaseCompute() {
-	for _, t := range n.tiles {
-		if t.proc == nil || !n.inj.TileAlive(t.id) {
+	for _, t := range n.procTiles {
+		if !t.alive {
 			continue
 		}
 		t.ctx.delivered = t.mailbox
@@ -651,32 +759,77 @@ func (n *Network) phaseCompute() {
 }
 
 // phaseAge is phase 2 — aging: decrement TTLs, garbage-collect expired
-// messages, for the lane's tile range.
+// messages, for the occupied tiles of the lane's range. The word loops of
+// phases 2-4 are hand-inlined copies of forOccupied (occupancy.go): the
+// three sweeps are the engine's innermost frames and an indirect visit
+// call per occupied tile is measurable on dense small meshes.
 func (n *Network) phaseAge(ln *lane) {
-	for ti := ln.lo; ti < ln.hi; ti++ {
-		t := n.tiles[ti]
-		if !n.inj.TileAlive(t.id) {
-			continue
+	unaligned := n.par && !n.alignedLanes
+	// markDead is the only writer of the tombstone bits and it is gated on
+	// StopSpreadOnDelivery, so with the flag off no packet can be dead and
+	// the per-packet slot lookup below is pure waste — on a dense mesh the
+	// aging sweep touches every live copy every round, and skipping the
+	// lookup is worth ~an eighth of the whole phase.
+	checkDead := n.cfg.StopSpreadOnDelivery
+	w0, w1 := ln.lo>>6, (ln.hi+63)>>6
+	for wi := w0; wi < w1; wi++ {
+		var w uint64
+		if unaligned {
+			// Another lane may CAS its own bits of a shared boundary word
+			// mid-phase; even a discarded plain read of it is a race.
+			w = atomic.LoadUint64(&n.bufOcc[wi])
+		} else {
+			w = n.bufOcc[wi]
 		}
-		kept := t.sendBuf[:0]
-		for i := range t.sendBuf {
-			p := &t.sendBuf[i]
-			p.TTL--
-			if p.TTL == 0 || n.isDead(p.ID) {
-				if n.recycle {
-					n.addCopies(msgSlot(p.ID), -1)
-				}
-				n.clearPresent(t, p.ID)
-				ln.emit(EvExpire, t.id, t.id, p.ID)
+		if wi == w0 {
+			w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
+		}
+		for ; w != 0; w &= w - 1 {
+			ti := wi<<6 + bits.TrailingZeros64(w)
+			if ti >= ln.hi {
+				break
+			}
+			t := n.tiles[ti]
+			if !t.alive {
 				continue
 			}
-			kept = append(kept, *p)
+			// Age in place first: in the steady state nothing expires, and
+			// the compaction pass below (which copies every surviving
+			// packet) is pure overhead then. isDead cannot change during
+			// phase 2, so both passes agree on who expires.
+			dropped := false
+			for i := range t.sendBuf {
+				p := &t.sendBuf[i]
+				p.TTL--
+				if p.TTL == 0 || (checkDead && n.isDead(p.ID)) {
+					dropped = true
+				}
+			}
+			if !dropped {
+				continue
+			}
+			kept := t.sendBuf[:0]
+			for i := range t.sendBuf {
+				p := &t.sendBuf[i]
+				if p.TTL == 0 || (checkDead && n.isDead(p.ID)) {
+					if n.recycle {
+						n.addCopies(msgSlot(p.ID), -1)
+					}
+					n.clearPresent(t, p.ID)
+					ln.emit(EvExpire, t.id, t.id, p.ID)
+					continue
+				}
+				kept = append(kept, *p)
+			}
+			// Zero the compaction tail so expired payloads can be collected.
+			for i := len(kept); i < len(t.sendBuf); i++ {
+				t.sendBuf[i] = packet.Packet{}
+			}
+			t.sendBuf = kept
+			if len(kept) == 0 {
+				n.occClear(n.bufOcc, uint32(ti)) // buffer drained
+			}
 		}
-		// Zero the compaction tail so expired payloads can be collected.
-		for i := len(kept); i < len(t.sendBuf); i++ {
-			t.sendBuf[i] = packet.Packet{}
-		}
-		t.sendBuf = kept
 	}
 }
 
@@ -684,54 +837,94 @@ func (n *Network) phaseAge(ln *lane) {
 // on each port independently with probability P; skew-free copies arrive
 // within this round, skewed ones slip to later rounds.
 func (n *Network) phaseForward(ln *lane) {
-	for ti := ln.lo; ti < ln.hi; ti++ {
-		t := n.tiles[ti]
-		if !n.inj.TileAlive(t.id) {
-			continue
+	// The lane's outbox was fully merged at the end of the previous round;
+	// clearing it here (instead of behind a dedicated barrier) is what
+	// keeps the sharded round at three barriers.
+	clearOutbox(ln)
+	unaligned := n.par && !n.alignedLanes
+	batch := n.batch && n.cfg.PortWeight == nil
+	w0, w1 := ln.lo>>6, (ln.hi+63)>>6
+	for wi := w0; wi < w1; wi++ {
+		var w uint64
+		if unaligned {
+			// Another lane may CAS its own bits of a shared boundary word
+			// mid-phase; even a discarded plain read of it is a race.
+			w = atomic.LoadUint64(&n.bufOcc[wi])
+		} else {
+			w = n.bufOcc[wi]
 		}
-		buffered := len(t.sendBuf)
-		if buffered == 0 {
-			continue
+		if wi == w0 {
+			w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
 		}
-		count := buffered
-		if t.fwdLimit > 0 && count > t.fwdLimit {
-			count = t.fwdLimit // serializing bridge: TDM slots this round
-		}
-		// Round-robin over the buffer so a long-lived message cannot hog a
-		// rate-limited bridge. The cursor is normalized once (the buffer
-		// may have shrunk since last round) and then advanced with
-		// wrap-on-overflow subtractions: this inner loop runs per buffered
-		// message per round, and a `%` per iteration is measurably slower
-		// than a compare-and-subtract.
-		cur := t.fwdCursor % buffered
-		for i := 0; i < count; i++ {
-			idx := cur + i
-			if idx >= buffered {
-				idx -= buffered // i < count <= buffered: one wrap at most
+		for ; w != 0; w &= w - 1 {
+			ti := wi<<6 + bits.TrailingZeros64(w)
+			if ti >= ln.hi {
+				break
 			}
-			p := &t.sendBuf[idx]
-			if t.router != nil {
-				for _, nb := range t.router(p) {
-					n.transmit(ln, t, nb, p)
-				}
+			t := n.tiles[ti]
+			if !t.alive {
 				continue
 			}
-			for _, nb := range t.nbrs {
-				prob := n.cfg.P
-				if n.cfg.PortWeight != nil {
-					prob *= n.cfg.PortWeight(t.id, nb, p)
+			buffered := len(t.sendBuf)
+			if buffered == 0 {
+				continue
+			}
+			count := buffered
+			if t.fwdLimit > 0 && count > t.fwdLimit {
+				count = t.fwdLimit // serializing bridge: TDM slots this round
+			}
+			// Round-robin over the buffer so a long-lived message cannot hog a
+			// rate-limited bridge. The cursor is normalized once (the buffer
+			// may have shrunk since last round) and then advanced with
+			// wrap-on-overflow subtractions: this inner loop runs per buffered
+			// message per round, and a `%` per iteration is measurably slower
+			// than a compare-and-subtract.
+			cur := t.fwdCursor % buffered
+			if batch && t.router == nil {
+				n.forwardBatch(ln, t, cur, count, buffered)
+				cur += count
+				if cur >= buffered {
+					cur -= buffered
 				}
-				if !t.rnd.Bool(prob) {
+				t.fwdCursor = cur
+				continue
+			}
+			for i := 0; i < count; i++ {
+				idx := cur + i
+				if idx >= buffered {
+					idx -= buffered // i < count <= buffered: one wrap at most
+				}
+				p := &t.sendBuf[idx]
+				if t.router != nil {
+					for _, nb := range t.router(p) {
+						n.transmit(ln, t, nb, p, n.inj.LinkAlive(t.id, nb))
+					}
 					continue
 				}
-				n.transmit(ln, t, nb, p)
+				if n.cfg.PortWeight != nil {
+					for pi, nb := range t.nbrs {
+						prob := n.cfg.P * n.cfg.PortWeight(t.id, nb, p)
+						// MakeThreshold+BoolT ≡ Bool(prob), draw for draw.
+						if !t.rnd.BoolT(rng.MakeThreshold(prob)) {
+							continue
+						}
+						n.transmit(ln, t, nb, p, t.nbrAlive[pi])
+					}
+					continue
+				}
+				for pi, nb := range t.nbrs {
+					if !t.rnd.BoolT(n.pThresh) {
+						continue
+					}
+					n.transmit(ln, t, nb, p, t.nbrAlive[pi])
+				}
 			}
+			cur += count
+			if cur >= buffered {
+				cur -= buffered // count <= buffered: one wrap at most
+			}
+			t.fwdCursor = cur
 		}
-		cur += count
-		if cur >= buffered {
-			cur -= buffered // count <= buffered: one wrap at most
-		}
-		t.fwdCursor = cur
 	}
 }
 
@@ -739,57 +932,79 @@ func (n *Network) phaseForward(ln *lane) {
 // this round, CRC-check them, merge survivors into the send buffer,
 // deliver.
 func (n *Network) phaseReceive(ln *lane) {
-	for ti := ln.lo; ti < ln.hi; ti++ {
-		t := n.tiles[ti]
-		if !n.inj.TileAlive(t.id) {
-			continue
+	unaligned := n.par && !n.alignedLanes
+	w0, w1 := ln.lo>>6, (ln.hi+63)>>6
+	for wi := w0; wi < w1; wi++ {
+		var w uint64
+		if unaligned {
+			// Another lane may CAS its own bits of a shared boundary word
+			// mid-phase; even a discarded plain read of it is a race.
+			w = atomic.LoadUint64(&n.rcvOcc[wi])
+		} else {
+			w = n.rcvOcc[wi]
 		}
-		bucket := t.ring.take(n.round)
-		for i := range bucket {
-			a := &bucket[i]
-			if n.recycle {
-				// The arrival is consumed this round whatever its fate;
-				// a.pkt.ID still holds the originating ID even on the
-				// literal path (stashed by transmit, before any decode).
-				n.addInflight(msgSlot(a.pkt.ID), -1)
+		if wi == w0 {
+			w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
+		}
+		for ; w != 0; w &= w - 1 {
+			ti := wi<<6 + bits.TrailingZeros64(w)
+			if ti >= ln.hi {
+				break
 			}
-			var p *packet.Packet
-			switch {
-			case a.frame != nil:
-				if p = n.decodeArrival(ln, t, a); p == nil {
-					continue // frame already recycled
-				}
-				ln.borrowed = p // payload still aliases the pooled frame
-			case a.upset:
-				ln.cnt.UpsetsDetected++
-				ln.emit(EvUpset, t.id, t.id, a.pkt.ID)
+			t := n.tiles[ti]
+			if !t.alive {
 				continue
-			default:
-				p = &a.pkt
 			}
-			if !n.isDead(p.ID) {
-				// Analytic overflow: with probability POverflow the
-				// incoming packet finds no buffer space and is lost — the
-				// "% dropped packets" swept by Figs. 4-10/4-11.
-				// (Oldest-first eviction applies on the hard-capacity
-				// path in enqueue, per §4.2.)
-				if n.inj.OverflowHappens(t.rnd) {
-					ln.cnt.OverflowDrops++
-					ln.emit(EvOverflow, t.id, t.id, p.ID)
-				} else {
-					n.deliver(ln, t, p)
-					n.enqueue(ln, t, p)
+			bucket := t.ring.take(n.round)
+			for i := range bucket {
+				a := &bucket[i]
+				if n.recycle {
+					// The arrival is consumed this round whatever its fate;
+					// a.pkt.ID still holds the originating ID even on the
+					// literal path (stashed by transmit, before any decode).
+					n.addInflight(msgSlot(a.pkt.ID), -1)
+				}
+				var p *packet.Packet
+				switch {
+				case a.frame != nil:
+					if p = n.decodeArrival(ln, t, a); p == nil {
+						continue // frame already recycled
+					}
+					ln.borrowed = p // payload still aliases the pooled frame
+				case a.upset:
+					ln.cnt.UpsetsDetected++
+					ln.emit(EvUpset, t.id, t.id, a.pkt.ID)
+					continue
+				default:
+					p = &a.pkt
+				}
+				if !n.isDead(p.ID) {
+					// Analytic overflow: with probability POverflow the
+					// incoming packet finds no buffer space and is lost — the
+					// "% dropped packets" swept by Figs. 4-10/4-11.
+					// (Oldest-first eviction applies on the hard-capacity
+					// path in enqueue, per §4.2.)
+					if t.rnd.BoolT(n.overflowT) {
+						ln.cnt.OverflowDrops++
+						ln.emit(EvOverflow, t.id, t.id, p.ID)
+					} else {
+						n.deliver(ln, t, p)
+						n.enqueue(ln, t, p)
+					}
+				}
+				if a.frame != nil {
+					// Consumed (any stored payload was cloned by unshare):
+					// the frame can go back to the pool.
+					ln.pool.put(a.frame)
+					a.frame = nil
+					ln.borrowed = nil
 				}
 			}
-			if a.frame != nil {
-				// Consumed (any stored payload was cloned by unshare):
-				// the frame can go back to the pool.
-				ln.pool.put(a.frame)
-				a.frame = nil
-				ln.borrowed = nil
+			t.ring.release(n.round)
+			if t.ring.count == 0 {
+				n.occClear(n.rcvOcc, uint32(ti)) // nothing left in flight here
 			}
 		}
-		t.ring.release(n.round)
 	}
 }
 
@@ -830,14 +1045,16 @@ func (n *Network) decodeArrival(ln *lane, t *tile, a *arrival) *packet.Packet {
 // path) or as a pooled encoded frame (literal path); either way the
 // steady state allocates nothing per transmission. The arrival reaches
 // the destination ring through ln.send: directly on a direct lane, via
-// the post-phase outbox merge otherwise.
-func (n *Network) transmit(ln *lane, t *tile, nb packet.TileID, p *packet.Packet) {
+// the post-phase outbox merge otherwise. linkUp is the cached
+// inj.LinkAlive(t.id, nb) verdict — precomputed per port at New on the
+// gossip paths, looked up per call on the (cold) router path.
+func (n *Network) transmit(ln *lane, t *tile, nb packet.TileID, p *packet.Packet, linkUp bool) {
 	ln.cnt.Energy.AddTransmission(p.SizeBits())
 	ln.emit(EvTransmit, t.id, nb, p.ID)
-	if !n.inj.LinkAlive(t.id, nb) {
+	if !linkUp {
 		return // crashed link or dead far-end tile: copy vanishes
 	}
-	slip := n.inj.SyncSlip(t.rnd)
+	slip := n.inj.SyncSlip(&t.rnd)
 	if slip > 0 {
 		ln.cnt.SlippedDeliveries++
 	}
@@ -850,8 +1067,8 @@ func (n *Network) transmit(ln *lane, t *tile, nb packet.TileID, p *packet.Packet
 			// encode failure here is a programming error.
 			panic(fmt.Sprintf("core: encode failed in flight: %v", err))
 		}
-		if n.inj.UpsetHappens(t.rnd) {
-			n.inj.CorruptFrame(frame, t.rnd)
+		if t.rnd.BoolT(n.upsetT) {
+			n.inj.CorruptFrame(frame, &t.rnd)
 			ln.cnt.UpsetsInjected++
 		}
 		// The arrival's by-value packet is unused on the literal path, so
@@ -860,7 +1077,7 @@ func (n *Network) transmit(ln *lane, t *tile, nb packet.TileID, p *packet.Packet
 		ln.send(nb, when, arrival{frame: frame, pkt: packet.Packet{ID: p.ID}})
 	} else {
 		a := arrival{pkt: *p}
-		if n.inj.UpsetHappens(t.rnd) {
+		if t.rnd.BoolT(n.upsetT) {
 			a.upset = true
 			ln.cnt.UpsetsInjected++
 		}
@@ -871,9 +1088,10 @@ func (n *Network) transmit(ln *lane, t *tile, nb packet.TileID, p *packet.Packet
 // Completed reports whether every live Completer process is done. With no
 // Completer attached it returns false (run to MaxRounds).
 func (n *Network) Completed() bool {
+	n.refreshProcs()
 	any := false
-	for _, t := range n.tiles {
-		if t.proc == nil || !n.inj.TileAlive(t.id) {
+	for _, t := range n.procTiles {
+		if !t.alive {
 			continue
 		}
 		c, ok := t.proc.(Completer)
@@ -989,4 +1207,4 @@ func (c *Ctx) Broadcast(kind packet.Kind, payload []byte) (packet.MsgID, error) 
 
 // Rand returns the tile-local random stream for application use (e.g.
 // randomized workloads); consuming it does not perturb other tiles.
-func (c *Ctx) Rand() *rng.Stream { return c.tile.rnd }
+func (c *Ctx) Rand() *rng.Stream { return &c.tile.rnd }

@@ -134,6 +134,11 @@ func genCase(idx int) diffConfig {
 		Fault:                genFault(g, tiles),
 		DisableDedup:         g.Bool(0.15),
 		StopSpreadOnDelivery: g.Bool(0.15),
+		// A third of the population runs the batch forwarding kernel, so
+		// its samplers (mask lanes, geometric skip, high-degree fallback
+		// — which one runs depends on the fabric's degree and P) face
+		// the same seq == sharded == resumed oracle as the default path.
+		BatchDraws: g.Bool(0.35),
 	}
 	if g.Bool(0.2) {
 		cfgTemplate.BufferCap = 1 + g.Intn(4)

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// This file holds the per-tile occupancy bitmaps of the round engine.
+//
+// The phase loops of Step sweep the mesh once per phase, and on a
+// mega-mesh almost every tile they visit is idle: a 512×512 churn
+// workload keeps a few hundred messages live across 262144 tiles, so the
+// sweeps were >95% of the round's wall-clock — three cache misses per
+// idle tile per round just to discover there is nothing to do. The
+// engine therefore tracks, in two dense bitmaps, which tiles can
+// possibly have work:
+//
+//   - bufOcc: tile's send buffer is non-empty (phases 2 and 3 visit it);
+//   - rcvOcc: tile's arrival ring holds in-flight copies (phase 4
+//     visits it — a tile whose arrivals are all scheduled for future
+//     rounds is revisited each round until they drain, which is cheap
+//     and keeps the bit maintenance trivial).
+//
+// Both bitmaps are exact at every round barrier (enqueue sets a tile's
+// bufOcc bit when its buffer goes non-empty, aging clears it when the
+// buffer empties; scheduling sets rcvOcc, phase 4 clears it when the
+// ring drains), which is what lets Quiescent answer from the bitmaps
+// alone. Iteration is in ascending tile order — the same order the
+// full sweeps used — so skipping idle tiles is invisible to the event
+// log, the RNG streams and every golden.
+//
+// Concurrency: a tile's bit is only ever flipped by the lane that owns
+// the tile, but tiles of several lanes can share a 64-tile word when
+// lane boundaries are unaligned (meshes too small for word-aligned
+// sharding, see initLanes). Flips then go through a CAS loop and
+// iteration reads the words atomically; with word-aligned lanes — and
+// always on the sequential engine — plain loads and stores suffice.
+
+// occWords returns the bitmap length for a tiles-tile mesh.
+func occWords(tiles int) int { return (tiles + 63) / 64 }
+
+// occSet sets bit ti of occ. Safe under parallel phases: unaligned lanes
+// CAS the shared word, aligned lanes own their words outright. The CAS
+// loops live in separate functions so that occSet/occClear stay leaf
+// calls the compiler inlines into the per-transmission hot path.
+func (n *Network) occSet(occ []uint64, ti uint32) {
+	if n.par && !n.alignedLanes {
+		occSetAtomic(occ, ti)
+		return
+	}
+	occ[ti>>6] |= 1 << (ti & 63)
+}
+
+func occSetAtomic(occ []uint64, ti uint32) {
+	w := &occ[ti>>6]
+	mask := uint64(1) << (ti & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 || atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// occClear clears bit ti of occ, under the same discipline as occSet.
+func (n *Network) occClear(occ []uint64, ti uint32) {
+	if n.par && !n.alignedLanes {
+		occClearAtomic(occ, ti)
+		return
+	}
+	occ[ti>>6] &^= 1 << (ti & 63)
+}
+
+func occClearAtomic(occ []uint64, ti uint32) {
+	w := &occ[ti>>6]
+	mask := uint64(1) << (ti & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask == 0 || atomic.CompareAndSwapUint64(w, old, old&^mask) {
+			return
+		}
+	}
+}
+
+// forOccupied calls visit for every set bit of occ in [lo, hi), in
+// ascending tile order — the sequential sweep order, minus the idle
+// tiles. atomicLoad selects atomic word reads, needed while another
+// lane may CAS its own bits of a shared boundary word.
+func forOccupied(occ []uint64, lo, hi int, atomicLoad bool, visit func(ti int)) {
+	if lo >= hi {
+		return
+	}
+	w0, w1 := lo>>6, (hi+63)>>6
+	for wi := w0; wi < w1; wi++ {
+		var w uint64
+		if atomicLoad {
+			w = atomic.LoadUint64(&occ[wi])
+		} else {
+			w = occ[wi]
+		}
+		if wi == w0 {
+			w &^= (uint64(1) << (uint(lo) & 63)) - 1 // mask bits below lo
+		}
+		for w != 0 {
+			ti := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if ti >= hi {
+				return
+			}
+			visit(ti)
+		}
+	}
+}
+
+// rebuildOccupancy recomputes both bitmaps from the tiles' actual state.
+// Restore uses it: the checkpoint serializes buffers and rings, and the
+// bitmaps are derived state.
+func (n *Network) rebuildOccupancy() {
+	clear(n.bufOcc)
+	clear(n.rcvOcc)
+	for i, t := range n.tiles {
+		if len(t.sendBuf) > 0 {
+			n.bufOcc[i>>6] |= 1 << (uint(i) & 63)
+		}
+		if t.ring.count > 0 {
+			n.rcvOcc[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// TestForOccupiedIteration pins the iterator contract the phase loops
+// hand-inline: ascending order, bits below lo masked, bits at/after hi
+// never visited, empty ranges visit nothing.
+func TestForOccupiedIteration(t *testing.T) {
+	occ := make([]uint64, occWords(200)) // 4 words
+	set := []int{0, 1, 63, 64, 100, 127, 128, 199}
+	for _, ti := range set {
+		occ[ti>>6] |= 1 << (uint(ti) & 63)
+	}
+	collect := func(lo, hi int) []int {
+		var got []int
+		forOccupied(occ, lo, hi, false, func(ti int) { got = append(got, ti) })
+		return got
+	}
+	cases := []struct {
+		lo, hi int
+		want   []int
+	}{
+		{0, 200, []int{0, 1, 63, 64, 100, 127, 128, 199}},
+		{1, 128, []int{1, 63, 64, 100, 127}}, // lo mid-word, hi on a word edge
+		{64, 100, []int{64}},                 // hi mid-word excludes 100
+		{65, 100, nil},                       // nothing in (64, 100)
+		{199, 200, []int{199}},               // final partial word
+		{50, 50, nil},                        // empty range
+	}
+	for _, c := range cases {
+		got := collect(c.lo, c.hi)
+		if len(got) != len(c.want) {
+			t.Fatalf("forOccupied[%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("forOccupied[%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+			}
+		}
+	}
+}
+
+// TestOccupancyTracksTileState steps a small network and checks, at every
+// round barrier, that the occupancy bitmaps exactly mirror the tiles'
+// buffer and ring state — the invariant Quiescent and the phase sweeps
+// rely on.
+func TestOccupancyTracksTileState(t *testing.T) {
+	cfg := Config{
+		Topo: topology.NewGrid(5, 5), P: 0.5, TTL: 6, MaxRounds: 100, Seed: 9,
+		// Skewed arrivals keep rings non-empty across round boundaries.
+		Fault: fault.Model{SigmaSync: 1.0},
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Quiescent() {
+		t.Fatal("fresh network not quiescent")
+	}
+	mustInject(t, n, 12, packet.Broadcast, 0, []byte("occ"))
+	checkExact := func(round int) {
+		for i, tl := range n.tiles {
+			wantBuf := len(tl.sendBuf) > 0
+			gotBuf := n.bufOcc[i>>6]&(1<<(uint(i)&63)) != 0
+			if wantBuf != gotBuf {
+				t.Fatalf("round %d tile %d: bufOcc = %v, buffer len %d", round, i, gotBuf, len(tl.sendBuf))
+			}
+			wantRcv := tl.ring.count > 0
+			gotRcv := n.rcvOcc[i>>6]&(1<<(uint(i)&63)) != 0
+			if wantRcv != gotRcv {
+				t.Fatalf("round %d tile %d: rcvOcc = %v, ring count %d", round, i, gotRcv, tl.ring.count)
+			}
+		}
+	}
+	quiet := false
+	for r := 0; r < 40; r++ {
+		n.Step()
+		checkExact(r + 1)
+		if n.Quiescent() {
+			quiet = true
+			break
+		}
+	}
+	if !quiet {
+		t.Fatal("TTL-6 broadcast never drained in 40 rounds")
+	}
+	// Quiescence via bitmaps must agree with the ground truth.
+	for _, tl := range n.tiles {
+		if len(tl.sendBuf) > 0 || tl.ring.count > 0 {
+			t.Fatalf("Quiescent() true but tile %d holds state", tl.id)
+		}
+	}
+	// rebuildOccupancy (the restore path) must reproduce the live bitmaps.
+	bufBefore := append([]uint64(nil), n.bufOcc...)
+	rcvBefore := append([]uint64(nil), n.rcvOcc...)
+	n.rebuildOccupancy()
+	for i := range bufBefore {
+		if n.bufOcc[i] != bufBefore[i] || n.rcvOcc[i] != rcvBefore[i] {
+			t.Fatalf("rebuildOccupancy diverged from incrementally-maintained bitmaps at word %d", i)
+		}
+	}
+}

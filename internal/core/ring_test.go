@@ -297,6 +297,7 @@ func TestGhostIDRejectedAsUpset(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.tiles[1].ring.schedule(0, 1, arrival{frame: frame})
+	n.rebuildOccupancy() // white-box ring injection bypasses the occupancy upkeep
 	n.Step()
 
 	c := n.Counters()

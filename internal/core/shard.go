@@ -140,6 +140,7 @@ func (ln *lane) send(dst packet.TileID, when int, a arrival) {
 	}
 	if ln.direct {
 		ln.net.tiles[dst].ring.schedule(ln.net.round, when, a)
+		ln.net.occSet(ln.net.rcvOcc, uint32(dst))
 		return
 	}
 	ln.outbox = append(ln.outbox, outbound{dst: dst, when: when, a: a})
@@ -161,11 +162,39 @@ func (ln *lane) unshare(p *packet.Packet) {
 
 // initLanes partitions the tiles into shards contiguous tile-ID ranges
 // and builds their lanes. shards is already clamped to [2, tiles].
+//
+// Meshes with at least 64 tiles per shard get a *word-aligned* partition:
+// every lane boundary falls on a multiple of 64 tiles, so no two lanes
+// share any 64-bit word of the tile bitmaps (message present/seen rows,
+// occupancy) and the per-bit flips skip their CAS loops even while shard
+// goroutines are live (n.alignedLanes). The partition choice is invisible
+// to results — sharding is bit-identical at any lane geometry.
 func (n *Network) initLanes(shards int) {
 	n.lanes = make([]lane, shards)
 	tiles := len(n.tiles)
-	base, rem := tiles/shards, tiles%shards
 	lo := 0
+	if tiles >= shards*64 {
+		n.alignedLanes = true
+		words := occWords(tiles)
+		baseW, remW := words/shards, words%shards
+		for i := range n.lanes {
+			spanW := baseW
+			if i < remW {
+				spanW++
+			}
+			hi := lo + spanW*64
+			if hi > tiles {
+				hi = tiles // only the last word can be partial
+			}
+			ln := &n.lanes[i]
+			ln.net = n
+			ln.lo, ln.hi = lo, hi
+			ln.cnt = &ln.delta
+			lo = hi
+		}
+		return
+	}
+	base, rem := tiles/shards, tiles%shards
 	for i := range n.lanes {
 		span := base
 		if i < rem {
@@ -180,20 +209,23 @@ func (n *Network) initLanes(shards int) {
 }
 
 // runShards executes phase once per lane, concurrently, and waits for
-// the barrier. Per-message aware-count updates switch to atomics while
-// shard goroutines are live (n.par); everything else a phase touches is
-// tile-local, lane-local, or read-only (see the file comment).
+// the barrier. Lane 0 runs on the stepping goroutine itself — one fewer
+// goroutine handoff per barrier, which is most of the sharding overhead
+// on small meshes. Per-message aware-count updates switch to atomics
+// while shard goroutines are live (n.par); everything else a phase
+// touches is tile-local, lane-local, or read-only (see the file comment).
 func (n *Network) runShards(phase func(*lane)) {
 	n.par = true
 	var wg sync.WaitGroup
-	wg.Add(len(n.lanes))
-	for i := range n.lanes {
+	wg.Add(len(n.lanes) - 1)
+	for i := 1; i < len(n.lanes); i++ {
 		ln := &n.lanes[i]
 		go func() {
 			defer wg.Done()
 			phase(ln)
 		}()
 	}
+	phase(&n.lanes[0])
 	wg.Wait()
 	n.par = false
 }
@@ -206,44 +238,46 @@ func (n *Network) runShards(phase func(*lane)) {
 // outboxes merge before phase 4 so every arrival ring holds its
 // sequential contents in sequential order.
 func (n *Network) stepShards() {
-	if n.procsDirty {
-		n.hasReceiver = false
-		for _, t := range n.tiles {
-			if _, ok := t.proc.(Receiver); ok {
-				n.hasReceiver = true
-				break
-			}
-		}
-		n.procsDirty = false
-	}
+	n.refreshProcs()
 
 	// Phase 2 — aging (tile-local; expiry events staged).
 	n.runShards(n.phaseAge)
 	n.flushActions()
 
-	// Phase 3 — forwarding into private outboxes.
+	// Phase 3 — forwarding into private outboxes. Each lane clears its
+	// own (already merged) outbox of the previous round at entry, which
+	// is what lets the dedicated clearing barrier disappear.
 	n.runShards(n.phaseForward)
 	n.mergeLaneCounters()
 	n.flushActions()
 
-	// Outbox merge: every lane scans all outboxes in lane order and
-	// schedules the arrivals destined to its own tiles, so each ring is
-	// written only by its owner shard, in sending-tile-ID order — the
-	// sequential insertion order.
-	n.runShards(n.mergeInbound)
-	n.runShards(clearOutbox)
-
-	// Phase 4 — reception. A Receiver process can create messages at
-	// delivery time and StopSpreadOnDelivery writes cross-tile tombstones
-	// that later tiles of the same round must observe; both are
-	// order-dependent, so they fall back to the sequential direct lane.
+	// Phase 4 — reception, fused with the outbox merge: every lane scans
+	// all outboxes in lane order and schedules the arrivals destined to
+	// its own tiles (each ring is written only by its owner shard, in
+	// sending-tile-ID order — the sequential insertion order), then
+	// immediately consumes its own rings. No barrier is needed between
+	// the two halves because a lane merges only into rings it alone
+	// reads, and other lanes' outboxes are read-only after the phase-3
+	// barrier. A Receiver process can create messages at delivery time
+	// and StopSpreadOnDelivery writes cross-tile tombstones that later
+	// tiles of the same round must observe; both are order-dependent, so
+	// reception then falls back to the sequential direct lane (the merge
+	// still runs shard-parallel).
 	if n.cfg.StopSpreadOnDelivery || n.hasReceiver {
+		n.runShards(n.mergeInbound)
 		n.phaseReceive(&n.seqLane)
 		return
 	}
-	n.runShards(n.phaseReceive)
+	n.runShards(n.mergeAndReceive)
 	n.mergeLaneCounters()
 	n.flushActions()
+}
+
+// mergeAndReceive is the fused barrier body of phase 4: merge the staged
+// transmissions bound for this lane's tiles, then receive them.
+func (n *Network) mergeAndReceive(ln *lane) {
+	n.mergeInbound(ln)
+	n.phaseReceive(ln)
 }
 
 // mergeInbound schedules, into this lane's own arrival rings, every
@@ -259,13 +293,15 @@ func (n *Network) mergeInbound(ln *lane) {
 				continue
 			}
 			n.tiles[o.dst].ring.schedule(n.round, o.when, o.a)
+			n.occSet(n.rcvOcc, uint32(o.dst))
 		}
 	}
 }
 
-// clearOutbox zeroes and truncates the lane's outbox after the merge
-// barrier (zeroing drops payload/frame references for the GC; the slice
-// capacity is kept, so steady-state staging allocates nothing).
+// clearOutbox zeroes and truncates the lane's outbox at the start of the
+// next phaseForward — by then the merge barrier has consumed it (zeroing
+// drops payload/frame references for the GC; the slice capacity is kept,
+// so steady-state staging allocates nothing).
 func clearOutbox(ln *lane) {
 	for i := range ln.outbox {
 		ln.outbox[i] = outbound{}

@@ -178,6 +178,67 @@ func shardScenarios(tb testing.TB) []shardScenario {
 			rounds: 25,
 		},
 		{
+			// 256 tiles: the smallest mesh the invariance shard counts
+			// split both ways — word-aligned lanes at 2 and 4 shards
+			// (lane-private bitmap words, plain bit flips) and the
+			// unaligned CAS fallback at 7. The fault mix keeps occupancy
+			// bits churning at the lane-boundary words.
+			name: "grid16-aligned-lanes",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(16, 16), P: 0.5, TTL: 9,
+					MaxRounds: 1000, Seed: 41,
+					Fault: fault.Model{PUpset: 0.05, SigmaSync: 0.8},
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: packet.Broadcast, payload: "aligned"},
+				{beforeRound: 2, src: 255, dst: 0, kind: 1, payload: "far corner"},
+				{beforeRound: 6, src: 128, dst: packet.Broadcast},
+			},
+			rounds: 35,
+		},
+		{
+			// Batch kernel, mask-lane sampler: P >= 1/16 on a degree-4
+			// grid draws one 64-bit mask per message. Faults keep the
+			// downstream transmit/receive draws in the mix.
+			name: "grid-batch-mask",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(6, 6), P: 0.4, TTL: 9,
+					MaxRounds: 1000, Seed: 51, BatchDraws: true,
+					Fault: fault.Model{PUpset: 0.08, SigmaSync: 0.6},
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: packet.Broadcast, payload: "mask"},
+				{beforeRound: 3, src: 35, dst: 2, kind: 1},
+			},
+			rounds: 35,
+		},
+		{
+			// Batch kernel, geometric-skip sampler: P below the mask
+			// floor with several buffered messages per tile (broadcasts
+			// from four corners, long TTL) makes the flattened-trial
+			// skip path the cost winner; thin tiles fall back to the
+			// exact per-port draws, so both batch branches run.
+			name: "grid-batch-skip",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(6, 6), P: 0.03, TTL: 14,
+					MaxRounds: 1000, Seed: 52, BatchDraws: true,
+				}
+			},
+			inject: []injection{
+				{beforeRound: 0, src: 0, dst: packet.Broadcast, payload: "skip-a"},
+				{beforeRound: 0, src: 5, dst: packet.Broadcast, payload: "skip-b"},
+				{beforeRound: 0, src: 30, dst: packet.Broadcast, payload: "skip-c"},
+				{beforeRound: 1, src: 35, dst: packet.Broadcast, payload: "skip-d"},
+				{beforeRound: 2, src: 14, dst: packet.Broadcast, payload: "skip-e"},
+			},
+			rounds: 40,
+		},
+		{
 			// Two gossip clusters bridged by deterministic routers with a
 			// serializing forward limit — the round-robin cursor path.
 			name: "cluster-routers-fwdlimit",

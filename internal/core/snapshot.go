@@ -41,13 +41,20 @@ import (
 // digest pins the seed and fault model.
 
 // corePayloadVersion versions the SecCore payload layout independently of
-// the container version. Version 2 (the bitset/recycling engine) encodes
+// the container version. Version 3 adds the forwarding-kernel flag
+// (Config.BatchDraws) next to the recycle flag — the kernel changes the
+// RNG realization, so resuming under the wrong one must be refused, like
+// a Recycle mismatch. Version 2 (the bitset/recycling engine) encodes
 // the message table slot-major — generations, occupancy, tile bitmaps,
 // the free list and the retired ledger — and stamps every in-flight wire
 // frame with its originating ID; version 1 (the dense per-tile-flags
 // engine) is still decoded, for checkpoints written before the refactor
-// (restoreV1).
-const corePayloadVersion = 2
+// (restoreV1). Both older versions stay readable; lacking the kernel
+// flag, they restore only into BatchDraws=false networks.
+const corePayloadVersion = 3
+
+// corePayloadVersionV2 is the pre-batch-kernel layout, kept readable.
+const corePayloadVersionV2 = 2
 
 // corePayloadVersionV1 is the pre-recycling payload layout, kept readable.
 const corePayloadVersionV1 = 1
@@ -128,10 +135,12 @@ func (n *Network) Snapshot(w io.Writer) error {
 func (n *Network) EncodeState(w *snapshot.Writer) {
 	w.Int(corePayloadVersion)
 	w.U32(ConfigDigest(&n.cfg))
-	// The recycle flag lives in the payload, not the digest (so version-1
-	// digests stay valid); restore still refuses a mismatch with
-	// cfg.Recycle — the retirement barrier is behavior-defining.
+	// The recycle and batch-kernel flags live in the payload, not the
+	// digest (so older digests stay valid); restore still refuses a
+	// mismatch with cfg.Recycle/cfg.BatchDraws — the retirement barrier
+	// and the draw kernel are both behavior-defining.
 	w.Bool(n.recycle)
+	w.Bool(n.batch)
 	w.Int(n.round)
 	w.Uvarint(uint64(n.nextID))
 	w.Bool(n.started)
@@ -297,18 +306,30 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	v := sec.Int()
-	if sec.Err() == nil && v != corePayloadVersion && v != corePayloadVersionV1 {
-		return nil, fmt.Errorf("core: checkpoint payload version %d, this build reads %d and %d",
+	if sec.Err() == nil && (v < corePayloadVersionV1 || v > corePayloadVersion) {
+		return nil, fmt.Errorf("core: checkpoint payload version %d, this build reads %d through %d",
 			v, corePayloadVersionV1, corePayloadVersion)
 	}
 	if d := sec.U32(); sec.Err() == nil && d != ConfigDigest(&n.cfg) {
 		return nil, fmt.Errorf("core: checkpoint was taken under a different configuration (digest %08x != %08x)", d, ConfigDigest(&n.cfg))
+	}
+	if v < corePayloadVersion && n.batch && sec.Err() == nil {
+		return nil, fmt.Errorf("core: version-%d checkpoint predates the batch-draw kernel; resume with BatchDraws=false", v)
 	}
 	if v == corePayloadVersionV1 && sec.Err() == nil {
 		return restoreV1(sec, n)
 	}
 	if recycle := sec.Bool(); sec.Err() == nil && recycle != n.recycle {
 		return nil, fmt.Errorf("core: checkpoint written with Recycle=%v, config says %v", recycle, n.recycle)
+	}
+	// v2 predates the batch kernel: those runs drew per port, so they may
+	// only resume under the default kernel.
+	batch := false
+	if v >= corePayloadVersion {
+		batch = sec.Bool()
+	}
+	if sec.Err() == nil && batch != n.batch {
+		return nil, fmt.Errorf("core: checkpoint written with BatchDraws=%v, config says %v", batch, n.batch)
 	}
 	n.round = sec.Int()
 	id := sec.Uvarint()
@@ -428,7 +449,7 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 	if err := sec.Finish(); err != nil {
 		return nil, err
 	}
-	return n, n.crossCheckAware()
+	return n, n.finishRestore()
 }
 
 // restoreV1 decodes the pre-recycling payload (dense per-message records
@@ -506,7 +527,15 @@ func restoreV1(sec *snapshot.Reader, n *Network) (*Network, error) {
 	if err := sec.Finish(); err != nil {
 		return nil, err
 	}
-	return n, n.crossCheckAware()
+	return n, n.finishRestore()
+}
+
+// finishRestore recomputes the derived state a checkpoint does not carry
+// (the occupancy bitmaps the phase loops iterate) and then runs the
+// awareness cross-check against the serialized counts.
+func (n *Network) finishRestore() error {
+	n.rebuildOccupancy()
+	return n.crossCheckAware()
 }
 
 // restoreTiles decodes the version-2 per-tile array.

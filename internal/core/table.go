@@ -240,11 +240,13 @@ func (n *Network) isDead(id packet.MsgID) bool {
 
 // rowBit reads tile t's bit of row. While shard goroutines are live
 // (n.par) word loads are atomic: lanes only flip bits of their own tiles,
-// but tiles of several lanes share each 64-tile word.
+// but tiles of several lanes can share a 64-tile word — unless the lane
+// partition is word-aligned (n.alignedLanes), in which case every word
+// is lane-private and plain accesses are race-free.
 func (n *Network) rowBit(row []uint64, t packet.TileID) bool {
 	w := &row[t>>6]
 	var v uint64
-	if n.par {
+	if n.par && !n.alignedLanes {
 		v = atomic.LoadUint64(w)
 	} else {
 		v = *w
@@ -260,7 +262,7 @@ func (n *Network) rowBit(row []uint64, t packet.TileID) bool {
 func (n *Network) rowSet(row []uint64, t packet.TileID) bool {
 	w := &row[t>>6]
 	mask := uint64(1) << (t & 63)
-	if n.par {
+	if n.par && !n.alignedLanes {
 		for {
 			old := atomic.LoadUint64(w)
 			if old&mask != 0 {
@@ -280,7 +282,7 @@ func (n *Network) rowSet(row []uint64, t packet.TileID) bool {
 func (n *Network) rowClear(row []uint64, t packet.TileID) bool {
 	w := &row[t>>6]
 	mask := uint64(1) << (t & 63)
-	if n.par {
+	if n.par && !n.alignedLanes {
 		for {
 			old := atomic.LoadUint64(w)
 			if old&mask == 0 {

@@ -88,6 +88,12 @@ type Injector struct {
 	model     Model
 	tileAlive []bool
 	linkDead  map[uint64]bool
+	// upsetT/overflowT are PUpset/POverflow in 53-bit fixed point,
+	// precomputed once so the per-transmission and per-reception draws are
+	// single integer compares (decision-identical to the float path; see
+	// rng.MakeThreshold).
+	upsetT    rng.Threshold
+	overflowT rng.Threshold
 }
 
 func linkKey(a, b packet.TileID) uint64 {
@@ -108,6 +114,8 @@ func NewInjector(topo topology.Topology, model Model, r *rng.Stream) (*Injector,
 		model:     model,
 		tileAlive: make([]bool, topo.Tiles()),
 		linkDead:  map[uint64]bool{},
+		upsetT:    rng.MakeThreshold(model.PUpset),
+		overflowT: rng.MakeThreshold(model.POverflow),
 	}
 	for i := range inj.tileAlive {
 		inj.tileAlive[i] = true
@@ -200,13 +208,24 @@ func (inj *Injector) DeadTileCount() int {
 }
 
 // UpsetHappens samples whether one transmission suffers a data upset.
+// The draw is a precomputed fixed-point threshold compare; PUpset = 0
+// consumes no randomness (as the float path never did).
 func (inj *Injector) UpsetHappens(r *rng.Stream) bool {
-	return r.Bool(inj.model.PUpset)
+	return r.BoolT(inj.upsetT)
 }
 
+// UpsetThreshold exposes the fixed-point PUpset threshold so per-round
+// engines can cache it and draw with rng.Stream.BoolT inline —
+// UpsetHappens(r) ≡ r.BoolT(UpsetThreshold()), draw for draw.
+func (inj *Injector) UpsetThreshold() rng.Threshold { return inj.upsetT }
+
+// OverflowThreshold is the POverflow counterpart of UpsetThreshold.
+func (inj *Injector) OverflowThreshold() rng.Threshold { return inj.overflowT }
+
 // OverflowHappens samples whether one reception is lost to buffer overflow.
+// Same fixed-point draw discipline as UpsetHappens.
 func (inj *Injector) OverflowHappens(r *rng.Stream) bool {
-	return r.Bool(inj.model.POverflow)
+	return r.BoolT(inj.overflowT)
 }
 
 // SyncSlip samples the extra delivery delay, in whole rounds, caused by

@@ -101,7 +101,60 @@ func (r *Stream) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Threshold is a Bernoulli probability in 53-bit fixed point: the integer
+// ceil(p·2^53), against which a 53-bit uniform draw is compared. Zero
+// means "never" and ThresholdAlways means "always"; both are decided
+// without consuming a draw, exactly like Bool's p <= 0 / p >= 1 early
+// returns (a determinism property pinned by tests). Precompute thresholds
+// once per configuration with MakeThreshold and hand them to BoolT in hot
+// loops: the per-draw cost drops to one integer compare, with zero change
+// in the decisions made.
+type Threshold uint64
+
+// ThresholdAlways is the Threshold for p >= 1. Any value > 2^53-1 would
+// do (a 53-bit draw can never reach it); the distinguished constant also
+// lets BoolT skip the draw, mirroring Bool(p >= 1).
+const ThresholdAlways Threshold = 1 << 53
+
+// MakeThreshold converts a probability to its fixed-point threshold.
+// p outside [0, 1] is clamped, like Bool. The conversion is exact: for
+// p in (0, 1), p·2^53 only shifts the float's exponent (no rounding), and
+// Ceil of an exactly-represented value is exact, so
+//
+//	BoolT(MakeThreshold(p)) ≡ Bool(p)   for every float64 p and
+//	                                    every stream state,
+//
+// including the draws consumed. The equivalence argument, in full: Bool
+// tests float64(u)/2^53 < p with u = Uint64()>>11 < 2^53. Both sides are
+// exact (u fits a float64 mantissa; /2^53 shifts the exponent), so the
+// comparison equals the real-number comparison u < p·2^53, and for
+// integer u that is u < ceil(p·2^53). BoolT tests exactly that.
+func MakeThreshold(p float64) Threshold {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return ThresholdAlways
+	}
+	return Threshold(math.Ceil(p * (1 << 53)))
+}
+
+// BoolT returns true with the probability t encodes, consuming one draw —
+// except for the never/always thresholds, which (like Bool at p <= 0 and
+// p >= 1) are decided without touching the stream.
+func (r *Stream) BoolT(t Threshold) bool {
+	if t == 0 {
+		return false
+	}
+	if t >= ThresholdAlways {
+		return true
+	}
+	return r.Uint64()>>11 < uint64(t)
+}
+
 // Bool returns true with probability p. p outside [0, 1] is clamped.
+// It is exactly BoolT(MakeThreshold(p)); callers that test the same p
+// repeatedly should precompute the threshold.
 func (r *Stream) Bool(p float64) bool {
 	if p <= 0 {
 		return false
@@ -109,7 +162,26 @@ func (r *Stream) Bool(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return r.Float64() < p
+	return r.Uint64()>>11 < uint64(MakeThreshold(p))
+}
+
+// GeometricSkip returns the number of consecutive failures preceding the
+// next success in an implicit sequence of independent Bernoulli(p)
+// trials, consuming exactly one draw. invLn1mP must be 1/ln(1−p) for a p
+// strictly inside (0, 1), precomputed once per configuration. It is the
+// inverse-CDF geometric sampler: with U uniform on (0, 1],
+//
+//	⌊ln(U)/ln(1−p)⌋ ≥ k  ⟺  U ≤ (1−p)^k,
+//
+// so the returned count satisfies P(skip ≥ k) = (1−p)^k — exactly the
+// law of a failure run, up to float rounding in the logarithm (≲1 ulp,
+// against Bool's exact 2^-53 grid). Jumping straight to the next success
+// replaces one draw per trial with one draw per success — the standard
+// sparse Bernoulli subset-sampling trick the batch forwarding kernel
+// uses when p·trials is small.
+func (r *Stream) GeometricSkip(invLn1mP float64) int {
+	u := 1 - r.Float64() // (0, 1]: ln stays finite
+	return int(math.Log(u) * invLn1mP)
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.

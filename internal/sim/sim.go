@@ -57,17 +57,31 @@ func (c Config) workers() int {
 // each sharded across every core.
 const megaShardTiles = 1 << 16
 
+// shardFloorTiles is the fabric size below which AutoShards never shards
+// at all. The break-even is measured, not guessed: in the steady-state
+// broadcast benchmarks (internal/core/bench_test.go) a 32×32 mesh steps
+// in ~138µs sequentially but ~162µs with 2 shards, and even a 64×64 mesh
+// (~876µs sequential) loses to the barrier and occupancy-merge overhead
+// at 4 and 8 shards unless the machine really runs the lanes in parallel.
+// Below this floor the sequential engine is never the slower choice, and
+// it is the zero-allocation one.
+const shardFloorTiles = 1 << 14
+
 // AutoShards picks a core.Config.Shards value for replicas of a
 // tiles-tile network run under this configuration: the cores the replica
 // pool leaves idle, so Monte Carlo parallelism and intra-run sharding
 // share the machine instead of oversubscribing it. With at least as many
 // replicas as workers every core is already busy and AutoShards returns 1
-// (sequential — the zero-allocation path). Shards are also capped at one
-// per 64 tiles: below that the per-round barrier overhead outweighs the
-// parallelism on meshes this small. Mega-meshes (megaShardTiles tiles and
-// up) ignore the replica count and shard with the full pool — see
-// megaShardTiles for why.
+// (sequential — the zero-allocation path). Meshes under shardFloorTiles
+// tiles are never sharded — the measured per-round barrier overhead
+// exceeds the parallelism below that size — and above the floor shards
+// are still capped at one per 64 tiles so lanes stay coarse. Mega-meshes
+// (megaShardTiles tiles and up) ignore the replica count and shard with
+// the full pool — see megaShardTiles for why.
 func (c Config) AutoShards(tiles int) int {
+	if tiles < shardFloorTiles {
+		return 1
+	}
 	w := c.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)

@@ -243,15 +243,20 @@ func TestAutoShards(t *testing.T) {
 		want  int
 	}{
 		// Replicas saturate the pool: stay sequential.
-		{"saturated", sim.Config{Replicas: 8, Workers: 8}, 4096, 1},
-		{"oversubscribed", sim.Config{Replicas: 100, Workers: 4}, 4096, 1},
-		// One replica on an 8-core pool: all spare cores go to sharding.
-		{"single-replica", sim.Config{Replicas: 1, Workers: 8}, 4096, 8},
+		{"saturated", sim.Config{Replicas: 8, Workers: 8}, 16384, 1},
+		{"oversubscribed", sim.Config{Replicas: 100, Workers: 4}, 16384, 1},
+		// One replica on an 8-core pool, mesh above the shard floor: all
+		// spare cores go to sharding.
+		{"single-replica", sim.Config{Replicas: 1, Workers: 8}, 16384, 8},
 		// Spare cores split across the running replicas.
-		{"split", sim.Config{Replicas: 2, Workers: 8}, 4096, 4},
-		// Small meshes never shard: one shard per 64 tiles, minimum 1.
+		{"split", sim.Config{Replicas: 2, Workers: 8}, 16384, 4},
+		// Meshes below the measured shard floor never shard, no matter how
+		// many cores are idle: the barriers cost more than the lanes gain.
 		{"small-mesh", sim.Config{Replicas: 1, Workers: 16}, 64, 1},
-		{"mesh-capped", sim.Config{Replicas: 1, Workers: 16}, 256, 4},
+		{"below-floor", sim.Config{Replicas: 1, Workers: 16}, 4096, 1},
+		{"floor-boundary", sim.Config{Replicas: 1, Workers: 16}, 16384 - 1, 1},
+		// At the floor the tiles/64 cap still applies above it.
+		{"floor-capped", sim.Config{Replicas: 1, Workers: 512}, 16384, 256},
 		// Mega-meshes shard with the whole pool even when replicas
 		// saturate it: concurrent mega-replicas would multiply peak
 		// memory by the pool size.
