@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|3-1|3-3|4-4|4-5|4-6|4-8|4-9|4-10|4-11|5-3|scaling]
+//	figures [-fig all|3-1|3-3|4-4|4-5|4-6|4-8|4-9|4-10|4-11|5-3|scaling|smc]
 //	        [-runs N] [-seed S] [-workers W] [-shards K] [-quick]
 //	        [-metrics FILE] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-checkpoint-every N -checkpoint-dir DIR] [-resume-from DIR]
@@ -17,6 +17,13 @@
 // machine-dependent wall-clock, so it is excluded from -fig all (whose
 // output is diffed against figures_output.txt) and must be requested
 // explicitly.
+//
+// -fig smc runs the statistical-model-checking cross-validation
+// (docs/SMC.md): SPRT verdicts against exactly known trajectory
+// probabilities on complete meshes and small grids, plus the
+// fixed-effort rare-event splitting estimate against the exact flood
+// law. Replica counts are chosen by the SPRT itself, so the study is
+// excluded from the golden -fig all output like the scaling study.
 //
 // -metrics FILE additionally runs the canonical instrumented broadcast
 // (the Fig. 3-3 walkthrough on the 8×8 microbench mesh, -runs replicas)
@@ -117,6 +124,10 @@ func main() {
 		{name: "ext-ttl", run: extTTL},
 		{name: "ext-fec", run: extFEC},
 		{name: "scaling", run: extScaling, skipInAll: true},
+		// smc prints SPRT-chosen replica counts, which are a property of
+		// the statistics rather than of the protocol tables the golden
+		// file pins; kept out of -fig all like the scaling study.
+		{name: "smc", run: figSMC, skipInAll: true},
 	}
 	ran := false
 	for _, r := range runners {
@@ -546,6 +557,35 @@ func extScaling() error {
 		}
 	})
 	fmt.Println("(equal mid/end slot counts show table memory bounded by the live population, not messages issued)")
+	return nil
+}
+
+func figSMC() error {
+	rows, err := experiments.SMCStudy(mc(*runsFlag))
+	if err != nil {
+		return err
+	}
+	fmt.Println("Statistical model checking: SPRT verdicts vs exact trajectory probabilities (docs/SMC.md)")
+	table("fabric\tproperty\texact P\tθ low\tverdict\treplicas\tθ high\tverdict\treplicas\tfixed-N\tagree", func(w *tabwriter.Writer) {
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.4f\t%.2f\t%v\t%d\t%.2f\t%v\t%d\t%d\t%v\n",
+				r.Fabric, r.Property, r.Truth,
+				r.Low.Theta, r.Low.Verdict, r.Low.Replicas,
+				r.High.Theta, r.High.Verdict, r.High.Replicas,
+				r.Low.FixedN, r.Agree())
+		}
+	})
+
+	res, truth, err := experiments.SMCSplitStudy(*seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nRare-event splitting: full awareness of a complete 16-mesh within 6 rounds, p=0.025")
+	table("estimator\tprobability\ttrajectories", func(w *tabwriter.Writer) {
+		fmt.Fprintf(w, "exact (flood law)\t%.3e\t-\n", truth)
+		fmt.Fprintf(w, "fixed-effort splitting\t%.3e\t%d\n", res.Probability, res.Trajectories)
+	})
+	fmt.Printf("per-level conditional crossing fractions: %.3v\n", res.Conditional)
 	return nil
 }
 

@@ -3,9 +3,24 @@
 // destination tile under a configurable fault model, reporting the spread
 // trace, latency and energy.
 //
+// Usage:
+//
+//	nocsim [-width W -height H] [-src T -dst T] [-p P] [-ttl N]
+//	       [-seed S] [-shards K] [-payload BYTES] [-max-rounds N]
+//	       [-dead-tiles N] [-dead-links N] [-upset P] [-overflow P]
+//	       [-sigma S] [-literal-upsets]
+//	       [-trace] [-viz] [-metrics FILE]
+//	       [-checkpoint-every N -checkpoint-file FILE] [-resume-from FILE]
+//	       [-check "PROPERTY" [-theta θ] [-delta δ] [-alpha α] [-beta β]
+//	        [-max-replicas N] [-workers W]]
+//
 // Example — the thesis' Producer-Consumer walkthrough under 30% upsets:
 //
 //	nocsim -width 4 -height 4 -src 5 -dst 11 -p 0.5 -upset 0.3
+//
+// -shards splits each round's per-tile work across K parallel lanes;
+// results are bit-identical at any shard count, so it is purely a
+// wall-clock knob for large grids (see DESIGN.md, "Sharded engine").
 //
 // -metrics FILE records the run through the internal/metrics per-round
 // recorder and writes the series (transmissions, CRC rejects, drops,
@@ -20,6 +35,20 @@
 // invocation (verified via a config digest embedded in the file). The
 // -trace timeline cannot span a resume (events before the checkpoint are
 // gone), so -trace and -resume-from are mutually exclusive.
+//
+// -check "PROPERTY" switches from simulating once to statistical model
+// checking (internal/smc): does the configured run satisfy PROPERTY
+// with probability at least -theta? Replicas of the fabric run under
+// seeds derived from -seed until Wald's sequential test settles with
+// error bounds -alpha/-beta (indifference half-width -delta), printing
+// the verdict, the consumed replica count and the equal-error fixed-N
+// baseline. The exit status encodes the verdict — 0 ACCEPT, 1 REJECT,
+// 2 UNDECIDED (replica budget -max-replicas exhausted) — so checks can
+// gate scripts. The property language ("aware(0.9) within 32",
+// "delivered by 16 and transmissions <= 4000", ...) is documented in
+// docs/SMC.md. -check applies to the same single src→dst message the
+// plain mode simulates; per-run flags (-trace, -viz, -metrics,
+// checkpointing) cannot combine with it.
 package main
 
 import (
@@ -36,6 +65,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/smc"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/viz"
@@ -64,6 +94,13 @@ var (
 	ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint the run to -checkpoint-file every N rounds (0 = off)")
 	ckptFile   = flag.String("checkpoint-file", "", "checkpoint file path (needed with -checkpoint-every)")
 	resumeFrom = flag.String("resume-from", "", "resume the run from this checkpoint file (flags must match the original run)")
+	checkProp  = flag.String("check", "", "statistically check a property of the run instead of simulating once (spec language: docs/SMC.md)")
+	theta      = flag.Float64("theta", 0.9, "with -check: probability threshold θ — test P[property] >= θ")
+	delta      = flag.Float64("delta", 0.02, "with -check: SPRT indifference half-width δ around θ")
+	alpha      = flag.Float64("alpha", 0.01, "with -check: false-accept probability bound α")
+	beta       = flag.Float64("beta", 0.01, "with -check: false-reject probability bound β")
+	maxReps    = flag.Int("max-replicas", 100000, "with -check: replica budget before reporting UNDECIDED")
+	workers    = flag.Int("workers", 0, "with -check: replica worker pool (0 = GOMAXPROCS; verdict is worker-count independent)")
 )
 
 func main() {
@@ -74,6 +111,10 @@ func main() {
 	grid := topology.NewGrid(*width, *height)
 	if *src < 0 || *src >= grid.Tiles() || *dst < 0 || *dst >= grid.Tiles() {
 		log.Fatalf("src/dst out of range for a %dx%d grid", *width, *height)
+	}
+	if *checkProp != "" {
+		runCheck(grid)
+		return
 	}
 	deliveryRound := -1
 	cfg := core.Config{
@@ -188,6 +229,65 @@ func main() {
 			log.Fatalf("metrics: %v", err)
 		}
 		fmt.Printf("metrics: per-round series written to %s\n", *metricsOut)
+	}
+}
+
+// runCheck is the -check mode: instead of simulating the src→dst
+// gossip once, it asks whether the run satisfies the given property
+// with probability at least θ, replicating the configured fabric under
+// derived seeds until Wald's SPRT settles (internal/smc; the spec
+// language, decision procedure and error guarantees are documented in
+// docs/SMC.md). The verdict maps onto the exit status — 0 ACCEPT,
+// 1 REJECT, 2 UNDECIDED — so properties can gate scripts and CI.
+func runCheck(grid *topology.Grid) {
+	for name, set := range map[string]bool{
+		"-trace":            *showTrace,
+		"-viz":              *showViz,
+		"-metrics":          *metricsOut != "",
+		"-checkpoint-every": *ckptEvery > 0,
+		"-resume-from":      *resumeFrom != "",
+	} {
+		if set {
+			log.Fatalf("%s applies to a single simulated run and cannot combine with -check", name)
+		}
+	}
+	prop, err := smc.Parse(*checkProp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := smc.Model{
+		Config: core.Config{
+			Topo: grid, P: *p, TTL: uint8(*ttl), MaxRounds: *maxR,
+			Shards: *shards,
+			Fault: fault.Model{
+				DeadTiles: *deadT, DeadLinks: *deadL,
+				PUpset: *upset, POverflow: *overflow, SigmaSync: *sigma,
+				LiteralUpsets: *literal,
+				Protect:       []packet.TileID{packet.TileID(*src), packet.TileID(*dst)},
+			},
+		},
+		Source:       packet.TileID(*src),
+		Dest:         packet.TileID(*dst),
+		Tech:         energy.NoCLink025,
+		PayloadBytes: *payload,
+	}
+	rep, err := smc.Check(prop, model.Replica(prop), smc.CheckConfig{
+		Theta: *theta, Delta: *delta, Alpha: *alpha, Beta: *beta,
+		MaxReplicas: *maxReps, Workers: *workers, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checking P[%s] >= %g on a %dx%d NoC (tile %d -> tile %d, p=%.2f, TTL=%d)\n",
+		rep.Property, rep.Theta, *width, *height, *src, *dst, *p, *ttl)
+	fmt.Println(rep)
+	switch rep.Verdict {
+	case smc.Accepted:
+		os.Exit(0)
+	case smc.Rejected:
+		os.Exit(1)
+	default:
+		os.Exit(2)
 	}
 }
 

@@ -1085,6 +1085,23 @@ func (n *Network) transmit(ln *lane, t *tile, nb packet.TileID, p *packet.Packet
 	}
 }
 
+// Reseed re-derives every tile's random stream from seed, exactly as New
+// does from Config.Seed (tile i gets Split(i+1) of a fresh master
+// stream). It exists for trajectory forking: rare-event importance
+// splitting (internal/smc) restores several networks from one snapshot —
+// which, by the checkpoint contract, would replay identical futures —
+// and Reseeds each fork so their continuations are independent while
+// staying deterministic in the fork seed. It must be called at a round
+// barrier, like Snapshot. The sampled crash set and the issued message
+// IDs are untouched: only the forward-looking randomness (forwarding
+// draws, upset/overflow/skew draws, application randomness) changes.
+func (n *Network) Reseed(seed uint64) {
+	master := rng.New(seed)
+	for i, t := range n.tiles {
+		t.rnd = *master.Split(uint64(i) + 1)
+	}
+}
+
 // Completed reports whether every live Completer process is done. With no
 // Completer attached it returns false (run to MaxRounds).
 func (n *Network) Completed() bool {

@@ -1,11 +1,14 @@
 // Package docaudit is a test-only CI gate for documentation coverage:
-// every exported identifier in the packages the observability layer
-// spans (internal/core, internal/sim, internal/metrics, internal/trace)
-// must carry a godoc comment. The repo's convention is that those
-// comments state units (rounds, bits, joules) and cite the thesis
-// section they reproduce; this gate can only enforce presence, so the
-// units rule is enforced by review — but an undocumented export fails
-// CI here rather than slipping through.
+// every exported identifier in the audited packages (the observability
+// layer — internal/core, internal/sim, internal/metrics, internal/trace
+// — plus the statistical stack internal/smc, internal/stats and
+// internal/gossip) must carry a godoc comment, every audited package a
+// package-level doc comment, and every identifier docs/SMC.md cites
+// must actually exist. The repo's convention is that godoc comments
+// state units (rounds, bits, joules) and cite the thesis section they
+// reproduce; this gate can only enforce presence, so the units rule is
+// enforced by review — but an undocumented export fails CI here rather
+// than slipping through.
 package docaudit
 
 import (
@@ -14,14 +17,19 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
 
 // audited lists the packages under the godoc gate, relative to this
 // directory.
-var audited = []string{"../core", "../sim", "../metrics", "../trace"}
+var audited = []string{
+	"../core", "../sim", "../metrics", "../trace",
+	"../smc", "../stats", "../gossip",
+}
 
 // TestExportedIdentifiersDocumented parses each audited package
 // (non-test files only) and fails with a file:line list of every
@@ -35,6 +43,108 @@ func TestExportedIdentifiersDocumented(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestPackagesHaveDocComment closes the gap the identifier audit used
+// to skip: each audited package must have a package-level doc comment
+// on at least one of its files (the `// Package x ...` block godoc
+// renders as the package synopsis).
+func TestPackagesHaveDocComment(t *testing.T) {
+	for _, dir := range audited {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", dir, err)
+			}
+			for name, pkg := range pkgs {
+				documented := false
+				for _, file := range pkg.Files {
+					if file.Doc != nil {
+						documented = true
+						break
+					}
+				}
+				if !documented {
+					t.Errorf("package %s (%s) has no package-level doc comment", name, dir)
+				}
+			}
+		})
+	}
+}
+
+// docIdentRe matches qualified identifier citations in the docs —
+// `pkg.Exported` with an optional method or field selector.
+var docIdentRe = regexp.MustCompile(`\b(core|sim|metrics|trace|smc|stats|gossip|rng|packet|topology|energy|fault)\.([A-Z][A-Za-z0-9]*)`)
+
+// TestSMCDocReferencesExist cross-checks docs/SMC.md against the code:
+// every `pkg.Identifier` the document cites must exist as an exported
+// declaration of that package, so the reference cannot rot silently
+// when an API is renamed.
+func TestSMCDocReferencesExist(t *testing.T) {
+	const doc = "../../docs/SMC.md"
+	text, err := os.ReadFile(doc)
+	if err != nil {
+		t.Fatalf("read %s: %v", doc, err)
+	}
+	exports := map[string]map[string]bool{}
+	for _, m := range docIdentRe.FindAllStringSubmatch(string(text), -1) {
+		pkg, ident := m[1], m[2]
+		if exports[pkg] == nil {
+			exports[pkg] = exportedIdents(t, "../"+pkg)
+		}
+		if !exports[pkg][ident] {
+			t.Errorf("docs/SMC.md references %s.%s, which does not exist in internal/%s", pkg, ident, pkg)
+		}
+	}
+	if len(exports) == 0 {
+		t.Fatal("docs/SMC.md cites no qualified identifiers — the link check is vacuous")
+	}
+}
+
+// exportedIdents collects the exported top-level identifiers (types,
+// funcs, consts, vars) of the package in dir.
+func exportedIdents(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	out := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.IsExported() {
+						out[d.Name.Name] = true
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								out[s.Name.Name] = true
+							}
+						case *ast.ValueSpec:
+							for _, name := range s.Names {
+								if name.IsExported() {
+									out[name.Name] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // auditDir returns one "file:line: <what> is undocumented" string per

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/gossip"
+	"repro/internal/sim"
+	"repro/internal/smc"
+	"repro/internal/topology"
+)
+
+// SMCRow is one line of the SPRT cross-validation table: a property
+// with an exactly known trajectory probability, checked sequentially
+// against thresholds on both sides of the truth.
+type SMCRow struct {
+	// Fabric names the topology under test.
+	Fabric string
+	// Property is the canonical property text.
+	Property string
+	// Truth is the exact trajectory probability (complete-mesh flood
+	// law or closed-form binomial).
+	Truth float64
+	// Low is the report for θ below the truth (expected verdict:
+	// accept) and High the report for θ above it (expected: reject).
+	Low, High smc.Report
+}
+
+// Agree reports whether both verdicts match the ground truth.
+func (r SMCRow) Agree() bool {
+	return r.Low.Verdict == smc.Accepted && r.High.Verdict == smc.Rejected
+}
+
+// smcCase is one cross-validation configuration with an exact law.
+type smcCase struct {
+	fabric string
+	model  smc.Model
+	prop   smc.Property
+	truth  float64
+}
+
+// smcCases builds the cross-validation set: complete meshes, where
+// gossip.FloodSpreadDist is the engine's exact law, and 4×4/8×8 grids,
+// where the one-round awareness event from a center source is the
+// closed-form binomial p⁴ (all four independent port draws must fire).
+func smcCases() []smcCase {
+	var cases []smcCase
+	for _, c := range []struct {
+		n, k, rounds int
+		p            float64
+	}{
+		{16, 6, 2, 0.1},
+		{12, 9, 3, 0.15},
+	} {
+		cases = append(cases, smcCase{
+			fabric: fmt.Sprintf("complete-%d p=%g", c.n, c.p),
+			model: smc.BroadcastModel(core.Config{
+				Topo: topology.NewFullyConnected(c.n),
+				P:    c.p, TTL: 64, MaxRounds: c.rounds + 2,
+			}, 0, energy.Technology{}),
+			prop:  smc.AwareFraction(float64(c.k) / float64(c.n)).Within(c.rounds),
+			truth: gossip.FloodReachProb(c.n, c.p, c.k, c.rounds),
+		})
+	}
+	for _, side := range []int{4, 8} {
+		const p = 0.8
+		g := topology.NewGrid(side, side)
+		cases = append(cases, smcCase{
+			fabric: fmt.Sprintf("grid-%dx%d p=%g", side, side, p),
+			model: smc.BroadcastModel(core.Config{
+				Topo: g, P: p, TTL: 64, MaxRounds: 4,
+			}, g.ID(side/2, side/2), energy.Technology{}),
+			prop:  smc.AwareFraction(5.0 / float64(side*side)).Within(1),
+			truth: math.Pow(p, 4),
+		})
+	}
+	return cases
+}
+
+// SMCStudy runs the SPRT cross-validation behind `figures -fig smc`:
+// for every fabric with an exactly known trajectory probability it
+// checks the property against θ = truth ± margin (α = β = 0.01,
+// δ = 0.02) and reports both verdicts next to the exact value and the
+// equal-error fixed-N baseline. mc supplies the master seed and worker
+// pool; replica counts are decided by the SPRT itself.
+func SMCStudy(mc sim.Config) ([]SMCRow, error) {
+	const margin = 0.12
+	rows := make([]SMCRow, 0, len(smcCases()))
+	for i, c := range smcCases() {
+		row := SMCRow{Fabric: c.fabric, Property: c.prop.String(), Truth: c.truth}
+		replica := c.model.Replica(c.prop)
+		for j, theta := range []float64{c.truth - margin, c.truth + margin} {
+			rep, err := smc.Check(c.prop, replica, smc.CheckConfig{
+				Theta: theta, Delta: 0.02, Alpha: 0.01, Beta: 0.01,
+				Workers: mc.Workers, Seed: mc.Seed + uint64(i),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("smc study %s: %w", c.fabric, err)
+			}
+			if j == 0 {
+				row.Low = rep
+			} else {
+				row.High = rep
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SMCSplitStudy runs the rare-event half of `figures -fig smc`: the
+// fixed-effort splitting estimate of full awareness of a 16-tile
+// complete mesh within 6 rounds at p = 0.025 — an ≈1.8e-4 tail with an
+// exact value from the flood law — next to that exact value.
+func SMCSplitStudy(seed uint64) (smc.SplitResult, float64, error) {
+	const (
+		n       = 16
+		p       = 0.025
+		horizon = 6
+	)
+	truth := gossip.FloodReachProb(n, p, n, horizon)
+	model := smc.BroadcastModel(core.Config{
+		Topo: topology.NewFullyConnected(n),
+		P:    p, TTL: 64, MaxRounds: horizon,
+	}, 0, energy.Technology{})
+	res, err := smc.Split(model, smc.AwareScore, smc.SplitConfig{
+		Levels: []float64{3.0 / 16, 6.0 / 16, 9.0 / 16, 12.0 / 16, 14.0 / 16, 1},
+		Effort: 512,
+		Seed:   seed,
+	})
+	return res, truth, err
+}

@@ -62,6 +62,83 @@ func TheoreticalFloodSpread(n int, p float64, rounds int) []float64 {
 	return out
 }
 
+// FloodSpreadDist returns the exact probability distribution of the
+// informed-tile count after `rounds` rounds of probabilistic flooding on
+// a fully connected fault-free n-tile fabric: out[k] = P[I(rounds) = k]
+// (length n+1; out[0] is always 0 — the initiator knows the rumor).
+//
+// On a complete graph the informed count is a Markov chain: by symmetry,
+// given I(t) = i every one of the n−i uninformed tiles independently
+// receives at least one copy during round t+1 with probability
+// q_i = 1 − (1−p)^i (each of the i informed tiles forwards on the port
+// toward it independently with probability p), so
+//
+//	I(t+1) − i  ~  Binomial(n−i, 1 − (1−p)^i).
+//
+// This is the exact law whose conditional expectation, iterated with the
+// fluctuations dropped, is the TheoreticalFloodSpread mean-field
+// recursion. It matches the engine's dynamics on a fully connected
+// topology exactly — fault free, dedup on, TTL longer than the horizon —
+// because a tile informed during round t (phase 4) starts forwarding in
+// round t+1 (phase 3), which is the statistical-model-checking ground
+// truth internal/smc cross-validates SPRT verdicts against. O(rounds·n²).
+func FloodSpreadDist(n int, p float64, rounds int) []float64 {
+	dist := make([]float64, n+1)
+	dist[1] = 1
+	next := make([]float64, n+1)
+	for t := 0; t < rounds; t++ {
+		for k := range next {
+			next[k] = 0
+		}
+		for i := 1; i <= n; i++ {
+			if dist[i] == 0 {
+				continue
+			}
+			q := 1 - math.Pow(1-p, float64(i))
+			// Binomial(n−i, q) pmf, computed incrementally from j = 0.
+			m := n - i
+			pmf := math.Pow(1-q, float64(m))
+			for j := 0; ; j++ {
+				next[i+j] += dist[i] * pmf
+				if j >= m {
+					break
+				}
+				if q >= 1 {
+					// Degenerate flood step: everyone is informed at once.
+					pmf = 0
+					if j+1 == m {
+						pmf = 1
+					}
+					continue
+				}
+				pmf *= float64(m-j) / float64(j+1) * q / (1 - q)
+			}
+		}
+		dist, next = next, dist
+	}
+	return dist
+}
+
+// FloodReachProb returns the exact probability that probabilistic
+// flooding on a fully connected fault-free n-tile fabric informs at
+// least k tiles within `rounds` rounds. Because awareness is monotone
+// (an informed tile never forgets), "within" equals "at": the result is
+// P[I(rounds) ≥ k] summed from FloodSpreadDist.
+func FloodReachProb(n int, p float64, k, rounds int) float64 {
+	dist := FloodSpreadDist(n, p, rounds)
+	if k < 0 {
+		k = 0
+	}
+	var sum float64
+	for j := len(dist) - 1; j >= k; j-- {
+		sum += dist[j]
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
 // ExpectedRounds returns the Pittel estimate S_n ≈ log2 n + ln n of the
 // number of rounds until all n nodes are informed.
 func ExpectedRounds(n int) float64 {

@@ -176,3 +176,92 @@ func TestPushPullMonotone(t *testing.T) {
 		}
 	}
 }
+
+func TestFloodSpreadDistIsDistribution(t *testing.T) {
+	for _, tc := range []struct {
+		n, rounds int
+		p         float64
+	}{
+		{16, 0, 0.3}, {16, 3, 0.3}, {12, 5, 0.05}, {8, 4, 0.9}, {20, 2, 0.5},
+	} {
+		dist := FloodSpreadDist(tc.n, tc.p, tc.rounds)
+		if len(dist) != tc.n+1 {
+			t.Fatalf("n=%d: len %d", tc.n, len(dist))
+		}
+		if dist[0] != 0 {
+			t.Errorf("n=%d p=%v T=%d: P[I=0] = %v, the initiator always knows", tc.n, tc.p, tc.rounds, dist[0])
+		}
+		var sum float64
+		for k, v := range dist {
+			if v < 0 {
+				t.Errorf("n=%d p=%v T=%d: P[I=%d] = %v negative", tc.n, tc.p, tc.rounds, k, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d p=%v T=%d: distribution sums to %v", tc.n, tc.p, tc.rounds, sum)
+		}
+	}
+}
+
+// The mean of the exact chain must track the mean-field recursion: the
+// recursion is the chain's conditional expectation iterated with the
+// fluctuations dropped, so for small fabrics they agree to a few
+// percent (exactly at round 0 and in the p→1 limit).
+func TestFloodSpreadDistMeanNearMeanField(t *testing.T) {
+	const n, p, rounds = 16, 0.3, 5
+	mf := TheoreticalFloodSpread(n, p, rounds)
+	for T := 0; T <= rounds; T++ {
+		dist := FloodSpreadDist(n, p, T)
+		var mean float64
+		for k, v := range dist {
+			mean += float64(k) * v
+		}
+		if rel := math.Abs(mean-mf[T]) / mf[T]; rel > 0.08 {
+			t.Errorf("T=%d: exact mean %v vs mean-field %v (rel %v)", T, mean, mf[T], rel)
+		}
+	}
+}
+
+func TestFloodSpreadDistDegenerateP(t *testing.T) {
+	// p = 1: one round floods everything.
+	dist := FloodSpreadDist(10, 1, 1)
+	if dist[10] != 1 {
+		t.Errorf("p=1 after one round: P[I=10] = %v, want 1", dist[10])
+	}
+	// p = 0: the rumor never moves.
+	dist = FloodSpreadDist(10, 0, 7)
+	if dist[1] != 1 {
+		t.Errorf("p=0: P[I=1] = %v, want 1", dist[1])
+	}
+}
+
+// One analytic point: after one round from a single initiator the
+// increment is Binomial(n−1, p), so P[I(1) ≥ 1+j] is a binomial tail.
+func TestFloodReachProbOneRoundBinomial(t *testing.T) {
+	const n, p = 8, 0.3
+	// P[I(1) >= 3] = P[Bin(7, 0.3) >= 2]
+	var want float64
+	for j := 2; j <= 7; j++ {
+		want += binomCoeff(7, j) * math.Pow(p, float64(j)) * math.Pow(1-p, float64(7-j))
+	}
+	got := FloodReachProb(n, p, 3, 1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P[I(1) >= 3] = %v, want %v", got, want)
+	}
+	// Monotonicity and the trivial tails.
+	if FloodReachProb(n, p, 0, 1) != 1 || FloodReachProb(n, p, 1, 0) != 1 {
+		t.Error("reaching the initiator itself must be certain")
+	}
+	if FloodReachProb(n, p, n, 1) >= FloodReachProb(n, p, n, 4) {
+		t.Error("reach probability must grow with the horizon")
+	}
+}
+
+func binomCoeff(n, k int) float64 {
+	c := 1.0
+	for j := 0; j < k; j++ {
+		c *= float64(n-j) / float64(j+1)
+	}
+	return c
+}

@@ -116,6 +116,27 @@ func Seeds(master uint64, n int) []uint64 {
 	return out
 }
 
+// RunOffset executes one window [offset, offset+cfg.Replicas) of a
+// conceptually unbounded replica sequence across the worker pool: body
+// receives global replica indices, and replica r's seed is the one
+// Seeds(cfg.Seed, r+1)[r] would return — derivation is by absolute
+// index, so the seed sequence is identical no matter how the caller
+// slices the sequence into windows. Sequential verdict engines
+// (smc.Check) are built on this: they consume replicas wave by wave,
+// stopping as soon as a verdict settles, yet every replica they ever
+// schedule has the same seed a single monolithic Run would have given
+// it. Results arrive in window order with Run's determinism contract.
+func RunOffset[T any](cfg Config, offset int, body func(replica int, seed uint64) (T, error)) ([]T, error) {
+	if offset < 0 {
+		return nil, fmt.Errorf("sim: RunOffset offset = %d, need >= 0", offset)
+	}
+	root := rng.New(cfg.Seed)
+	return Run(cfg, func(r int, _ uint64) (T, error) {
+		g := offset + r
+		return body(g, root.Split(uint64(g)).Uint64())
+	})
+}
+
 // Run executes cfg.Replicas independent calls of body across the worker
 // pool and returns their results in replica order. body receives the
 // replica index and that replica's derived seed; it must not share

@@ -278,3 +278,49 @@ func TestAutoShardsZeroWorkersPositive(t *testing.T) {
 		t.Fatalf("AutoShards = %d, want >= 1", got)
 	}
 }
+
+// RunOffset's contract: the seed a replica sees depends only on its
+// absolute index, never on how the sequence is sliced into windows.
+func TestRunOffsetSeedsArePrefixStable(t *testing.T) {
+	const master, total = 0xfeed, 24
+	want := sim.Seeds(master, total)
+
+	collect := func(windows [][2]int, workers int) []uint64 {
+		got := make([]uint64, total)
+		for _, w := range windows {
+			cfg := sim.Config{Replicas: w[1], Workers: workers, Seed: master}
+			_, err := sim.RunOffset(cfg, w[0], func(replica int, seed uint64) (struct{}, error) {
+				got[replica] = seed
+				return struct{}{}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return got
+	}
+
+	for _, tc := range []struct {
+		name    string
+		windows [][2]int
+		workers int
+	}{
+		{"oneWindow", [][2]int{{0, 24}}, 1},
+		{"threeWindows", [][2]int{{0, 8}, {8, 8}, {16, 8}}, 4},
+		{"unevenWindows", [][2]int{{0, 5}, {5, 13}, {18, 6}}, 3},
+	} {
+		got := collect(tc.windows, tc.workers)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("%s: replica %d saw seed %#x, Seeds gives %#x", tc.name, r, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestRunOffsetRejectsNegativeOffset(t *testing.T) {
+	_, err := sim.RunOffset(sim.Config{Replicas: 1}, -1, func(int, uint64) (int, error) { return 0, nil })
+	if err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}

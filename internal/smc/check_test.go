@@ -1,0 +1,213 @@
+package smc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/gossip"
+	"repro/internal/topology"
+)
+
+// completeMeshModel is the cross-validation fabric: a fully connected
+// fault-free n-tile mesh broadcasting from tile 0, the topology where
+// gossip.FloodSpreadDist is the engine's exact law (dedup on, TTL
+// beyond the horizon).
+func completeMeshModel(n int, p float64, maxRounds int) Model {
+	return BroadcastModel(core.Config{
+		Topo: topology.NewFullyConnected(n),
+		P:    p, TTL: 64, MaxRounds: maxRounds,
+	}, 0, energy.Technology{})
+}
+
+// gridModel broadcasts from the center of a side×side grid.
+func gridModel(side int, p float64, maxRounds int) Model {
+	g := topology.NewGrid(side, side)
+	return BroadcastModel(core.Config{
+		Topo: g, P: p, TTL: 64, MaxRounds: maxRounds,
+	}, g.ID(side/2, side/2), energy.Technology{})
+}
+
+// checkAgainstTruth runs Check twice — θ below and above the exact
+// trajectory probability — and demands the matching verdicts plus the
+// sequential saving over fixed-N. margin is the distance of each θ from
+// the truth (several indifference widths, so a wrong verdict would be a
+// genuine SPRT failure, not an indifference-region coin flip).
+func checkAgainstTruth(t *testing.T, model Model, prop Property, truth, margin float64, seed uint64) {
+	t.Helper()
+	replica := model.Replica(prop)
+	for _, tc := range []struct {
+		theta float64
+		want  Verdict
+	}{
+		{truth - margin, Accepted},
+		{truth + margin, Rejected},
+	} {
+		cfg := CheckConfig{
+			Theta: tc.theta, Delta: 0.02, Alpha: 0.01, Beta: 0.01,
+			Seed: seed,
+		}
+		rep, err := Check(prop, replica, cfg)
+		if err != nil {
+			t.Fatalf("Check(%q, theta=%v): %v", prop, tc.theta, err)
+		}
+		if rep.Verdict != tc.want {
+			t.Errorf("Check(%q): truth %.4f, theta %.4f: got %v (replicas=%d successes=%d), want %v",
+				prop, truth, tc.theta, rep.Verdict, rep.Replicas, rep.Successes, tc.want)
+		}
+		if rep.Replicas >= rep.FixedN {
+			t.Errorf("Check(%q, theta=%v): consumed %d replicas, not below fixed-N %d",
+				prop, tc.theta, rep.Replicas, rep.FixedN)
+		}
+	}
+}
+
+// The tentpole cross-validation: SPRT verdicts on the engine must agree
+// with the exact complete-mesh flood law for thresholds on both sides
+// of the true trajectory probability.
+func TestCheckAgreesWithFloodLawCompleteMesh(t *testing.T) {
+	for _, tc := range []struct {
+		n, k, rounds int
+		p            float64
+	}{
+		{16, 6, 2, 0.1},  // truth ≈ 0.467
+		{12, 9, 3, 0.15}, // truth ≈ 0.639
+	} {
+		truth := gossip.FloodReachProb(tc.n, tc.p, tc.k, tc.rounds)
+		if truth < 0.25 || truth > 0.8 {
+			t.Fatalf("test point drifted: FloodReachProb(%d,%g,%d,%d) = %v no longer mid-range",
+				tc.n, tc.p, tc.k, tc.rounds, truth)
+		}
+		model := completeMeshModel(tc.n, tc.p, tc.rounds+2)
+		prop := AwareFraction(float64(tc.k) / float64(tc.n)).Within(tc.rounds)
+		checkAgainstTruth(t, model, prop, truth, 0.12, 0x5eed+uint64(tc.n))
+	}
+}
+
+// On a grid the one-round event is an exact binomial: from a center
+// source with 4 neighbours, "5 tiles aware within 1 round" happens iff
+// all four independent port draws fire — probability p⁴, fault free.
+// The acceptance fabrics: 4×4 and 8×8 grids, θ on both sides.
+func TestCheckAgreesWithBinomialLawOnGrids(t *testing.T) {
+	const p = 0.8 // truth = 0.8^4 = 0.4096
+	truth := math.Pow(p, 4)
+	for _, side := range []int{4, 8} {
+		model := gridModel(side, p, 4)
+		prop := AwareFraction(5.0 / float64(side*side)).Within(1)
+		checkAgainstTruth(t, model, prop, truth, 0.12, 0xbeef+uint64(side))
+	}
+}
+
+// p = 1 degenerates to deterministic flooding: awareness grows by
+// Manhattan distance, so full coverage of a 4×4 grid from the (2,2)
+// source takes exactly 4 rounds (the farthest corner is 4 hops away).
+// The SPRT must accept "within 4" against θ = 0.95 and reject
+// "within 3" against θ = 0.05 — the degenerate endpoints of the law.
+func TestCheckDeterministicFloodingEndpoints(t *testing.T) {
+	model := gridModel(4, 1, 6)
+	full := AwareFraction(1)
+
+	rep, err := Check(full.Within(4), model.Replica(full.Within(4)), CheckConfig{
+		Theta: 0.95, Delta: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Accepted {
+		t.Errorf("p=1 full coverage within 4: got %v, want Accepted (%s)", rep.Verdict, rep)
+	}
+	if rep.Successes != rep.Replicas {
+		t.Errorf("p=1 flooding produced a failed trajectory: %d/%d", rep.Successes, rep.Replicas)
+	}
+
+	rep, err = Check(full.Within(3), model.Replica(full.Within(3)), CheckConfig{
+		Theta: 0.05, Delta: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Rejected {
+		t.Errorf("p=1 full coverage within 3: got %v, want Rejected (%s)", rep.Verdict, rep)
+	}
+	if rep.Successes != 0 {
+		t.Errorf("corner tile reached in under 4 rounds: %d successes", rep.Successes)
+	}
+}
+
+// The Report must be deterministic in (Seed, test parameters) alone:
+// wave size and worker count shift wall-clock work, never the verdict
+// or the consumed-replica count.
+func TestCheckDeterministicAcrossWorkersAndBatch(t *testing.T) {
+	model := completeMeshModel(16, 0.1, 4)
+	prop := AwareFraction(0.375).Within(2)
+	replica := model.Replica(prop)
+	base := CheckConfig{Theta: 0.35, Delta: 0.02, Seed: 42}
+
+	var first Report
+	for i, cfg := range []CheckConfig{
+		base,
+		{Theta: 0.35, Delta: 0.02, Seed: 42, Workers: 1, Batch: 16},
+		{Theta: 0.35, Delta: 0.02, Seed: 42, Workers: 4, Batch: 250},
+		{Theta: 0.35, Delta: 0.02, Seed: 42, Workers: 7, Batch: 3},
+	} {
+		rep, err := Check(prop, replica, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = rep
+			if first.Verdict == Undecided {
+				t.Fatalf("baseline check undecided: %s", first)
+			}
+			continue
+		}
+		if rep != first {
+			t.Errorf("report depends on scheduling: %+v != %+v (cfg %+v)", rep, first, cfg)
+		}
+	}
+}
+
+// A check that cannot settle within MaxReplicas reports Undecided
+// rather than erroring or spinning.
+func TestCheckUndecidedAtReplicaCap(t *testing.T) {
+	model := completeMeshModel(16, 0.1, 4)
+	prop := AwareFraction(0.375).Within(2)
+	truth := gossip.FloodReachProb(16, 0.1, 6, 2)
+	rep, err := Check(prop, model.Replica(prop), CheckConfig{
+		Theta: truth, // dead center of the indifference region
+		Delta: 0.005, Seed: 3, MaxReplicas: 40, Batch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != Undecided {
+		// Not impossible for a short stream, but with θ at the truth and
+		// only 40 replicas the LLR should still be wandering.
+		t.Errorf("expected Undecided at tiny replica cap, got %s", rep)
+	}
+	if rep.Replicas > 40 {
+		t.Errorf("consumed %d replicas past the cap of 40", rep.Replicas)
+	}
+}
+
+// Parsed properties drive the same machinery: a parsed spec and its
+// constructor twin yield identical reports.
+func TestCheckParsedPropertyMatchesConstructor(t *testing.T) {
+	model := completeMeshModel(12, 0.15, 5)
+	parsed := MustParse("aware(0.75) within 3")
+	built := AwareFraction(0.75).Within(3)
+	cfg := CheckConfig{Theta: 0.5, Delta: 0.02, Seed: 11}
+
+	repParsed, err := Check(parsed, model.Replica(parsed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBuilt, err := Check(built, model.Replica(built), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repParsed != repBuilt {
+		t.Errorf("parsed and constructed property disagree:\n  %+v\n  %+v", repParsed, repBuilt)
+	}
+}

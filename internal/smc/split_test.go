@@ -1,0 +1,166 @@
+package smc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// The rare event: full awareness of a 16-tile complete mesh within 6
+// rounds at p = 0.025 — exact probability ≈ 1.8e-4 (FloodReachProb).
+// The horizon leaves the level crossings spread over rounds, which
+// splitting needs: a fork from a level crossed only at the horizon has
+// no budget left to progress (that is the level-design lesson worked
+// through in docs/SMC.md).
+const (
+	splitMeshN   = 16
+	splitP       = 0.025
+	splitHorizon = 6
+)
+
+func splitModel() Model {
+	return completeMeshModel(splitMeshN, splitP, splitHorizon)
+}
+
+// Fixed-effort splitting must land within a small factor of the exact
+// tail probability — the cross-validation that the fork machinery
+// (Restore + Reseed) preserves the trajectory law level by level.
+func TestSplitEstimatesRareTailWithinFactor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("splitting estimation loop in -short mode")
+	}
+	truth := gossip.FloodReachProb(splitMeshN, splitP, splitMeshN, splitHorizon)
+	if truth > 1e-3 || truth < 1e-5 {
+		t.Fatalf("test point drifted: truth %.3e is no longer a ~1e-4 tail", truth)
+	}
+	res, err := Split(splitModel(), AwareScore, SplitConfig{
+		Levels: []float64{3.0 / 16, 6.0 / 16, 9.0 / 16, 12.0 / 16, 14.0 / 16, 1},
+		Effort: 512,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probability <= 0 {
+		t.Fatalf("splitting lost the event entirely: %+v", res)
+	}
+	if ratio := res.Probability / truth; ratio < 1.0/4 || ratio > 4 {
+		t.Errorf("estimate %.3e vs exact %.3e (ratio %.2f) outside factor-4 band\n%s",
+			res.Probability, truth, ratio, res)
+	}
+	// Direct Monte Carlo at the same trajectory budget expects under
+	// one hit — the tail is out of plain-replica reach at this budget.
+	if expected := truth * float64(res.Trajectories); expected > 1 {
+		t.Errorf("event not rare at this budget: %d trajectories × %.1e = %.2f expected direct hits",
+			res.Trajectories, truth, expected)
+	}
+}
+
+// The estimate is deterministic in (model, config): two runs agree
+// exactly.
+func TestSplitDeterministic(t *testing.T) {
+	cfg := SplitConfig{
+		Levels: []float64{4.0 / 16, 8.0 / 16, 12.0 / 16},
+		Effort: 64,
+		Seed:   99,
+	}
+	a, err := Split(splitModel(), AwareScore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Split(splitModel(), AwareScore, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Probability != b.Probability || a.Trajectories != b.Trajectories {
+		t.Errorf("split not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// Degenerate configurations fail loudly.
+func TestSplitRejectsBadLevels(t *testing.T) {
+	for _, levels := range [][]float64{
+		nil,
+		{},
+		{0.5, 0.5},
+		{0.5, 0.25},
+	} {
+		if _, err := Split(splitModel(), AwareScore, SplitConfig{Levels: levels, Effort: 4}); err == nil {
+			t.Errorf("Split accepted levels %v", levels)
+		}
+	}
+}
+
+// An unreachable first level yields probability zero (and stops — no
+// later stage can run without parents).
+func TestSplitUnreachableLevelIsZero(t *testing.T) {
+	res, err := Split(splitModel(), func(n *core.Network, msg packet.MsgID) float64 {
+		return 0 // score never moves
+	}, SplitConfig{Levels: []float64{0.5, 1}, Effort: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probability != 0 {
+		t.Errorf("unreachable level gave probability %v", res.Probability)
+	}
+	if res.Hits[0] != 0 || res.Trajectories != 8 {
+		t.Errorf("unexpected accounting for dead stage: %+v", res)
+	}
+}
+
+// The fork primitive underneath splitting: restoring one snapshot twice
+// with different Reseed values must diverge, while the same reseed
+// value reproduces the identical continuation. Without Reseed every
+// fork would replay its parent's future and splitting would multiply
+// one trajectory, not explore the conditional distribution.
+func TestReseedDivergesForkedTrajectories(t *testing.T) {
+	g := topology.NewFullyConnected(splitMeshN)
+	cfg := core.Config{Topo: g, P: 0.3, TTL: 64, MaxRounds: 32, Seed: 1234}
+	net, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := net.Inject(0, packet.Broadcast, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Step()
+	var snap bytes.Buffer
+	if err := net.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(reseed uint64, rounds int) []int {
+		fork, err := core.Restore(bytes.NewReader(snap.Bytes()), cfg)
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		fork.Reseed(reseed)
+		trace := make([]int, rounds)
+		for i := range trace {
+			fork.Step()
+			trace[i] = fork.Aware(id)
+		}
+		return trace
+	}
+
+	a := run(111, 6)
+	b := run(222, 6)
+	c := run(111, 6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("same reseed diverged: %v vs %v", a, c)
+		}
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different reseeds replayed the identical trajectory %v — forks are not independent", a)
+	}
+}

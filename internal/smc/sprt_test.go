@@ -1,0 +1,168 @@
+package smc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// runSPRT drives one test to a verdict on a seeded Bernoulli(p) stream
+// and returns it with the consumed sample count. cap bounds runaway
+// streams (p inside the indifference region can take long).
+func runSPRT(t *testing.T, p float64, seed uint64, theta, delta, alpha, beta float64, cap int) (Verdict, int) {
+	t.Helper()
+	s, err := NewSPRT(theta, delta, alpha, beta)
+	if err != nil {
+		t.Fatalf("NewSPRT: %v", err)
+	}
+	r := rng.New(seed)
+	for i := 0; i < cap; i++ {
+		if s.Add(r.Bool(p)) != Undecided {
+			break
+		}
+	}
+	return s.Verdict(), s.N()
+}
+
+// The headline guarantee: over many seeded Bernoulli streams with the
+// true p a full indifference width away from θ, the SPRT's error rate
+// stays within Wald's bounds α′ ≤ α/(1−β), β′ ≤ β/(1−α).
+func TestSPRTErrorRatesWithinWaldBounds(t *testing.T) {
+	const (
+		theta = 0.5
+		delta = 0.05
+		alpha = 0.01
+		beta  = 0.01
+		runs  = 400
+	)
+	for _, tc := range []struct {
+		name string
+		p    float64
+		want Verdict
+	}{
+		{"pAboveTheta", theta + delta, Accepted},
+		{"pBelowTheta", theta - delta, Rejected},
+		{"pWellAbove", 0.7, Accepted},
+		{"pWellBelow", 0.3, Rejected},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wrong := 0
+			for i := 0; i < runs; i++ {
+				v, _ := runSPRT(t, tc.p, uint64(i)+1, theta, delta, alpha, beta, 1<<20)
+				if v == Undecided {
+					t.Fatalf("run %d: still undecided after 2^20 samples", i)
+				}
+				if v != tc.want {
+					wrong++
+				}
+			}
+			// Wald bound at the design point: error rate ≤ α/(1−β) ≈
+			// 0.0101. With 400 runs the 99.9% binomial envelope around
+			// that allows ~11 errors; away from the design point the
+			// rate collapses, so the envelope holds a fortiori.
+			bound := alpha / (1 - beta)
+			limit := int(math.Ceil(float64(runs)*bound + 3*math.Sqrt(float64(runs)*bound*(1-bound))))
+			if wrong > limit {
+				t.Fatalf("p=%v: %d/%d wrong verdicts, envelope %d (Wald bound %v)",
+					tc.p, wrong, runs, limit, bound)
+			}
+		})
+	}
+}
+
+// At the boundary p = θ the truth is inside the indifference region:
+// either verdict is acceptable, but the test must still terminate with
+// probability 1 (the LLR is a random walk with nonzero step variance).
+func TestSPRTTerminatesAtBoundary(t *testing.T) {
+	const cap = 1 << 22
+	for seed := uint64(1); seed <= 25; seed++ {
+		v, n := runSPRT(t, 0.5, seed, 0.5, 0.05, 0.01, 0.01, cap)
+		if v == Undecided {
+			t.Fatalf("seed %d: undecided after %d samples at p = theta", seed, cap)
+		}
+		if n <= 0 || n > cap {
+			t.Fatalf("seed %d: implausible sample count %d", seed, n)
+		}
+	}
+}
+
+// The point of being sequential: mean sample counts at the design
+// points stay below the equal-error fixed-N requirement.
+func TestSPRTBeatsFixedN(t *testing.T) {
+	const (
+		theta = 0.9
+		delta = 0.05
+		alpha = 0.01
+		beta  = 0.01
+		runs  = 200
+	)
+	fixed := FixedN(theta, delta, alpha, beta)
+	if fixed < 100 {
+		t.Fatalf("FixedN(%v,%v,%v,%v) = %d, implausibly small", theta, delta, alpha, beta, fixed)
+	}
+	for _, p := range []float64{theta - delta, theta + delta, 0.75, 0.99} {
+		total := 0
+		for i := 0; i < runs; i++ {
+			_, n := runSPRT(t, p, uint64(i)+1, theta, delta, alpha, beta, 1<<20)
+			total += n
+		}
+		mean := float64(total) / runs
+		if mean >= float64(fixed) {
+			t.Errorf("p=%v: mean SPRT samples %.1f >= fixed-N %d", p, mean, fixed)
+		}
+	}
+}
+
+// Add must freeze after the verdict settles: extra outcomes change
+// nothing — that is what makes Check's wave over-run harmless.
+func TestSPRTFrozenAfterVerdict(t *testing.T) {
+	s, err := NewSPRT(0.5, 0.1, 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; s.Add(true) == Undecided; i++ {
+		if i > 1000 {
+			t.Fatal("all-success stream did not settle")
+		}
+	}
+	v, n, llr := s.Verdict(), s.N(), s.LLR()
+	if v != Accepted {
+		t.Fatalf("all-success stream gave %v", v)
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(false)
+	}
+	if s.Verdict() != v || s.N() != n || s.LLR() != llr {
+		t.Fatalf("settled test moved: %v/%d/%v -> %v/%d/%v", v, n, llr, s.Verdict(), s.N(), s.LLR())
+	}
+}
+
+func TestNewSPRTRejectsBadParameters(t *testing.T) {
+	for _, tc := range []struct{ theta, delta, alpha, beta float64 }{
+		{0.5, 0, 0.01, 0.01},    // no indifference width
+		{0.5, -0.1, 0.01, 0.01}, // negative width
+		{0.05, 0.1, 0.01, 0.01}, // p0 ≤ 0
+		{0.95, 0.1, 0.01, 0.01}, // p1 ≥ 1
+		{0.5, 0.05, 0, 0.01},    // alpha out of range
+		{0.5, 0.05, 0.01, 1},    // beta out of range
+		{0.5, 0.05, math.NaN(), 0.01},
+	} {
+		if _, err := NewSPRT(tc.theta, tc.delta, tc.alpha, tc.beta); err == nil {
+			t.Errorf("NewSPRT(%v, %v, %v, %v) accepted invalid parameters",
+				tc.theta, tc.delta, tc.alpha, tc.beta)
+		}
+	}
+}
+
+func TestFixedNGrowsWithTighterErrors(t *testing.T) {
+	loose := FixedN(0.5, 0.05, 0.05, 0.05)
+	tight := FixedN(0.5, 0.05, 0.01, 0.01)
+	if !(tight > loose) {
+		t.Fatalf("FixedN not monotone in error bounds: alpha=0.01 gives %d, alpha=0.05 gives %d", tight, loose)
+	}
+	wide := FixedN(0.5, 0.1, 0.01, 0.01)
+	if !(wide < tight) {
+		t.Fatalf("FixedN not monotone in delta: delta=0.1 gives %d, delta=0.05 gives %d", wide, tight)
+	}
+}

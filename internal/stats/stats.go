@@ -68,10 +68,16 @@ func (o *Online) CI95() float64 {
 // Summary is a value snapshot of an Online accumulator, convenient for
 // experiment result tables.
 type Summary struct {
-	N         int
-	Mean      float64
-	StdDev    float64
-	Min, Max  float64
+	// N is the number of accumulated samples.
+	N int
+	// Mean is the sample mean.
+	Mean float64
+	// StdDev is the sample standard deviation (n−1 denominator).
+	StdDev float64
+	// Min and Max bound the accumulated samples.
+	Min, Max float64
+	// CI95Width is the half-width of the normal-approximation 95%
+	// confidence interval on the mean.
 	CI95Width float64
 }
 
@@ -131,9 +137,12 @@ func Quantile(xs []float64, q float64) float64 {
 // outside the range are clamped into the edge bins, which is what the
 // latency-distribution plots want.
 type Histogram struct {
+	// Lo and Hi bound the binned range; samples outside are clamped
+	// into the edge bins.
 	Lo, Hi float64
-	Bins   []int
-	total  int
+	// Bins holds the per-bin sample counts, uniform width over [Lo, Hi].
+	Bins  []int
+	total int
 }
 
 // NewHistogram returns a histogram with the given range and bin count.
@@ -167,6 +176,14 @@ func (h *Histogram) Fraction(i int) float64 {
 		return 0
 	}
 	return float64(h.Bins[i]) / float64(h.total)
+}
+
+// NormalQuantile returns the p-th quantile of the standard normal
+// distribution (the z-value with Φ(z) = p), via the error-function
+// inverse: z = √2·erfinv(2p−1). It is the z_α ingredient of fixed-N
+// sample-size planning (smc.FixedN). p outside (0, 1) yields ±Inf.
+func NormalQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
 }
 
 // LinReg fits y = a + b·x by ordinary least squares and returns the

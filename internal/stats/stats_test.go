@@ -266,3 +266,27 @@ func TestLinRegDegenerate(t *testing.T) {
 		t.Fatal("length mismatch fit")
 	}
 }
+
+func TestNormalQuantile(t *testing.T) {
+	// Textbook z-values.
+	for _, tc := range []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.99, 2.326348},
+		{0.025, -1.959964},
+	} {
+		if got := NormalQuantile(tc.p); !almostEq(got, tc.z, 1e-5) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", tc.p, got, tc.z)
+		}
+	}
+	// Symmetry: Φ⁻¹(p) = −Φ⁻¹(1−p).
+	for _, p := range []float64{0.6, 0.9, 0.999} {
+		if got, want := NormalQuantile(p), -NormalQuantile(1-p); !almostEq(got, want, 1e-12) {
+			t.Errorf("NormalQuantile not symmetric at %v: %v vs %v", p, got, want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(1), 1) || !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile endpoints must be ±Inf")
+	}
+}
