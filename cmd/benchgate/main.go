@@ -10,9 +10,12 @@
 //	benchgate -baseline BENCH_7.json [-bench REGEXP] [-metric ns_per_op] [-tol 0.10] [-min-iters N] < current.json
 //
 // Only upward movement fails (more bytes or nanoseconds is a regression;
-// fewer is an improvement and prints as such). Benchmarks present in just
-// one of the two documents are reported but do not gate — a renamed or
-// new benchmark should not break CI until its baseline is committed.
+// fewer is an improvement and prints as such). A benchmark present only
+// in the current run does not gate — a new benchmark should not break CI
+// until its baseline is committed. The reverse is an error (exit 2): a
+// baseline entry whose benchmark no longer appears in the run means the
+// gate silently lost coverage — a renamed or deleted benchmark must be
+// renamed or deleted in the baseline too, not skipped.
 //
 // -min-iters is the timing-gate sanity check: a benchmark measured with
 // fewer iterations than the floor (in either document) is skipped rather
@@ -90,10 +93,29 @@ type Verdict struct {
 // millisecond benchmark measures scheduler luck, not the code. Zero
 // disables the floor (right for -benchmem byte counts, which are exact
 // at any iteration count).
-func Compare(baseline, current Doc, pick *regexp.Regexp, metricName string, tol float64, minIters int64) []Verdict {
+//
+// The second return value names baseline benchmarks that match pick and
+// carry the gated metric but are absent from the current run: each one
+// is a gate that stopped measuring anything, which the caller must treat
+// as an error, not a pass.
+func Compare(baseline, current Doc, pick *regexp.Regexp, metricName string, tol float64, minIters int64) ([]Verdict, []string) {
+	seen := map[string]bool{}
+	for _, r := range current.Results {
+		seen[r.Name] = true
+	}
 	base := map[string]Result{}
+	var missing []string
 	for _, r := range baseline.Results {
 		base[r.Name] = r
+		if _, ok := r.metric(metricName); !ok {
+			continue
+		}
+		if pick != nil && !pick.MatchString(r.Name) {
+			continue
+		}
+		if !seen[r.Name] {
+			missing = append(missing, r.Name)
+		}
 	}
 	var out []Verdict
 	for _, cur := range current.Results {
@@ -119,7 +141,7 @@ func Compare(baseline, current Doc, pick *regexp.Regexp, metricName string, tol 
 			Regresses: cv > limit,
 		})
 	}
-	return out
+	return out, missing
 }
 
 func readDoc(r io.Reader) (Doc, error) {
@@ -171,7 +193,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	verdicts := Compare(baseline, current, pick, *metricName, *tol, *minIters)
+	verdicts, missing := Compare(baseline, current, pick, *metricName, *tol, *minIters)
+	if len(missing) > 0 {
+		for _, name := range missing {
+			log.Printf("baseline benchmark %q did not run — the gate lost it; rename or drop the baseline entry if that is intended", name)
+		}
+		os.Exit(2)
+	}
 	if len(verdicts) == 0 {
 		log.Printf("no shared benchmarks to gate (metric %s)", *metricName)
 		os.Exit(2)

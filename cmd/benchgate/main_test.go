@@ -17,7 +17,7 @@ func TestCompareGatesGrowth(t *testing.T) {
 		Result{Name: "BenchmarkStepGrid256x256", BytesPerOp: 1099}, // within 10%
 		Result{Name: "BenchmarkStepGrid8x8", BytesPerOp: 12},       // 20% over
 	)
-	vs := Compare(baseline, current, nil, "bytes_per_op", 0.10, 0)
+	vs, _ := Compare(baseline, current, nil, "bytes_per_op", 0.10, 0)
 	if len(vs) != 2 {
 		t.Fatalf("got %d verdicts, want 2", len(vs))
 	}
@@ -34,7 +34,7 @@ func TestCompareGatesGrowth(t *testing.T) {
 }
 
 func TestCompareImprovementPasses(t *testing.T) {
-	vs := Compare(
+	vs, _ := Compare(
 		doc(Result{Name: "B", BytesPerOp: 1000}),
 		doc(Result{Name: "B", BytesPerOp: 1}),
 		nil, "bytes_per_op", 0.10, 0)
@@ -44,7 +44,7 @@ func TestCompareImprovementPasses(t *testing.T) {
 }
 
 func TestCompareZeroBaselineGatesAbsolutely(t *testing.T) {
-	vs := Compare(
+	vs, _ := Compare(
 		doc(Result{Name: "B", BytesPerOp: 0}),
 		doc(Result{Name: "B", BytesPerOp: 5}),
 		nil, "bytes_per_op", 0.10, 0)
@@ -62,25 +62,59 @@ func TestCompareSkipsUnsharedAndFiltered(t *testing.T) {
 		Result{Name: "Shared", BytesPerOp: 10},
 		Result{Name: "CurrentOnly", BytesPerOp: 99999},
 	)
-	vs := Compare(baseline, current, nil, "bytes_per_op", 0.10, 0)
+	vs, missing := Compare(baseline, current, nil, "bytes_per_op", 0.10, 0)
 	if len(vs) != 1 || vs[0].Name != "Shared" {
 		t.Fatalf("unshared benchmarks gated: %+v", vs)
 	}
-	vs = Compare(baseline, current, regexp.MustCompile("^NoMatch"), "bytes_per_op", 0.10, 0)
+	if len(missing) != 1 || missing[0] != "BaselineOnly" {
+		t.Fatalf("baseline-only benchmark not reported missing: %v", missing)
+	}
+	vs, missing = Compare(baseline, current, regexp.MustCompile("^NoMatch"), "bytes_per_op", 0.10, 0)
 	if len(vs) != 0 {
 		t.Fatalf("filtered benchmarks gated: %+v", vs)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("filtered-out baseline entries reported missing: %v", missing)
+	}
+}
+
+// TestCompareMissingBaselineBenchmark pins the lost-coverage check: a
+// baseline entry whose benchmark is absent from the current run is
+// named in the missing list (so the gate errors instead of silently
+// passing), but only when it matches the -bench filter and carries the
+// gated metric — entries that never gated cannot be "lost".
+func TestCompareMissingBaselineBenchmark(t *testing.T) {
+	baseline := doc(
+		Result{Name: "Gone", NsPerOp: 100},
+		Result{Name: "GoneButFiltered", NsPerOp: 100},
+		Result{Name: "GoneNoMetric", Metrics: map[string]float64{"other": 1}},
+		Result{Name: "Here", NsPerOp: 100},
+	)
+	current := doc(Result{Name: "Here", Iterations: 100, NsPerOp: 100})
+	vs, missing := Compare(baseline, current, regexp.MustCompile("^Gone$|^Here$"), "ns_per_op", 0.10, 0)
+	if len(vs) != 1 || vs[0].Name != "Here" {
+		t.Fatalf("surviving benchmark not gated: %+v", vs)
+	}
+	if len(missing) != 1 || missing[0] != "Gone" {
+		t.Fatalf("missing = %v, want exactly [Gone]", missing)
+	}
+	// Gating a custom metric: baseline entries without it never gated, so
+	// their absence is not lost coverage.
+	_, missing = Compare(baseline, current, nil, "other", 0.10, 0)
+	if len(missing) != 1 || missing[0] != "GoneNoMetric" {
+		t.Fatalf("custom-metric missing list = %v, want exactly [GoneNoMetric]", missing)
 	}
 }
 
 func TestCompareCustomMetric(t *testing.T) {
 	baseline := doc(Result{Name: "B", Metrics: map[string]float64{"rounds/sec": 100}})
 	current := doc(Result{Name: "B", Metrics: map[string]float64{"rounds/sec": 150}})
-	vs := Compare(baseline, current, nil, "rounds/sec", 0.10, 0)
+	vs, _ := Compare(baseline, current, nil, "rounds/sec", 0.10, 0)
 	if len(vs) != 1 || !vs[0].Regresses {
 		t.Fatalf("custom metric not gated: %+v", vs)
 	}
 	// Missing metric on either side: skipped, not a false failure.
-	if vs := Compare(baseline, current, nil, "missing_metric", 0.10, 0); len(vs) != 0 {
+	if vs, _ := Compare(baseline, current, nil, "missing_metric", 0.10, 0); len(vs) != 0 {
 		t.Fatalf("missing metric produced verdicts: %+v", vs)
 	}
 }
@@ -100,7 +134,7 @@ func TestCompareMinIters(t *testing.T) {
 		Result{Name: "Solid", Iterations: 500, NsPerOp: 130},     // over tol, well measured
 		Result{Name: "BaseStarved", Iterations: 500, NsPerOp: 1}, // baseline under floor
 	)
-	vs := Compare(baseline, current, nil, "ns_per_op", 0.10, 10)
+	vs, _ := Compare(baseline, current, nil, "ns_per_op", 0.10, 10)
 	if len(vs) != 3 {
 		t.Fatalf("got %d verdicts, want 3: %+v", len(vs), vs)
 	}
@@ -118,14 +152,14 @@ func TestCompareMinIters(t *testing.T) {
 		t.Errorf("well-measured regression missed: %+v", v)
 	}
 	// Exactly at the floor gates; zero floor gates even one iteration.
-	vs = Compare(
+	vs, _ = Compare(
 		doc(Result{Name: "B", Iterations: 10, NsPerOp: 100}),
 		doc(Result{Name: "B", Iterations: 10, NsPerOp: 200}),
 		nil, "ns_per_op", 0.10, 10)
 	if len(vs) != 1 || vs[0].LowIters || !vs[0].Regresses {
 		t.Fatalf("at-floor benchmark not gated: %+v", vs)
 	}
-	vs = Compare(
+	vs, _ = Compare(
 		doc(Result{Name: "B", Iterations: 1, NsPerOp: 100}),
 		doc(Result{Name: "B", Iterations: 1, NsPerOp: 200}),
 		nil, "ns_per_op", 0.10, 0)

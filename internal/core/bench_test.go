@@ -242,6 +242,125 @@ func BenchmarkStepGrid64x64DenseBcastBatch(b *testing.B) {
 	benchDenseBroadcast(b, true)
 }
 
+// activeTiles counts the tiles currently on the engine's frontier (send
+// buffer or arrival ring non-empty) — the quantity the frontier
+// scheduler makes each round's cost proportional to.
+func activeTiles(n *Network) int {
+	c := 0
+	seen := make(map[int]bool)
+	forOccupied(&n.bufOcc, 0, len(n.tiles), false, func(ti int) {
+		if !seen[ti] {
+			seen[ti] = true
+			c++
+		}
+	})
+	forOccupied(&n.rcvOcc, 0, len(n.tiles), false, func(ti int) {
+		if !seen[ti] {
+			seen[ti] = true
+			c++
+		}
+	})
+	return c
+}
+
+// benchSubTTL measures one inject+Step round of a side×side recycling
+// mesh under sub-TTL broadcast churn: every broadcast dies TTL hops from
+// its source, so only a pocket of the mesh is ever active and per-round
+// cost should track the active-tile count, not the mesh size — the
+// workload the frontier scheduler and the sparse row tier exist for.
+// The live population turns over continuously, exercising retirement,
+// sparse-row resets and (when the spread pocket outgrows the promotion
+// threshold) the two-tier promotion path. The steady-state active-tile
+// count is attached to the result as the active_tiles metric.
+func benchSubTTL(b *testing.B, side int, ttl uint8, perRound, shards int) {
+	g := topology.NewGrid(side, side)
+	cfg := Config{
+		Topo: g, P: 0.5, TTL: ttl, MaxRounds: 1 << 30, Seed: 0x5bb7,
+		Recycle: true, Shards: shards,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tiles := side * side
+	round := 0
+	churnRound := func() {
+		for i := 0; i < perRound; i++ {
+			src := packet.TileID((round*perRound*2654435761 + i*40503) % tiles)
+			if _, err := n.Inject(src, packet.Broadcast, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		n.Step()
+		round++
+	}
+	// Warm up well past TTL so the live population, slot pool and rings
+	// reach their steady sizes.
+	for round < int(ttl)*2+30 {
+		churnRound()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churnRound()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(activeTiles(n)), "active_tiles")
+}
+
+// BenchmarkStepGrid512x512SubTTL is the tentpole target workload: a
+// 262144-tile mesh where TTL-16 broadcasts keep a few thousand tiles
+// active. CI gates both ns/op and B/op against BENCH_8.json.
+func BenchmarkStepGrid512x512SubTTL(b *testing.B) {
+	benchSubTTL(b, 512, 16, 4, 8)
+}
+
+// BenchmarkStepGrid256x256SubTTL is the same workload on the 65536-tile
+// mesh, also gated against BENCH_8.json.
+func BenchmarkStepGrid256x256SubTTL(b *testing.B) {
+	benchSubTTL(b, 256, 16, 4, 8)
+}
+
+// BenchmarkStepGrid512x512SparsePocket is the frontier scheduler's
+// limiting case: one TTL-4 broadcast per round keeps a few dozen of the
+// 262144 tiles active, so nearly the entire round cost is scheduling —
+// the part a mesh-proportional sweep dominates and a frontier walk
+// makes O(active). Sequential on purpose: barrier handoffs would
+// otherwise drown the quantity under test.
+func BenchmarkStepGrid512x512SparsePocket(b *testing.B) {
+	benchSubTTL(b, 512, 4, 1, 1)
+}
+
+// BenchmarkSubTTLScaling sweeps the TTL on a fixed 64×64 mesh for the
+// EXPERIMENTS.md scaling table: round cost should grow with the TTL's
+// active-tile pocket while the mesh stays constant. The ttl=inf variant
+// (saturated single broadcast, every tile holding a live copy — the
+// scaleNet fixture, whose TTL-255 window comfortably covers this mesh)
+// is the full-mesh limit the frontier engine degrades to.
+func BenchmarkSubTTLScaling(b *testing.B) {
+	for _, ttl := range []uint8{8, 16, 32} {
+		b.Run(fmt.Sprintf("ttl=%d", ttl), func(b *testing.B) {
+			benchSubTTL(b, 64, ttl, 4, 8)
+		})
+	}
+	b.Run("ttl=inf", func(b *testing.B) {
+		cfg := Config{P: 0.5, Seed: 1, Shards: 8}
+		n := scaleNet(b, 64, cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if n.round >= 230 {
+				b.StopTimer()
+				n = scaleNet(b, 64, cfg)
+				b.StartTimer()
+			}
+			n.Step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(activeTiles(n)), "active_tiles")
+	})
+}
+
 // BenchmarkStepGrid8x8Literal measures the hardware-faithful path: every
 // transmission is encoded to a wire frame and CRC-checked at reception.
 func BenchmarkStepGrid8x8Literal(b *testing.B) {

@@ -348,12 +348,13 @@ type Network struct {
 	batchT16 uint32
 	invLn1mP float64
 
-	// bufOcc/rcvOcc are the per-tile occupancy bitmaps the phase loops
-	// iterate instead of sweeping every tile (occupancy.go). Exact at
-	// round barriers; bufOcc bit set ⇔ send buffer non-empty, rcvOcc bit
-	// set ⇔ arrival ring non-empty.
-	bufOcc []uint64
-	rcvOcc []uint64
+	// bufOcc/rcvOcc are the two-level per-tile occupancy bitmaps the
+	// phase loops iterate instead of sweeping every tile (occupancy.go).
+	// Exact at round barriers; bufOcc bit set ⇔ send buffer non-empty,
+	// rcvOcc bit set ⇔ arrival ring non-empty; the summary level (one
+	// bit per 64-tile word) is the frontier the sweeps walk.
+	bufOcc occMap
+	rcvOcc occMap
 	// procTiles lists the tiles with an attached Process, rebuilt from
 	// procsDirty, so phase 1 visits only them.
 	procTiles []*tile
@@ -373,6 +374,10 @@ type Network struct {
 	// tile bitmaps (message rows, occupancy), and the bit flips skip
 	// their CAS loops even while shard goroutines are live.
 	alignedLanes bool
+	// laneBase/laneRem record the initLanes partition arithmetic (span
+	// units per lane, in words when aligned, tiles otherwise) so laneFor
+	// can invert tile→lane without a lookup table.
+	laneBase, laneRem int
 	// hasReceiver caches whether any attached process implements
 	// Receiver (recomputed when procsDirty; consulted by stepShards).
 	hasReceiver bool
@@ -402,8 +407,8 @@ func New(cfg Config) (*Network, error) {
 		batch: cfg.BatchDraws, batchT16: maskThreshold16(cfg.P),
 		invLn1mP: skipConstant(cfg.P),
 	}
-	n.bufOcc = make([]uint64, occWords(cfg.Topo.Tiles()))
-	n.rcvOcc = make([]uint64, occWords(cfg.Topo.Tiles()))
+	n.bufOcc.initOcc(cfg.Topo.Tiles())
+	n.rcvOcc.initOcc(cfg.Topo.Tiles())
 	n.tbl.initTable(cfg.Topo.Tiles())
 	if n.recycle {
 		n.tbl.copies = make([]int32, 1, 8)
@@ -527,19 +532,10 @@ func (n *Network) AwareAt(id packet.MsgID, t packet.TileID) bool {
 // in flight — the network has drained. Energy comparisons step until
 // quiescence so that every transmission a workload causes is billed.
 // The occupancy bitmaps are exact at round barriers (occupancy.go), so
-// the check is O(tiles/64) word compares.
+// the check is O(tiles/4096) summary compares plus one word load per
+// active word.
 func (n *Network) Quiescent() bool {
-	for _, w := range n.bufOcc {
-		if w != 0 {
-			return false
-		}
-	}
-	for _, w := range n.rcvOcc {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
+	return n.bufOcc.empty() && n.rcvOcc.empty()
 }
 
 // Drain steps the network until it is quiescent or maxRounds more rounds
@@ -613,7 +609,7 @@ func (n *Network) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgI
 // The packet is copied by value; the caller keeps ownership of *p. Counts
 // and events go through the executing lane.
 func (n *Network) enqueue(ln *lane, t *tile, p *packet.Packet) {
-	if !n.cfg.DisableDedup && n.rowBit(n.tbl.present[msgSlot(p.ID)], t.id) {
+	if s := msgSlot(p.ID); !n.cfg.DisableDedup && n.rowBit(&n.tbl.present[s], s, t.id) {
 		ln.cnt.Duplicates++
 		return
 	}
@@ -628,9 +624,12 @@ func (n *Network) enqueue(ln *lane, t *tile, p *packet.Packet) {
 	if ln.borrowed == p {
 		ln.unshare(p)
 	}
+	if t.sendBuf == nil {
+		t.sendBuf = ln.bufs.get() // re-arm a cold tile from the lane pool
+	}
 	t.sendBuf = append(t.sendBuf, *p)
 	if len(t.sendBuf) == 1 {
-		n.occSet(n.bufOcc, uint32(t.id)) // buffer went non-empty
+		n.occSet(&n.bufOcc, uint32(t.id)) // buffer went non-empty
 	}
 	if n.recycle {
 		n.addCopies(msgSlot(p.ID), 1)
@@ -662,7 +661,7 @@ func (n *Network) deliver(ln *lane, t *tile, p *packet.Packet) {
 	if p.Dst != t.id && p.Dst != packet.Broadcast {
 		return
 	}
-	if n.rowBit(n.tbl.seen[msgSlot(p.ID)], t.id) {
+	if s := msgSlot(p.ID); n.rowBit(&n.tbl.seen[s], s, t.id) {
 		return
 	}
 	n.setSeen(t, p.ID)
@@ -672,24 +671,28 @@ func (n *Network) deliver(ln *lane, t *tile, p *packet.Packet) {
 	if ln.borrowed == p {
 		ln.unshare(p)
 	}
-	q := *p // one allocation per first-time delivery — off the steady state
-	t.mailbox = append(t.mailbox, &q)
+	q := ln.pkts.get() // arena-carved heap copy, mailbox lifetime
+	*q = *p
+	if t.mailbox == nil {
+		t.mailbox = ln.mail.carve()
+	}
+	t.mailbox = append(t.mailbox, q)
 	ln.cnt.Deliveries++
 	ln.cnt.DeliveredPayloadBits += 8 * len(p.Payload)
 	ln.emit(EvDeliver, t.id, p.Src, p.ID)
 	if ln.direct {
 		if n.cfg.OnDeliver != nil {
-			n.cfg.OnDeliver(t.id, &q, n.round)
+			n.cfg.OnDeliver(t.id, q, n.round)
 		}
 		if rcv, ok := t.proc.(Receiver); ok {
-			rcv.Receive(&t.ctx, &q)
+			rcv.Receive(&t.ctx, q)
 		}
 		return
 	}
 	if n.cfg.OnDeliver != nil {
 		ln.actions = append(ln.actions, action{
 			ev:  Event{Round: n.round, Kind: EvDeliver, Tile: t.id, Peer: p.Src, Msg: p.ID},
-			pkt: &q,
+			pkt: q,
 		})
 	}
 }
@@ -731,6 +734,10 @@ func (n *Network) Step() {
 		// sample the round (they see ledgered Aware counts, same values).
 		n.retireExpired()
 	}
+	// Promote sparse rows that crossed the density threshold this round.
+	// Barrier-only, so tier membership is stable during phases and driven
+	// purely by shard-count-independent cardinalities.
+	n.tbl.promoteDue()
 
 	if n.cfg.Observer != nil {
 		n.cfg.Observer(n.round, n)
@@ -762,7 +769,10 @@ func (n *Network) phaseCompute() {
 // messages, for the occupied tiles of the lane's range. The word loops of
 // phases 2-4 are hand-inlined copies of forOccupied (occupancy.go): the
 // three sweeps are the engine's innermost frames and an indirect visit
-// call per occupied tile is measurable on dense small meshes.
+// call per occupied tile is measurable on dense small meshes. Each sweep
+// is two-level — the lane walks the set summary bits of its frontier
+// segment and only loads the tile words under them — so a lane whose
+// range is idle costs O(range/4096) summary loads, not a word scan.
 func (n *Network) phaseAge(ln *lane) {
 	unaligned := n.par && !n.alignedLanes
 	// markDead is the only writer of the tombstone bits and it is gated on
@@ -772,62 +782,84 @@ func (n *Network) phaseAge(ln *lane) {
 	// lookup is worth ~an eighth of the whole phase.
 	checkDead := n.cfg.StopSpreadOnDelivery
 	w0, w1 := ln.lo>>6, (ln.hi+63)>>6
-	for wi := w0; wi < w1; wi++ {
-		var w uint64
-		if unaligned {
-			// Another lane may CAS its own bits of a shared boundary word
-			// mid-phase; even a discarded plain read of it is a race.
-			w = atomic.LoadUint64(&n.bufOcc[wi])
+	s0, s1 := w0>>6, (w1+63)>>6
+	for si := s0; si < s1; si++ {
+		var sw uint64
+		if n.par {
+			// Summary words can span lanes even under an aligned
+			// partition; other lanes CAS their bits mid-phase.
+			sw = atomic.LoadUint64(&n.bufOcc.sum[si])
 		} else {
-			w = n.bufOcc[wi]
+			sw = n.bufOcc.sum[si]
 		}
-		if wi == w0 {
-			w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
+		if si == s0 {
+			sw &^= (uint64(1) << (uint(w0) & 63)) - 1
 		}
-		for ; w != 0; w &= w - 1 {
-			ti := wi<<6 + bits.TrailingZeros64(w)
-			if ti >= ln.hi {
+		for ; sw != 0; sw &= sw - 1 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			if wi >= w1 {
 				break
 			}
-			t := n.tiles[ti]
-			if !t.alive {
-				continue
+			var w uint64
+			if unaligned {
+				// Another lane may CAS its own bits of a shared boundary
+				// word mid-phase; even a discarded plain read is a race.
+				w = atomic.LoadUint64(&n.bufOcc.bits[wi])
+			} else {
+				w = n.bufOcc.bits[wi]
 			}
-			// Age in place first: in the steady state nothing expires, and
-			// the compaction pass below (which copies every surviving
-			// packet) is pure overhead then. isDead cannot change during
-			// phase 2, so both passes agree on who expires.
-			dropped := false
-			for i := range t.sendBuf {
-				p := &t.sendBuf[i]
-				p.TTL--
-				if p.TTL == 0 || (checkDead && n.isDead(p.ID)) {
-					dropped = true
+			if wi == w0 {
+				w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
+			}
+			for ; w != 0; w &= w - 1 {
+				ti := wi<<6 + bits.TrailingZeros64(w)
+				if ti >= ln.hi {
+					break
 				}
-			}
-			if !dropped {
-				continue
-			}
-			kept := t.sendBuf[:0]
-			for i := range t.sendBuf {
-				p := &t.sendBuf[i]
-				if p.TTL == 0 || (checkDead && n.isDead(p.ID)) {
-					if n.recycle {
-						n.addCopies(msgSlot(p.ID), -1)
-					}
-					n.clearPresent(t, p.ID)
-					ln.emit(EvExpire, t.id, t.id, p.ID)
+				t := n.tiles[ti]
+				if !t.alive {
 					continue
 				}
-				kept = append(kept, *p)
-			}
-			// Zero the compaction tail so expired payloads can be collected.
-			for i := len(kept); i < len(t.sendBuf); i++ {
-				t.sendBuf[i] = packet.Packet{}
-			}
-			t.sendBuf = kept
-			if len(kept) == 0 {
-				n.occClear(n.bufOcc, uint32(ti)) // buffer drained
+				// Age in place first: in the steady state nothing expires,
+				// and the compaction pass below (which copies every
+				// surviving packet) is pure overhead then. isDead cannot
+				// change during phase 2, so both passes agree on who
+				// expires.
+				dropped := false
+				for i := range t.sendBuf {
+					p := &t.sendBuf[i]
+					p.TTL--
+					if p.TTL == 0 || (checkDead && n.isDead(p.ID)) {
+						dropped = true
+					}
+				}
+				if !dropped {
+					continue
+				}
+				kept := t.sendBuf[:0]
+				for i := range t.sendBuf {
+					p := &t.sendBuf[i]
+					if p.TTL == 0 || (checkDead && n.isDead(p.ID)) {
+						if n.recycle {
+							n.addCopies(msgSlot(p.ID), -1)
+						}
+						n.clearPresent(t, p.ID)
+						ln.emit(EvExpire, t.id, t.id, p.ID)
+						continue
+					}
+					kept = append(kept, *p)
+				}
+				// Zero the compaction tail so expired payloads can be
+				// collected.
+				for i := len(kept); i < len(t.sendBuf); i++ {
+					t.sendBuf[i] = packet.Packet{}
+				}
+				t.sendBuf = kept
+				if len(kept) == 0 {
+					n.occClear(&n.bufOcc, uint32(ti)) // buffer drained
+					ln.bufs.put(t.sendBuf)
+					t.sendBuf = nil
+				}
 			}
 		}
 	}
@@ -844,86 +876,105 @@ func (n *Network) phaseForward(ln *lane) {
 	unaligned := n.par && !n.alignedLanes
 	batch := n.batch && n.cfg.PortWeight == nil
 	w0, w1 := ln.lo>>6, (ln.hi+63)>>6
-	for wi := w0; wi < w1; wi++ {
-		var w uint64
-		if unaligned {
-			// Another lane may CAS its own bits of a shared boundary word
-			// mid-phase; even a discarded plain read of it is a race.
-			w = atomic.LoadUint64(&n.bufOcc[wi])
+	s0, s1 := w0>>6, (w1+63)>>6
+	for si := s0; si < s1; si++ {
+		var sw uint64
+		if n.par {
+			// Summary words can span lanes even under an aligned
+			// partition; other lanes CAS their bits mid-phase.
+			sw = atomic.LoadUint64(&n.bufOcc.sum[si])
 		} else {
-			w = n.bufOcc[wi]
+			sw = n.bufOcc.sum[si]
 		}
-		if wi == w0 {
-			w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
+		if si == s0 {
+			sw &^= (uint64(1) << (uint(w0) & 63)) - 1
 		}
-		for ; w != 0; w &= w - 1 {
-			ti := wi<<6 + bits.TrailingZeros64(w)
-			if ti >= ln.hi {
+		for ; sw != 0; sw &= sw - 1 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			if wi >= w1 {
 				break
 			}
-			t := n.tiles[ti]
-			if !t.alive {
-				continue
+			var w uint64
+			if unaligned {
+				// Another lane may CAS its own bits of a shared boundary
+				// word mid-phase; even a discarded plain read is a race.
+				w = atomic.LoadUint64(&n.bufOcc.bits[wi])
+			} else {
+				w = n.bufOcc.bits[wi]
 			}
-			buffered := len(t.sendBuf)
-			if buffered == 0 {
-				continue
+			if wi == w0 {
+				w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
 			}
-			count := buffered
-			if t.fwdLimit > 0 && count > t.fwdLimit {
-				count = t.fwdLimit // serializing bridge: TDM slots this round
-			}
-			// Round-robin over the buffer so a long-lived message cannot hog a
-			// rate-limited bridge. The cursor is normalized once (the buffer
-			// may have shrunk since last round) and then advanced with
-			// wrap-on-overflow subtractions: this inner loop runs per buffered
-			// message per round, and a `%` per iteration is measurably slower
-			// than a compare-and-subtract.
-			cur := t.fwdCursor % buffered
-			if batch && t.router == nil {
-				n.forwardBatch(ln, t, cur, count, buffered)
-				cur += count
-				if cur >= buffered {
-					cur -= buffered
+			for ; w != 0; w &= w - 1 {
+				ti := wi<<6 + bits.TrailingZeros64(w)
+				if ti >= ln.hi {
+					break
 				}
-				t.fwdCursor = cur
-				continue
-			}
-			for i := 0; i < count; i++ {
-				idx := cur + i
-				if idx >= buffered {
-					idx -= buffered // i < count <= buffered: one wrap at most
-				}
-				p := &t.sendBuf[idx]
-				if t.router != nil {
-					for _, nb := range t.router(p) {
-						n.transmit(ln, t, nb, p, n.inj.LinkAlive(t.id, nb))
-					}
+				t := n.tiles[ti]
+				if !t.alive {
 					continue
 				}
-				if n.cfg.PortWeight != nil {
+				buffered := len(t.sendBuf)
+				if buffered == 0 {
+					continue
+				}
+				count := buffered
+				if t.fwdLimit > 0 && count > t.fwdLimit {
+					count = t.fwdLimit // serializing bridge: TDM slots this round
+				}
+				// Round-robin over the buffer so a long-lived message cannot
+				// hog a rate-limited bridge. The cursor is normalized once
+				// (the buffer may have shrunk since last round) and then
+				// advanced with wrap-on-overflow subtractions: this inner
+				// loop runs per buffered message per round, and a `%` per
+				// iteration is measurably slower than a
+				// compare-and-subtract.
+				cur := t.fwdCursor % buffered
+				if batch && t.router == nil {
+					n.forwardBatch(ln, t, cur, count, buffered)
+					cur += count
+					if cur >= buffered {
+						cur -= buffered
+					}
+					t.fwdCursor = cur
+					continue
+				}
+				for i := 0; i < count; i++ {
+					idx := cur + i
+					if idx >= buffered {
+						idx -= buffered // i < count <= buffered: one wrap at most
+					}
+					p := &t.sendBuf[idx]
+					if t.router != nil {
+						for _, nb := range t.router(p) {
+							n.transmit(ln, t, nb, p, n.inj.LinkAlive(t.id, nb))
+						}
+						continue
+					}
+					if n.cfg.PortWeight != nil {
+						for pi, nb := range t.nbrs {
+							prob := n.cfg.P * n.cfg.PortWeight(t.id, nb, p)
+							// MakeThreshold+BoolT ≡ Bool(prob), draw for draw.
+							if !t.rnd.BoolT(rng.MakeThreshold(prob)) {
+								continue
+							}
+							n.transmit(ln, t, nb, p, t.nbrAlive[pi])
+						}
+						continue
+					}
 					for pi, nb := range t.nbrs {
-						prob := n.cfg.P * n.cfg.PortWeight(t.id, nb, p)
-						// MakeThreshold+BoolT ≡ Bool(prob), draw for draw.
-						if !t.rnd.BoolT(rng.MakeThreshold(prob)) {
+						if !t.rnd.BoolT(n.pThresh) {
 							continue
 						}
 						n.transmit(ln, t, nb, p, t.nbrAlive[pi])
 					}
-					continue
 				}
-				for pi, nb := range t.nbrs {
-					if !t.rnd.BoolT(n.pThresh) {
-						continue
-					}
-					n.transmit(ln, t, nb, p, t.nbrAlive[pi])
+				cur += count
+				if cur >= buffered {
+					cur -= buffered // count <= buffered: one wrap at most
 				}
+				t.fwdCursor = cur
 			}
-			cur += count
-			if cur >= buffered {
-				cur -= buffered // count <= buffered: one wrap at most
-			}
-			t.fwdCursor = cur
 		}
 	}
 }
@@ -934,75 +985,95 @@ func (n *Network) phaseForward(ln *lane) {
 func (n *Network) phaseReceive(ln *lane) {
 	unaligned := n.par && !n.alignedLanes
 	w0, w1 := ln.lo>>6, (ln.hi+63)>>6
-	for wi := w0; wi < w1; wi++ {
-		var w uint64
-		if unaligned {
-			// Another lane may CAS its own bits of a shared boundary word
-			// mid-phase; even a discarded plain read of it is a race.
-			w = atomic.LoadUint64(&n.rcvOcc[wi])
+	s0, s1 := w0>>6, (w1+63)>>6
+	for si := s0; si < s1; si++ {
+		var sw uint64
+		if n.par {
+			// Summary words can span lanes even under an aligned
+			// partition; other lanes CAS their bits mid-phase.
+			sw = atomic.LoadUint64(&n.rcvOcc.sum[si])
 		} else {
-			w = n.rcvOcc[wi]
+			sw = n.rcvOcc.sum[si]
 		}
-		if wi == w0 {
-			w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
+		if si == s0 {
+			sw &^= (uint64(1) << (uint(w0) & 63)) - 1
 		}
-		for ; w != 0; w &= w - 1 {
-			ti := wi<<6 + bits.TrailingZeros64(w)
-			if ti >= ln.hi {
+		for ; sw != 0; sw &= sw - 1 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			if wi >= w1 {
 				break
 			}
-			t := n.tiles[ti]
-			if !t.alive {
-				continue
+			var w uint64
+			if unaligned {
+				// Another lane may CAS its own bits of a shared boundary
+				// word mid-phase; even a discarded plain read is a race.
+				w = atomic.LoadUint64(&n.rcvOcc.bits[wi])
+			} else {
+				w = n.rcvOcc.bits[wi]
 			}
-			bucket := t.ring.take(n.round)
-			for i := range bucket {
-				a := &bucket[i]
-				if n.recycle {
-					// The arrival is consumed this round whatever its fate;
-					// a.pkt.ID still holds the originating ID even on the
-					// literal path (stashed by transmit, before any decode).
-					n.addInflight(msgSlot(a.pkt.ID), -1)
+			if wi == w0 {
+				w &^= (uint64(1) << (uint(ln.lo) & 63)) - 1
+			}
+			for ; w != 0; w &= w - 1 {
+				ti := wi<<6 + bits.TrailingZeros64(w)
+				if ti >= ln.hi {
+					break
 				}
-				var p *packet.Packet
-				switch {
-				case a.frame != nil:
-					if p = n.decodeArrival(ln, t, a); p == nil {
-						continue // frame already recycled
-					}
-					ln.borrowed = p // payload still aliases the pooled frame
-				case a.upset:
-					ln.cnt.UpsetsDetected++
-					ln.emit(EvUpset, t.id, t.id, a.pkt.ID)
+				t := n.tiles[ti]
+				if !t.alive {
 					continue
-				default:
-					p = &a.pkt
 				}
-				if !n.isDead(p.ID) {
-					// Analytic overflow: with probability POverflow the
-					// incoming packet finds no buffer space and is lost — the
-					// "% dropped packets" swept by Figs. 4-10/4-11.
-					// (Oldest-first eviction applies on the hard-capacity
-					// path in enqueue, per §4.2.)
-					if t.rnd.BoolT(n.overflowT) {
-						ln.cnt.OverflowDrops++
-						ln.emit(EvOverflow, t.id, t.id, p.ID)
-					} else {
-						n.deliver(ln, t, p)
-						n.enqueue(ln, t, p)
+				bucket := t.ring.take(n.round)
+				for i := range bucket {
+					a := &bucket[i]
+					if n.recycle {
+						// The arrival is consumed this round whatever its
+						// fate; a.pkt.ID still holds the originating ID even
+						// on the literal path (stashed by transmit, before
+						// any decode).
+						n.addInflight(msgSlot(a.pkt.ID), -1)
+					}
+					var p *packet.Packet
+					switch {
+					case a.frame != nil:
+						if p = n.decodeArrival(ln, t, a); p == nil {
+							continue // frame already recycled
+						}
+						ln.borrowed = p // payload still aliases the pooled frame
+					case a.upset:
+						ln.cnt.UpsetsDetected++
+						ln.emit(EvUpset, t.id, t.id, a.pkt.ID)
+						continue
+					default:
+						p = &a.pkt
+					}
+					if !n.isDead(p.ID) {
+						// Analytic overflow: with probability POverflow the
+						// incoming packet finds no buffer space and is lost —
+						// the "% dropped packets" swept by Figs. 4-10/4-11.
+						// (Oldest-first eviction applies on the hard-capacity
+						// path in enqueue, per §4.2.)
+						if t.rnd.BoolT(n.overflowT) {
+							ln.cnt.OverflowDrops++
+							ln.emit(EvOverflow, t.id, t.id, p.ID)
+						} else {
+							n.deliver(ln, t, p)
+							n.enqueue(ln, t, p)
+						}
+					}
+					if a.frame != nil {
+						// Consumed (any stored payload was cloned by
+						// unshare): the frame can go back to the pool.
+						ln.pool.put(a.frame)
+						a.frame = nil
+						ln.borrowed = nil
 					}
 				}
-				if a.frame != nil {
-					// Consumed (any stored payload was cloned by unshare):
-					// the frame can go back to the pool.
-					ln.pool.put(a.frame)
-					a.frame = nil
-					ln.borrowed = nil
+				t.ring.release(n.round)
+				if t.ring.count == 0 {
+					n.occClear(&n.rcvOcc, uint32(ti)) // nothing left in flight here
+					ln.rings.detach(&t.ring)
 				}
-			}
-			t.ring.release(n.round)
-			if t.ring.count == 0 {
-				n.occClear(n.rcvOcc, uint32(ti)) // nothing left in flight here
 			}
 		}
 	}

@@ -21,58 +21,158 @@ import (
 //     rounds is revisited each round until they drain, which is cheap
 //     and keeps the bit maintenance trivial).
 //
-// Both bitmaps are exact at every round barrier (enqueue sets a tile's
+// Each bitmap carries a summary level on top — one summary bit per
+// 64-tile word, set while the word is non-zero — so the phase sweeps are
+// two-level: walk the set summary bits, then the set tile bits under
+// them. A sub-TTL workload on a 512×512 mesh touches a few dozen of the
+// 4096 tile words; the summary collapses the idle remainder to 64 word
+// loads per phase, making the sweep O(active words + tiles/4096) instead
+// of O(tiles/64). This is the frontier the scheduler iterates: a tile
+// enters it the instant a copy is buffered or scheduled to arrive, and
+// leaves when its buffer and ring drain.
+//
+// Both levels are exact at every round barrier (enqueue sets a tile's
 // bufOcc bit when its buffer goes non-empty, aging clears it when the
 // buffer empties; scheduling sets rcvOcc, phase 4 clears it when the
-// ring drains), which is what lets Quiescent answer from the bitmaps
-// alone. Iteration is in ascending tile order — the same order the
-// full sweeps used — so skipping idle tiles is invisible to the event
-// log, the RNG streams and every golden.
+// ring drains; word-level transitions mirror into the summary), which is
+// what lets Quiescent answer from the bitmaps alone. Iteration is in
+// ascending tile order — the same order the full sweeps used — so
+// skipping idle tiles is invisible to the event log, the RNG streams and
+// every golden.
 //
 // Concurrency: a tile's bit is only ever flipped by the lane that owns
 // the tile, but tiles of several lanes can share a 64-tile word when
 // lane boundaries are unaligned (meshes too small for word-aligned
-// sharding, see initLanes). Flips then go through a CAS loop and
-// iteration reads the words atomically; with word-aligned lanes — and
-// always on the sequential engine — plain loads and stores suffice.
+// sharding, see initLanes). Tile-bit flips then go through a CAS loop
+// and iteration reads the words atomically; with word-aligned lanes —
+// and always on the sequential engine — plain loads and stores suffice.
+// The summary level is one notch more shared: even under an aligned
+// partition a summary word covers 64 tile words that may span several
+// lanes, so while shard goroutines are live every summary flip is a CAS
+// and every summary read an atomic load. That stays cheap because
+// summary bits only flip on a word's empty↔non-empty transitions — at
+// most once per active word per phase, not once per transmission. Under
+// an unaligned partition a tile word itself is shared, and a drain by
+// one lane can race a fill by another on the same summary bit; clearing
+// would lose the fill, so unaligned parallel clears leave the summary
+// bit set. The summary is then a conservative superset — iteration
+// reads a zero tile word and moves on — and the next sequential or
+// exclusive-owner clear tidies it. Unaligned partitions only occur on
+// meshes with fewer than 64 tiles per shard, where the whole summary is
+// one word.
+
+// occMap is one two-level occupancy bitmap: bits holds one bit per tile,
+// sum one bit per word of bits (set while the word is non-zero — exactly
+// at barriers, a superset mid-phase under unaligned parallel clears).
+type occMap struct {
+	bits []uint64
+	sum  []uint64
+}
+
+// empty reports whether no bit of m is set, walking only the words the
+// summary names. A stale summary bit (unaligned parallel clears, see the
+// file comment) is verified against its word, so a superset summary
+// never yields a false non-empty verdict. Barrier use only.
+func (m *occMap) empty() bool {
+	for si, sw := range m.sum {
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			if m.bits[wi] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // occWords returns the bitmap length for a tiles-tile mesh.
 func occWords(tiles int) int { return (tiles + 63) / 64 }
 
-// occSet sets bit ti of occ. Safe under parallel phases: unaligned lanes
-// CAS the shared word, aligned lanes own their words outright. The CAS
-// loops live in separate functions so that occSet/occClear stay leaf
-// calls the compiler inlines into the per-transmission hot path.
-func (n *Network) occSet(occ []uint64, ti uint32) {
-	if n.par && !n.alignedLanes {
-		occSetAtomic(occ, ti)
-		return
-	}
-	occ[ti>>6] |= 1 << (ti & 63)
+// initOcc sizes the map for a tiles-tile mesh.
+func (m *occMap) initOcc(tiles int) {
+	m.bits = make([]uint64, occWords(tiles))
+	m.sum = make([]uint64, occWords(len(m.bits)))
 }
 
-func occSetAtomic(occ []uint64, ti uint32) {
-	w := &occ[ti>>6]
+// reset zeroes both levels (restore path).
+func (m *occMap) reset() {
+	clear(m.bits)
+	clear(m.sum)
+}
+
+// setBarrier sets bit ti with no concurrency discipline — only for use
+// at barriers (rebuildOccupancy), where no shard goroutine is live.
+func (m *occMap) setBarrier(ti int) {
+	wi := ti >> 6
+	m.bits[wi] |= 1 << (uint(ti) & 63)
+	m.sum[wi>>6] |= 1 << (uint(wi) & 63)
+}
+
+// occSet sets bit ti of m. Safe under parallel phases: unaligned lanes
+// CAS the shared tile word, aligned lanes own their tile words outright;
+// the summary word is CASed whenever shard goroutines are live (it can
+// span lanes even under an aligned partition). The CAS loops live in
+// separate functions so that occSet/occClear stay leaf calls the
+// compiler inlines into the per-transmission hot path.
+func (n *Network) occSet(m *occMap, ti uint32) {
+	if n.par && !n.alignedLanes {
+		occSetAtomic(m, ti)
+		return
+	}
+	wi := ti >> 6
+	old := m.bits[wi]
+	m.bits[wi] = old | 1<<(ti&63)
+	if old == 0 {
+		// Word went live: publish it in the summary.
+		if n.par {
+			sumSetAtomic(m.sum, wi)
+		} else {
+			m.sum[wi>>6] |= 1 << (wi & 63)
+		}
+	}
+}
+
+func occSetAtomic(m *occMap, ti uint32) {
+	w := &m.bits[ti>>6]
 	mask := uint64(1) << (ti & 63)
 	for {
 		old := atomic.LoadUint64(w)
-		if old&mask != 0 || atomic.CompareAndSwapUint64(w, old, old|mask) {
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			if old == 0 {
+				sumSetAtomic(m.sum, ti>>6)
+			}
 			return
 		}
 	}
 }
 
-// occClear clears bit ti of occ, under the same discipline as occSet.
-func (n *Network) occClear(occ []uint64, ti uint32) {
+// occClear clears bit ti of m, under the same discipline as occSet. A
+// word drained by an unaligned parallel clear keeps its summary bit (see
+// the file comment: clearing could lose a concurrent fill of the shared
+// word); everywhere else the summary tracks the word exactly.
+func (n *Network) occClear(m *occMap, ti uint32) {
 	if n.par && !n.alignedLanes {
-		occClearAtomic(occ, ti)
+		occClearAtomic(m, ti)
 		return
 	}
-	occ[ti>>6] &^= 1 << (ti & 63)
+	wi := ti >> 6
+	w := m.bits[wi] &^ (1 << (ti & 63))
+	m.bits[wi] = w
+	if w == 0 {
+		if n.par {
+			sumClearAtomic(m.sum, wi)
+		} else {
+			m.sum[wi>>6] &^= 1 << (wi & 63)
+		}
+	}
 }
 
-func occClearAtomic(occ []uint64, ti uint32) {
-	w := &occ[ti>>6]
+func occClearAtomic(m *occMap, ti uint32) {
+	w := &m.bits[ti>>6]
 	mask := uint64(1) << (ti & 63)
 	for {
 		old := atomic.LoadUint64(w)
@@ -82,48 +182,94 @@ func occClearAtomic(occ []uint64, ti uint32) {
 	}
 }
 
-// forOccupied calls visit for every set bit of occ in [lo, hi), in
+// sumSetAtomic sets summary bit wi (one bit per tile word) with a CAS:
+// summary words can span lanes even when tile words do not.
+func sumSetAtomic(sum []uint64, wi uint32) {
+	w := &sum[wi>>6]
+	mask := uint64(1) << (wi & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 || atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// sumClearAtomic clears summary bit wi. Only called while the clearing
+// lane exclusively owns tile word wi (aligned partitions), so no
+// concurrent fill of that word can race the clear.
+func sumClearAtomic(sum []uint64, wi uint32) {
+	w := &sum[wi>>6]
+	mask := uint64(1) << (wi & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask == 0 || atomic.CompareAndSwapUint64(w, old, old&^mask) {
+			return
+		}
+	}
+}
+
+// forOccupied calls visit for every set bit of m in [lo, hi), in
 // ascending tile order — the sequential sweep order, minus the idle
-// tiles. atomicLoad selects atomic word reads, needed while another
-// lane may CAS its own bits of a shared boundary word.
-func forOccupied(occ []uint64, lo, hi int, atomicLoad bool, visit func(ti int)) {
+// tiles. Iteration is two-level: set summary bits select the tile words
+// to load, so idle stretches cost one summary word per 4096 tiles.
+// atomicLoad selects atomic word reads, needed while another lane may
+// CAS its own bits of a shared boundary word.
+func forOccupied(m *occMap, lo, hi int, atomicLoad bool, visit func(ti int)) {
 	if lo >= hi {
 		return
 	}
 	w0, w1 := lo>>6, (hi+63)>>6
-	for wi := w0; wi < w1; wi++ {
-		var w uint64
+	s0, s1 := w0>>6, (w1+63)>>6
+	for si := s0; si < s1; si++ {
+		var sw uint64
 		if atomicLoad {
-			w = atomic.LoadUint64(&occ[wi])
+			sw = atomic.LoadUint64(&m.sum[si])
 		} else {
-			w = occ[wi]
+			sw = m.sum[si]
 		}
-		if wi == w0 {
-			w &^= (uint64(1) << (uint(lo) & 63)) - 1 // mask bits below lo
+		if si == s0 {
+			sw &^= (uint64(1) << (uint(w0) & 63)) - 1 // mask words below w0
 		}
-		for w != 0 {
-			ti := wi<<6 + bits.TrailingZeros64(w)
-			w &= w - 1
-			if ti >= hi {
-				return
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			if wi >= w1 {
+				break
 			}
-			visit(ti)
+			var w uint64
+			if atomicLoad {
+				w = atomic.LoadUint64(&m.bits[wi])
+			} else {
+				w = m.bits[wi]
+			}
+			if wi == w0 {
+				w &^= (uint64(1) << (uint(lo) & 63)) - 1 // mask bits below lo
+			}
+			for w != 0 {
+				ti := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				if ti >= hi {
+					return
+				}
+				visit(ti)
+			}
 		}
 	}
 }
 
 // rebuildOccupancy recomputes both bitmaps from the tiles' actual state.
 // Restore uses it: the checkpoint serializes buffers and rings, and the
-// bitmaps are derived state.
+// bitmaps (both levels) are derived state.
 func (n *Network) rebuildOccupancy() {
-	clear(n.bufOcc)
-	clear(n.rcvOcc)
+	n.bufOcc.reset()
+	n.rcvOcc.reset()
 	for i, t := range n.tiles {
 		if len(t.sendBuf) > 0 {
-			n.bufOcc[i>>6] |= 1 << (uint(i) & 63)
+			n.bufOcc.setBarrier(i)
 		}
 		if t.ring.count > 0 {
-			n.rcvOcc[i>>6] |= 1 << (uint(i) & 63)
+			n.rcvOcc.setBarrier(i)
 		}
 	}
 }

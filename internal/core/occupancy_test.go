@@ -10,16 +10,18 @@ import (
 
 // TestForOccupiedIteration pins the iterator contract the phase loops
 // hand-inline: ascending order, bits below lo masked, bits at/after hi
-// never visited, empty ranges visit nothing.
+// never visited, empty ranges visit nothing. The map under test spans
+// several summary bits so the two-level walk is exercised too.
 func TestForOccupiedIteration(t *testing.T) {
-	occ := make([]uint64, occWords(200)) // 4 words
+	var m occMap
+	m.initOcc(200) // 4 words
 	set := []int{0, 1, 63, 64, 100, 127, 128, 199}
 	for _, ti := range set {
-		occ[ti>>6] |= 1 << (uint(ti) & 63)
+		m.setBarrier(ti)
 	}
 	collect := func(lo, hi int) []int {
 		var got []int
-		forOccupied(occ, lo, hi, false, func(ti int) { got = append(got, ti) })
+		forOccupied(&m, lo, hi, false, func(ti int) { got = append(got, ti) })
 		return got
 	}
 	cases := []struct {
@@ -44,12 +46,37 @@ func TestForOccupiedIteration(t *testing.T) {
 			}
 		}
 	}
+	// A stale summary bit over a zero word (the unaligned-parallel clear
+	// leaves these) must not surface phantom tiles, and empty() must see
+	// through it.
+	var stale occMap
+	stale.initOcc(200)
+	stale.sum[0] = 1 << 2 // word 2 flagged, but no tile bit set
+	forOccupied(&stale, 0, 200, false, func(ti int) {
+		t.Fatalf("stale summary bit visited tile %d", ti)
+	})
+	if !stale.empty() {
+		t.Fatal("empty() = false on a map with only a stale summary bit")
+	}
+}
+
+// TestOccupancySummaryExact checks that the summary level mirrors the
+// word level exactly at round barriers: a summary bit is set iff its
+// 64-tile word is non-zero.
+func checkSummaryExact(t *testing.T, name string, m *occMap, round int) {
+	t.Helper()
+	for wi, w := range m.bits {
+		got := m.sum[wi>>6]&(1<<(uint(wi)&63)) != 0
+		if got != (w != 0) {
+			t.Fatalf("round %d %s word %d = %#x but summary bit = %v", round, name, wi, w, got)
+		}
+	}
 }
 
 // TestOccupancyTracksTileState steps a small network and checks, at every
 // round barrier, that the occupancy bitmaps exactly mirror the tiles'
 // buffer and ring state — the invariant Quiescent and the phase sweeps
-// rely on.
+// rely on — and that the summary level mirrors the words.
 func TestOccupancyTracksTileState(t *testing.T) {
 	cfg := Config{
 		Topo: topology.NewGrid(5, 5), P: 0.5, TTL: 6, MaxRounds: 100, Seed: 9,
@@ -67,16 +94,18 @@ func TestOccupancyTracksTileState(t *testing.T) {
 	checkExact := func(round int) {
 		for i, tl := range n.tiles {
 			wantBuf := len(tl.sendBuf) > 0
-			gotBuf := n.bufOcc[i>>6]&(1<<(uint(i)&63)) != 0
+			gotBuf := n.bufOcc.bits[i>>6]&(1<<(uint(i)&63)) != 0
 			if wantBuf != gotBuf {
 				t.Fatalf("round %d tile %d: bufOcc = %v, buffer len %d", round, i, gotBuf, len(tl.sendBuf))
 			}
 			wantRcv := tl.ring.count > 0
-			gotRcv := n.rcvOcc[i>>6]&(1<<(uint(i)&63)) != 0
+			gotRcv := n.rcvOcc.bits[i>>6]&(1<<(uint(i)&63)) != 0
 			if wantRcv != gotRcv {
 				t.Fatalf("round %d tile %d: rcvOcc = %v, ring count %d", round, i, gotRcv, tl.ring.count)
 			}
 		}
+		checkSummaryExact(t, "bufOcc", &n.bufOcc, round)
+		checkSummaryExact(t, "rcvOcc", &n.rcvOcc, round)
 	}
 	quiet := false
 	for r := 0; r < 40; r++ {
@@ -97,12 +126,37 @@ func TestOccupancyTracksTileState(t *testing.T) {
 		}
 	}
 	// rebuildOccupancy (the restore path) must reproduce the live bitmaps.
-	bufBefore := append([]uint64(nil), n.bufOcc...)
-	rcvBefore := append([]uint64(nil), n.rcvOcc...)
+	bufBefore := append([]uint64(nil), n.bufOcc.bits...)
+	rcvBefore := append([]uint64(nil), n.rcvOcc.bits...)
 	n.rebuildOccupancy()
 	for i := range bufBefore {
-		if n.bufOcc[i] != bufBefore[i] || n.rcvOcc[i] != rcvBefore[i] {
+		if n.bufOcc.bits[i] != bufBefore[i] || n.rcvOcc.bits[i] != rcvBefore[i] {
 			t.Fatalf("rebuildOccupancy diverged from incrementally-maintained bitmaps at word %d", i)
 		}
+	}
+	checkSummaryExact(t, "bufOcc", &n.bufOcc, -1)
+	checkSummaryExact(t, "rcvOcc", &n.rcvOcc, -1)
+}
+
+// TestOccupancySummaryLargeMesh runs a sub-TTL broadcast on a mesh large
+// enough for multi-word summaries (128×128 = 256 tile words = 4 summary
+// words) and checks barrier exactness of both levels every round — the
+// regime the frontier sweep exists for.
+func TestOccupancySummaryLargeMesh(t *testing.T) {
+	cfg := Config{
+		Topo: topology.NewGrid(128, 128), P: 1, TTL: 9, MaxRounds: 100, Seed: 77,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInject(t, n, 128*64+64, packet.Broadcast, 0, []byte("f"))
+	for r := 0; r < 16; r++ {
+		n.Step()
+		checkSummaryExact(t, "bufOcc", &n.bufOcc, r+1)
+		checkSummaryExact(t, "rcvOcc", &n.rcvOcc, r+1)
+	}
+	if !n.Quiescent() {
+		t.Fatal("TTL-9 flood not drained after 16 rounds")
 	}
 }

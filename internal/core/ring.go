@@ -47,10 +47,12 @@ type arrivalRing struct {
 
 // schedule enqueues a for consumption at absolute round when. now is the
 // round currently executing; when >= now always holds (slips are never
-// negative), and the ring grows if the slip outruns its span.
-func (r *arrivalRing) schedule(now, when int, a arrival) {
+// negative), and the ring grows if the slip outruns its span. pool, when
+// non-nil, supplies recycled bucket arrays for a cold ring (lazyInit)
+// instead of fresh allocations.
+func (r *arrivalRing) schedule(now, when int, a arrival, pool *ringPool) {
 	if r.buckets == nil {
-		r.lazyInit()
+		r.lazyInit(pool)
 	}
 	if when-now >= len(r.buckets) {
 		r.grow(now, when-now+1)
@@ -60,12 +62,26 @@ func (r *arrivalRing) schedule(now, when int, a arrival) {
 	r.count++
 }
 
-// lazyInit allocates the initial buckets on a tile's first-ever arrival:
-// the bucket array plus one backing block carved into per-bucket slices of
-// capacity ringInitCap, so warming a ring costs two allocations instead of
-// a cascade of small append growths. Full-slice expressions keep the
-// carved buckets from growing into each other.
-func (r *arrivalRing) lazyInit() {
+// lazyInit populates the buckets on a cold ring: from the pool when it
+// has a detached bucket array (the steady state of a wandering frontier —
+// rings drain and re-arm constantly, so recycling keeps first-touch cost
+// allocation-free and bounds ring memory by the active tiles, not by
+// every tile ever touched), otherwise the bucket array plus one backing
+// block carved into per-bucket slices of capacity ringInitCap, so warming
+// a ring costs two allocations instead of a cascade of small append
+// growths. Full-slice expressions keep the carved buckets from growing
+// into each other. A pooled array may be larger than initLen (it may have
+// grown in its previous tenancy); schedule's mask arithmetic works at any
+// power-of-two length, so the size is behavior-invisible.
+func (r *arrivalRing) lazyInit(pool *ringPool) {
+	if pool != nil {
+		if l := len(pool.free); l > 0 {
+			r.buckets = pool.free[l-1]
+			pool.free[l-1] = nil
+			pool.free = pool.free[:l-1]
+			return
+		}
+	}
 	n := r.initLen
 	if n == 0 {
 		n = ringInitLen
@@ -118,4 +134,32 @@ func (r *arrivalRing) release(now int) {
 		b[j] = arrival{}
 	}
 	r.buckets[i] = b[:0]
+}
+
+// ringPoolCap bounds how many detached bucket arrays a pool retains;
+// beyond it, drained rings drop their buckets for the GC. It comfortably
+// covers the per-lane active-tile churn of the sub-TTL workloads.
+const ringPoolCap = 256
+
+// ringPool recycles the bucket arrays of drained arrival rings. Pools
+// are per-lane: a ring is detached by the lane that consumed its last
+// arrival (phase 4) and re-armed by whichever lane next schedules into
+// the tile, so get/put never contend and the exchange is behavior-free —
+// every pooled bucket is empty and zeroed (release truncates and zeroes
+// before detach is possible).
+type ringPool struct {
+	free [][][]arrival
+}
+
+// detach moves a fully-drained ring's buckets into the pool (or drops
+// them when the pool is full), returning the ring to its never-touched
+// state. Caller must ensure r.count == 0.
+func (rp *ringPool) detach(r *arrivalRing) {
+	if r.buckets == nil {
+		return
+	}
+	if len(rp.free) < ringPoolCap {
+		rp.free = append(rp.free, r.buckets)
+	}
+	r.buckets = nil
 }

@@ -39,6 +39,7 @@ import (
 // flushed in lane order (= tile-ID order) after the phase barrier.
 type lane struct {
 	net    *Network
+	idx    int  // position in Network.lanes (outbox bucket index)
 	lo, hi int  // tile-index range [lo, hi) this lane executes
 	direct bool // fire callbacks inline and write rings/counters directly
 
@@ -47,13 +48,28 @@ type lane struct {
 
 	pool framePool // recycled wire frames for the literal-upset path
 
+	// Frontier recycling: on a large mesh the active pocket wanders, so
+	// first-touch allocations (a fresh tile's arrival-ring buckets, its
+	// send buffer, the heap copy a delivery leaves in the mailbox) happen
+	// every round somewhere new — a steady allocation rate whose GC marks
+	// the whole mesh's pointer graph, an O(mesh) round cost in disguise.
+	// Per-lane recycling makes the steady state allocation-free: rings
+	// and buffers detach to the pools when they drain, mailbox copies are
+	// carved from a chunked arena. All three are behavior-invisible
+	// (capacity and address reuse only) and contention-free (used only by
+	// the lane executing the owning tile).
+	rings ringPool
+	bufs  bufPool
+	pkts  pktArena
+	mail  mailSlab
+
 	// borrowed points at the in-processing literal arrival whose payload
 	// still aliases its pooled frame; deliver/enqueue clone the payload
 	// (once, shared) the moment that packet is stored. Nil otherwise.
 	borrowed *packet.Packet
 
-	actions []action   // staged callbacks, flushed post-barrier in lane order
-	outbox  []outbound // staged transmissions, merged post-barrier in lane order
+	actions []action     // staged callbacks, flushed post-barrier in lane order
+	outbox  [][]outbound // staged transmissions, bucketed by destination lane
 }
 
 // action is one staged observer callback: an OnEvent emission, or (when
@@ -65,8 +81,11 @@ type action struct {
 	pkt *packet.Packet
 }
 
-// outbound is one phase-3 transmission staged in a lane's outbox: the
-// in-flight arrival plus its destination tile and consumption round.
+// outbound is one phase-3 transmission staged in a lane's outbox bucket:
+// the in-flight arrival plus its destination tile and consumption round.
+// Buckets are keyed by the destination tile's lane, so the phase-4 merge
+// reads exactly the entries bound for its own rings instead of filtering
+// every lane's full outbox — O(own arrivals), not O(lanes × arrivals).
 type outbound struct {
 	dst  packet.TileID
 	when int
@@ -112,6 +131,84 @@ func (fp *framePool) put(f []byte) {
 	fp.frames = append(fp.frames, f)
 }
 
+// bufPoolCap bounds the send-buffer slices a lane pool retains.
+const bufPoolCap = 256
+
+// bufPool recycles drained send-buffer slices: phase 2 detaches a
+// tile's buffer when its last copy expires, enqueue re-arms the next
+// cold tile from the pool. Pooled slices are empty with their tail
+// zeroed (every truncation in the engine zeroes what it cuts), so reuse
+// is behavior-free.
+type bufPool struct {
+	free [][]packet.Packet
+}
+
+// get returns a recycled empty buffer, or nil when the pool is dry (the
+// caller's append then allocates as before).
+func (bp *bufPool) get() []packet.Packet {
+	l := len(bp.free)
+	if l == 0 {
+		return nil
+	}
+	b := bp.free[l-1]
+	bp.free[l-1] = nil
+	bp.free = bp.free[:l-1]
+	return b
+}
+
+// put retains an empty buffer's capacity for the next cold tile.
+func (bp *bufPool) put(b []packet.Packet) {
+	if cap(b) == 0 || len(bp.free) >= bufPoolCap {
+		return
+	}
+	bp.free = append(bp.free, b[:0])
+}
+
+// pktArenaChunk is how many mailbox packet copies a lane carves from one
+// allocation.
+const pktArenaChunk = 256
+
+// pktArena hands out heap copies for delivered packets in chunks: the
+// copies live as long as the mailbox references them either way, so
+// carving them from a block only divides the allocation count (and the
+// GC's object count) by the chunk size.
+type pktArena struct {
+	chunk []packet.Packet
+}
+
+// get returns a pointer to a zeroed packet with arena lifetime.
+func (a *pktArena) get() *packet.Packet {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]packet.Packet, pktArenaChunk)
+	}
+	p := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	return p
+}
+
+// mailSlabCarve is the capacity of a carved cold-tile mailbox; slabs are
+// carved in mailSlabCarve*pktArenaChunk-pointer blocks.
+const mailSlabCarve = 2
+
+// mailSlab carves initial mailbox slices for cold tiles. Most tiles of a
+// sub-TTL pocket take one or two deliveries in their lifetime, so a
+// capacity-2 carve absorbs the whole mailbox of the common case; a tile
+// that outgrows it falls back to ordinary append growth. Full-slice
+// expressions keep neighbors from growing into each other.
+type mailSlab struct {
+	block []*packet.Packet
+}
+
+// carve returns an empty capacity-mailSlabCarve mailbox slice.
+func (m *mailSlab) carve() []*packet.Packet {
+	if len(m.block) < mailSlabCarve {
+		m.block = make([]*packet.Packet, mailSlabCarve*pktArenaChunk)
+	}
+	s := m.block[:0:mailSlabCarve]
+	m.block = m.block[mailSlabCarve:]
+	return s
+}
+
 // emit publishes a protocol event: immediately on a direct lane, staged
 // for the post-barrier flush otherwise.
 func (ln *lane) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgID) {
@@ -129,21 +226,22 @@ func (ln *lane) emit(kind EventKind, tile, peer packet.TileID, msg packet.MsgID)
 }
 
 // send hands one in-flight arrival to its destination tile: directly
-// into the arrival ring on a direct lane, staged in the outbox (merged
-// in sending-tile order after the phase-3 barrier) otherwise. Either way
-// the copy is now committed to arrive, so the in-flight count of its
-// message rises here — exactly once per arrival, since every staged
-// outbound is scheduled by the merge.
+// into the arrival ring on a direct lane, staged in the destination
+// lane's outbox bucket (merged in sending-tile order after the phase-3
+// barrier) otherwise. Either way the copy is now committed to arrive, so
+// the in-flight count of its message rises here — exactly once per
+// arrival, since every staged outbound is scheduled by the merge.
 func (ln *lane) send(dst packet.TileID, when int, a arrival) {
 	if ln.net.recycle {
 		ln.net.addInflight(msgSlot(a.pkt.ID), 1)
 	}
 	if ln.direct {
-		ln.net.tiles[dst].ring.schedule(ln.net.round, when, a)
-		ln.net.occSet(ln.net.rcvOcc, uint32(dst))
+		ln.net.tiles[dst].ring.schedule(ln.net.round, when, a, &ln.rings)
+		ln.net.occSet(&ln.net.rcvOcc, uint32(dst))
 		return
 	}
-	ln.outbox = append(ln.outbox, outbound{dst: dst, when: when, a: a})
+	d := ln.net.laneFor(dst)
+	ln.outbox[d] = append(ln.outbox[d], outbound{dst: dst, when: when, a: a})
 }
 
 // unshare replaces a frame-aliased payload with a private copy at the
@@ -176,10 +274,10 @@ func (n *Network) initLanes(shards int) {
 	if tiles >= shards*64 {
 		n.alignedLanes = true
 		words := occWords(tiles)
-		baseW, remW := words/shards, words%shards
+		n.laneBase, n.laneRem = words/shards, words%shards
 		for i := range n.lanes {
-			spanW := baseW
-			if i < remW {
+			spanW := n.laneBase
+			if i < n.laneRem {
 				spanW++
 			}
 			hi := lo + spanW*64
@@ -188,23 +286,43 @@ func (n *Network) initLanes(shards int) {
 			}
 			ln := &n.lanes[i]
 			ln.net = n
+			ln.idx = i
 			ln.lo, ln.hi = lo, hi
 			ln.cnt = &ln.delta
+			ln.outbox = make([][]outbound, shards)
 			lo = hi
 		}
 		return
 	}
-	base, rem := tiles/shards, tiles%shards
+	n.laneBase, n.laneRem = tiles/shards, tiles%shards
 	for i := range n.lanes {
-		span := base
-		if i < rem {
+		span := n.laneBase
+		if i < n.laneRem {
 			span++
 		}
 		ln := &n.lanes[i]
 		ln.net = n
+		ln.idx = i
 		ln.lo, ln.hi = lo, lo+span
 		ln.cnt = &ln.delta
+		ln.outbox = make([][]outbound, shards)
 		lo += span
+	}
+}
+
+// laneFor maps a tile to the index of the lane owning it, inverting the
+// initLanes partition arithmetically: the first laneRem lanes span
+// laneBase+1 units, the rest laneBase (units are 64-tile words on an
+// aligned partition, single tiles otherwise).
+func (n *Network) laneFor(t packet.TileID) int {
+	x := int(t)
+	if n.alignedLanes {
+		x >>= 6
+	}
+	if wide := n.laneRem * (n.laneBase + 1); x < wide {
+		return x / (n.laneBase + 1)
+	} else {
+		return n.laneRem + (x-wide)/n.laneBase
 	}
 }
 
@@ -251,9 +369,9 @@ func (n *Network) stepShards() {
 	n.mergeLaneCounters()
 	n.flushActions()
 
-	// Phase 4 — reception, fused with the outbox merge: every lane scans
-	// all outboxes in lane order and schedules the arrivals destined to
-	// its own tiles (each ring is written only by its owner shard, in
+	// Phase 4 — reception, fused with the outbox merge: every lane drains
+	// its own bucket of each outbox in lane order and schedules those
+	// arrivals (each ring is written only by its owner shard, in
 	// sending-tile-ID order — the sequential insertion order), then
 	// immediately consumes its own rings. No barrier is needed between
 	// the two halves because a lane merges only into rings it alone
@@ -281,32 +399,34 @@ func (n *Network) mergeAndReceive(ln *lane) {
 }
 
 // mergeInbound schedules, into this lane's own arrival rings, every
-// staged transmission of every lane whose destination falls in the
-// lane's tile range. Scanning lanes (and each outbox) in order preserves
-// the sequential per-ring insertion order.
+// staged transmission whose destination falls in the lane's tile range —
+// exactly the contents of this lane's bucket in every outbox. Scanning
+// sender lanes in order preserves the sequential per-ring insertion
+// order: within a bucket entries sit in sending-tile order (phase 3
+// walks tiles ascending), and all entries for any one ring share a
+// bucket, so their relative order matches the unbucketed filter scan.
 func (n *Network) mergeInbound(ln *lane) {
 	for li := range n.lanes {
-		out := n.lanes[li].outbox
+		out := n.lanes[li].outbox[ln.idx]
 		for i := range out {
 			o := &out[i]
-			if int(o.dst) < ln.lo || int(o.dst) >= ln.hi {
-				continue
-			}
-			n.tiles[o.dst].ring.schedule(n.round, o.when, o.a)
-			n.occSet(n.rcvOcc, uint32(o.dst))
+			n.tiles[o.dst].ring.schedule(n.round, o.when, o.a, &ln.rings)
+			n.occSet(&n.rcvOcc, uint32(o.dst))
 		}
 	}
 }
 
-// clearOutbox zeroes and truncates the lane's outbox at the start of the
-// next phaseForward — by then the merge barrier has consumed it (zeroing
-// drops payload/frame references for the GC; the slice capacity is kept,
-// so steady-state staging allocates nothing).
+// clearOutbox zeroes and truncates the lane's outbox buckets at the
+// start of the next phaseForward — by then the merge barrier has
+// consumed them (zeroing drops payload/frame references for the GC; the
+// slice capacities are kept, so steady-state staging allocates nothing).
 func clearOutbox(ln *lane) {
-	for i := range ln.outbox {
-		ln.outbox[i] = outbound{}
+	for b, out := range ln.outbox {
+		for i := range out {
+			out[i] = outbound{}
+		}
+		ln.outbox[b] = out[:0]
 	}
-	ln.outbox = ln.outbox[:0]
 }
 
 // flushActions replays the staged observer callbacks in lane order

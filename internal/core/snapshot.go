@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"slices"
 
 	"repro/internal/crc"
 	"repro/internal/packet"
@@ -41,7 +40,11 @@ import (
 // digest pins the seed and fault model.
 
 // corePayloadVersion versions the SecCore payload layout independently of
-// the container version. Version 3 adds the forwarding-kernel flag
+// the container version. Version 4 (the two-tier row engine) prefixes
+// every stored row with a tier byte — dense rows serialize their words as
+// before, sparse rows a strictly-ascending tile list — and writes the
+// retired ledger in ring (retirement) order, the order the bounded ledger
+// itself keeps. Version 3 added the forwarding-kernel flag
 // (Config.BatchDraws) next to the recycle flag — the kernel changes the
 // RNG realization, so resuming under the wrong one must be refused, like
 // a Recycle mismatch. Version 2 (the bitset/recycling engine) encodes
@@ -49,9 +52,14 @@ import (
 // the free list and the retired ledger — and stamps every in-flight wire
 // frame with its originating ID; version 1 (the dense per-tile-flags
 // engine) is still decoded, for checkpoints written before the refactor
-// (restoreV1). Both older versions stay readable; lacking the kernel
-// flag, they restore only into BatchDraws=false networks.
-const corePayloadVersion = 3
+// (restoreV1). All older versions stay readable: their all-dense rows
+// restore onto whichever tier discipline the mesh uses (forceDense), and
+// versions below 3, lacking the kernel flag, restore only into
+// BatchDraws=false networks.
+const corePayloadVersion = 4
+
+// corePayloadVersionV3 is the pre-two-tier (all-dense rows) layout.
+const corePayloadVersionV3 = 3
 
 // corePayloadVersionV2 is the pre-batch-kernel layout, kept readable.
 const corePayloadVersionV2 = 2
@@ -177,12 +185,8 @@ func (n *Network) EncodeState(w *snapshot.Writer) {
 		w.U8(bits)
 		if tb.occ[s] {
 			w.Int(int(tb.aware[s]))
-			for _, word := range tb.present[s] {
-				w.U64(word)
-			}
-			for _, word := range tb.seen[s] {
-				w.U64(word)
-			}
+			encodeRow(w, &tb.present[s])
+			encodeRow(w, &tb.seen[s])
 		}
 	}
 	// Free list, in FIFO order — slot reuse order is observable through
@@ -191,18 +195,15 @@ func (n *Network) EncodeState(w *snapshot.Writer) {
 	for _, s := range tb.free[tb.freeHead:] {
 		w.U32(s)
 	}
-	// Retired ledger, sorted by ID: map iteration order must not leak
-	// into the bytes (snapshots of equal states are byte-equal).
-	ids := make([]packet.MsgID, 0, len(tb.retired))
-	for id := range tb.retired {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	w.Int(len(ids))
-	for _, id := range ids {
+	// Retired ledger, in ring (retirement) order — the order the bounded
+	// ledger evicts in, which a resumed run must share for its future
+	// evictions (and its future snapshots) to stay byte-identical.
+	// Retirement order is deterministic, so so are these bytes.
+	w.Int(len(tb.retired))
+	tb.ledgerEach(func(id packet.MsgID, aware int32) {
 		w.Uvarint(uint64(id))
-		w.Int(int(tb.retired[id]))
-	}
+		w.Int(int(aware))
+	})
 
 	// Per-tile state.
 	w.Int(len(n.tiles))
@@ -325,7 +326,7 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 	// v2 predates the batch kernel: those runs drew per port, so they may
 	// only resume under the default kernel.
 	batch := false
-	if v >= corePayloadVersion {
+	if v >= corePayloadVersionV3 {
 		batch = sec.Bool()
 	}
 	if sec.Err() == nil && batch != n.batch {
@@ -378,10 +379,10 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("core: slot %d aware count %d out of [0, %d]", s, aware, len(n.tiles))
 		}
 		tb.aware[s] = int32(aware)
-		if err := decodeRow(sec, tb.present[s], len(n.tiles)); err != nil {
+		if err := decodeRowVersioned(sec, tb, &tb.present[s], len(n.tiles), v); err != nil {
 			return nil, fmt.Errorf("core: slot %d present row: %w", s, err)
 		}
-		if err := decodeRow(sec, tb.seen[s], len(n.tiles)); err != nil {
+		if err := decodeRowVersioned(sec, tb, &tb.seen[s], len(n.tiles), v); err != nil {
 			return nil, fmt.Errorf("core: slot %d seen row: %w", s, err)
 		}
 	}
@@ -403,7 +404,16 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 			tb.free = append(tb.free, s)
 		}
 	}
+	// Retired ledger. v4 stores it in ring (retirement) order and the ring
+	// is bounded; v2/v3 stored it sorted by ID — restored in read order,
+	// which is deterministic, so the rebuilt ring (and every future
+	// eviction) is too. Duplicate entries are impossible in either order:
+	// the map insert below would shrink the ledger against its count,
+	// caught by the length check.
 	nret := sec.Count(2)
+	if sec.Err() == nil && nret > tb.retCap {
+		return nil, fmt.Errorf("core: retired ledger holds %d entries, cap is %d", nret, tb.retCap)
+	}
 	var prev packet.MsgID
 	for i := 0; i < nret; i++ {
 		rid := packet.MsgID(sec.Uvarint())
@@ -411,10 +421,12 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 		if sec.Err() != nil {
 			break
 		}
-		if i > 0 && rid <= prev {
-			return nil, fmt.Errorf("core: retired ledger not sorted at entry %d", i)
+		if v < corePayloadVersion {
+			if i > 0 && rid <= prev {
+				return nil, fmt.Errorf("core: retired ledger not sorted at entry %d", i)
+			}
+			prev = rid
 		}
-		prev = rid
 		s := msgSlot(rid)
 		if s == 0 || int(s) > nslots || msgGen(rid) >= tb.gens[s] {
 			return nil, fmt.Errorf("core: retired ledger names impossible message %d", rid)
@@ -426,6 +438,10 @@ func RestoreSection(sec *snapshot.Reader, cfg Config) (*Network, error) {
 			tb.retired = make(map[packet.MsgID]int32, nret)
 		}
 		tb.retired[rid] = int32(aware)
+		tb.retRing = append(tb.retRing, rid)
+	}
+	if sec.Err() == nil && len(tb.retired) != len(tb.retRing) {
+		return nil, fmt.Errorf("core: retired ledger repeats an ID")
 	}
 
 	// nextID must name the table's coordinates: its slot in range, its
@@ -513,11 +529,13 @@ func restoreV1(sec *snapshot.Reader, n *Network) (*Network, error) {
 			if f&^(flagPresent|flagSeen) != 0 {
 				return nil, fmt.Errorf("core: tile %d has unknown flag bits %#x for message %d", t.id, f, id)
 			}
+			// The ascending outer tile loop makes these sparse-tier inserts
+			// (big meshes) amortized O(1) appends; small meshes are dense.
 			if f&flagPresent != 0 {
-				n.rowSet(tb.present[id], t.id)
+				n.rowSet(&tb.present[id], uint32(id), t.id)
 			}
 			if f&flagSeen != 0 {
-				n.rowSet(tb.seen[id], t.id)
+				n.rowSet(&tb.seen[id], uint32(id), t.id)
 			}
 		}
 		if err := restoreTileTraffic(sec, n, t, true); err != nil {
@@ -531,10 +549,28 @@ func restoreV1(sec *snapshot.Reader, n *Network) (*Network, error) {
 }
 
 // finishRestore recomputes the derived state a checkpoint does not carry
-// (the occupancy bitmaps the phase loops iterate) and then runs the
-// awareness cross-check against the serialized counts.
+// — the occupancy bitmaps the phase loops iterate, and the promotion
+// candidates (a sparse row at or past the threshold was flagged in the
+// original run but not yet promoted: injections between the last Step
+// and the snapshot can do that; re-deriving the flags from the row
+// lengths makes the resumed run promote at its next barrier exactly as
+// the original would) — then runs the awareness cross-check against the
+// serialized counts.
 func (n *Network) finishRestore() error {
 	n.rebuildOccupancy()
+	tb := &n.tbl
+	if tb.sparse {
+		for s := 1; s <= tb.slots(); s++ {
+			if !tb.occ[s] {
+				continue
+			}
+			if p := &tb.present[s]; p.bits == nil && len(p.list) >= tb.promoteAt {
+				tb.markPromote(uint32(s), false)
+			} else if q := &tb.seen[s]; q.bits == nil && len(q.list) >= tb.promoteAt {
+				tb.markPromote(uint32(s), false)
+			}
+		}
+	}
 	return n.crossCheckAware()
 }
 
@@ -602,6 +638,80 @@ func restoreTileTraffic(sec *snapshot.Reader, n *Network, t *tile, v1 bool) erro
 		return fmt.Errorf("core: tile %d arrival ring: %w", t.id, err)
 	}
 	return nil
+}
+
+// Row tier discriminants in the version-4 payload.
+const (
+	rowDense  uint8 = 0
+	rowSparse uint8 = 1
+)
+
+// encodeRow writes one tile-membership row: a tier byte, then the dense
+// words or the sparse list (count + strictly-ascending tiles). The tier
+// rides along so a resumed run continues with the exact row
+// representations of the original — promotion state included.
+func encodeRow(w *snapshot.Writer, r *msgRow) {
+	if r.bits != nil {
+		w.U8(rowDense)
+		for _, word := range r.bits {
+			w.U64(word)
+		}
+		return
+	}
+	w.U8(rowSparse)
+	w.Int(len(r.list))
+	for _, t := range r.list {
+		w.U32(t)
+	}
+}
+
+// decodeRowVersioned reads one row. Versions below 4 stored bare dense
+// words; version 4 prefixes a tier byte. Either way the row ends up on
+// the serialized tier: pre-v4 checkpoints restore all-dense even on
+// sparse-enabled meshes (their engines were all-dense; the rows retire
+// back to sparse normally).
+func decodeRowVersioned(sec *snapshot.Reader, tb *msgTable, r *msgRow, tiles, v int) error {
+	tier := rowDense
+	if v >= corePayloadVersion {
+		tier = sec.U8()
+	}
+	switch tier {
+	case rowDense:
+		tb.forceDense(r)
+		return decodeRow(sec, r.bits, tiles)
+	case rowSparse:
+		if !tb.sparse {
+			return fmt.Errorf("sparse row on a %d-tile mesh (dense-only)", tiles)
+		}
+		nt := sec.Count(4)
+		prev := -1
+		for i := 0; i < nt; i++ {
+			t := sec.U32()
+			if sec.Err() != nil {
+				break
+			}
+			if int(t) >= tiles || int(t) <= prev {
+				return fmt.Errorf("sparse row entry %d (tile %d) out of order or out of range", i, t)
+			}
+			prev = int(t)
+			r.list = append(r.list, t)
+		}
+		return sec.Err()
+	default:
+		if sec.Err() != nil {
+			return sec.Err()
+		}
+		return fmt.Errorf("unknown row tier %d", tier)
+	}
+}
+
+// forceDense moves an (empty) sparse row to the dense tier before a
+// dense decode; dense rows pass through.
+func (tb *msgTable) forceDense(r *msgRow) {
+	if r.bits == nil {
+		r.bits = tb.denseRow()
+		r.list = nil
+	}
 }
 
 // decodeRow reads one tile bitmap (fixed word count) and rejects set bits
@@ -762,7 +872,7 @@ func decodeRing(sec *snapshot.Reader, n *Network, t *tile, v1 bool) error {
 		if n.recycle {
 			n.addInflight(msgSlot(a.pkt.ID), 1)
 		}
-		t.ring.schedule(n.round, n.round+d, a)
+		t.ring.schedule(n.round, n.round+d, a, nil)
 	}
 	return nil
 }

@@ -1,0 +1,336 @@
+package core
+
+// Sub-TTL regime tests: meshes whose diameter dwarfs the TTL, so every
+// message dies long before reaching most tiles — the workload the
+// frontier scheduler and the two-tier (sparse/dense) message rows exist
+// for. The differential scenarios extend the seq == sharded ==
+// snapshot-resumed contract onto meshes large enough that the sparse
+// tier, the summary-level frontier and row promotion are all active;
+// the property tests pin the promotion lifecycle and the bounded
+// retired ledger directly.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// subTTLScenarios builds the differential cases: 64×64 (sparse tier
+// active, promoteAt = 128) and 256×256 (promoteAt = 1024, multi-word
+// summary level) grids with TTL ≪ diameter, broadcast churn from
+// scattered sources, and recycling on so retirement, slot reuse and
+// sparse-row resets all happen under shards.
+func subTTLScenarios() []shardScenario {
+	inject := func(tiles, count, stride int) []injection {
+		var ins []injection
+		for i := 0; i < count; i++ {
+			in := injection{
+				beforeRound: (i * 3) % 12,
+				src:         packet.TileID((i*stride + 7) % tiles),
+				dst:         packet.Broadcast,
+			}
+			if i%3 == 0 {
+				in.dst = packet.TileID((i*stride + tiles/2) % tiles)
+			}
+			ins = append(ins, in)
+		}
+		return ins
+	}
+	return []shardScenario{
+		{
+			// Diameter 126, TTL 10: each broadcast touches a few hundred of
+			// the 4096 tiles, crossing the 128-entry promotion threshold.
+			name: "subttl-64x64",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(64, 64), P: 0.9, TTL: 10,
+					MaxRounds: 1000, Seed: 0x5bb0, Recycle: true,
+				}
+			},
+			inject: inject(64*64, 10, 641),
+			rounds: 30,
+		},
+		{
+			// Diameter 510, TTL 24: the spread diamond (~1200 tiles) crosses
+			// the 1024-entry promotion threshold on a mesh whose summary
+			// level spans 16 words.
+			name: "subttl-256x256",
+			cfg: func() Config {
+				return Config{
+					Topo: topology.NewGrid(256, 256), P: 1, TTL: 24,
+					MaxRounds: 1000, Seed: 0xb16, Recycle: true,
+				}
+			},
+			inject: inject(256*256, 6, 9241),
+			rounds: 30,
+		},
+	}
+}
+
+// TestSubTTLDifferential runs each sub-TTL scenario sequentially, at
+// shard counts 2 and 5, and snapshot-resumed mid-spread, and requires
+// the full observable record — events, deliveries, counters, aware
+// tables — to be identical. This is the shard-invariance and
+// resume-identity contract on the mesh sizes where the sparse tier and
+// the frontier scheduler actually engage.
+func TestSubTTLDifferential(t *testing.T) {
+	scenarios := subTTLScenarios()
+	if testing.Short() {
+		scenarios = scenarios[:1]
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			want := runShardScenario(t, sc, 1)
+			if want.cnt.Retired == 0 {
+				t.Fatal("scenario retired nothing — sub-TTL churn is not exercising recycling")
+			}
+			for _, shards := range []int{2, 5} {
+				got := runShardScenario(t, sc, shards)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d diverged from sequential: %s",
+						shards, firstEventDiff(want.events, got.events))
+				}
+			}
+			// Resume at round 8: mid-spread, with sparse and promoted rows
+			// both live in the checkpoint, restoring into a sharded engine.
+			got, _ := runResumedScenario(t, sc, 8, 1, 2)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("snapshot-resume diverged from straight run: %s",
+					firstEventDiff(want.events, got.events))
+			}
+		})
+	}
+}
+
+// TestSparseRowPromotionLifecycle pins the two-tier row lifecycle on one
+// message: rows are born sparse on a sparse-enabled mesh, promote to the
+// dense tier at the barrier after their cardinality crosses the
+// threshold, reset to empty sparse lists when the message retires, and
+// the recycled slot's next tenant starts sparse with no trace of the old
+// tenant (no resurrection).
+func TestSparseRowPromotionLifecycle(t *testing.T) {
+	cfg := Config{
+		Topo: topology.NewGrid(64, 64), P: 1, TTL: 12,
+		MaxRounds: 1000, Seed: 4242, Recycle: true,
+	}
+	n := mustNet(t, cfg)
+	tb := &n.tbl
+	if !tb.sparse {
+		t.Fatal("64x64 mesh did not enable the sparse tier")
+	}
+
+	id := mustInject(t, n, 64*32+32, packet.Broadcast, 0, []byte("promote me"))
+	s := msgSlot(id)
+	if tb.present[s].bits != nil || tb.seen[s].bits != nil {
+		t.Fatal("fresh slot's rows are not sparse")
+	}
+
+	promoted := -1
+	for r := 0; r < 40 && n.current(id); r++ {
+		sparseLen := len(tb.seen[s].list)
+		n.Step()
+		if promoted < 0 && tb.seen[s].bits != nil {
+			promoted = n.Round()
+			// Promotion must be cardinality-driven: the pre-step sparse
+			// list, plus this round's growth, had to reach the threshold.
+			if aware := int(tb.aware[s]); aware < tb.promoteAt {
+				t.Fatalf("seen row promoted at %d aware tiles, threshold is %d (pre-step list %d)",
+					aware, tb.promoteAt, sparseLen)
+			}
+		}
+		// Whatever the tier, the incremental aware count must match a row
+		// scan — the invariant that makes the tier invisible to behavior.
+		if n.current(id) {
+			if scan := tb.awareScan(s); scan != tb.aware[s] {
+				t.Fatalf("round %d: aware %d != row scan %d", n.Round(), tb.aware[s], scan)
+			}
+		}
+	}
+	if promoted < 0 {
+		t.Fatal("TTL-12 full-P broadcast never promoted its seen row past 128 tiles")
+	}
+	if n.current(id) {
+		t.Fatal("message never retired; lifecycle not closed")
+	}
+	finalAware := n.Aware(id)
+	if finalAware < tb.promoteAt {
+		t.Fatalf("ledgered aware %d below promotion threshold %d — promotion can't have happened", finalAware, tb.promoteAt)
+	}
+
+	// Retirement must reset both rows to empty sparse lists and pool the
+	// promoted bitmaps.
+	if tb.present[s].bits != nil || tb.seen[s].bits != nil {
+		t.Fatal("retired slot's rows still dense")
+	}
+	if len(tb.present[s].list) != 0 || len(tb.seen[s].list) != 0 {
+		t.Fatal("retired slot's rows not empty")
+	}
+	if len(tb.freeRows) == 0 {
+		t.Fatal("promoted bitmap not pooled at retirement")
+	}
+
+	// The recycled slot's next tenant must start from nothing.
+	id2 := mustInject(t, n, 0, 63, 0, []byte("new tenant"))
+	if msgSlot(id2) != s || id2 == id {
+		t.Fatalf("slot not recycled: first ID %d (slot %d), second ID %d (slot %d)", id, s, id2, msgSlot(id2))
+	}
+	if tb.seen[s].bits != nil {
+		t.Fatal("recycled slot resurrected a dense row")
+	}
+	if got := n.Aware(id2); got != 1 {
+		t.Fatalf("new tenant Aware = %d, want 1 (source only)", got)
+	}
+	if got := n.Aware(id); got != finalAware {
+		t.Fatalf("retired message's ledgered Aware moved %d -> %d after slot reuse", finalAware, got)
+	}
+	for ti := 0; ti < 64*64; ti++ {
+		if n.AwareAt(id, packet.TileID(ti)) {
+			t.Fatalf("retired message resurrected awareness at tile %d", ti)
+		}
+	}
+}
+
+// TestAwareScanMixedTiers cross-checks awareScan over all tier
+// combinations of the present/seen pair against a brute-force per-tile
+// union count.
+func TestAwareScanMixedTiers(t *testing.T) {
+	cfg := Config{Topo: topology.NewGrid(64, 64), P: 1, TTL: 3, MaxRounds: 10, Seed: 1}
+	n := mustNet(t, cfg)
+	tb := &n.tbl
+	tiles := 64 * 64
+
+	brute := func(s uint32) int32 {
+		var c int32
+		for ti := 0; ti < tiles; ti++ {
+			p := n.rowBit(&tb.present[s], s, packet.TileID(ti))
+			q := n.rowBit(&tb.seen[s], s, packet.TileID(ti))
+			if p || q {
+				c++
+			}
+		}
+		return c
+	}
+	fill := func(r *msgRow, s uint32, tilesIn []int) {
+		for _, ti := range tilesIn {
+			n.rowSet(r, s, packet.TileID(ti))
+		}
+	}
+
+	a := []int{0, 5, 63, 64, 100, 4095}
+	b := []int{5, 64, 65, 200, 2048}
+	for _, denseP := range []bool{false, true} {
+		for _, denseS := range []bool{false, true} {
+			s := tb.appendSlot()
+			tb.occ[s] = true
+			if denseP {
+				tb.forceDense(&tb.present[s])
+			}
+			if denseS {
+				tb.forceDense(&tb.seen[s])
+			}
+			fill(&tb.present[s], s, a)
+			fill(&tb.seen[s], s, b)
+			if got, want := tb.awareScan(s), brute(s); got != want {
+				t.Fatalf("denseP=%v denseS=%v: awareScan = %d, brute force = %d", denseP, denseS, got, want)
+			}
+			// Clears must hold the scan equality too.
+			n.rowClear(&tb.present[s], s, 64)
+			n.rowClear(&tb.seen[s], s, 65)
+			if got, want := tb.awareScan(s), brute(s); got != want {
+				t.Fatalf("denseP=%v denseS=%v after clears: awareScan = %d, brute force = %d", denseP, denseS, got, want)
+			}
+		}
+	}
+}
+
+// TestRetiredLedgerBounded pins the ledger's memory bound: under churn
+// that retires far more messages than the ring holds, the map and ring
+// stay pinned at the cap, the survivors are exactly the most recent
+// retirees (eviction is oldest-first and deterministic), and an evicted
+// message answers Aware = 0 like a never-issued one.
+func TestRetiredLedgerBounded(t *testing.T) {
+	const ringCap = 8
+	run := func() (*Network, []packet.MsgID) {
+		cfg := Config{
+			Topo: topology.NewGrid(8, 8), P: 0.7, TTL: 3,
+			MaxRounds: 10000, Seed: 31337, Recycle: true,
+		}
+		n := mustNet(t, cfg)
+		n.tbl.retCap = ringCap
+
+		// Track retirement order via generation bumps, like the engine does.
+		lastGen := map[uint32]uint32{}
+		var retireOrder []packet.MsgID
+		for round := 0; round < 120; round++ {
+			for i := 0; i < 2; i++ {
+				src := packet.TileID((round*2 + i*31) % 64)
+				mustInject(t, n, src, packet.Broadcast, 0, nil)
+			}
+			n.Step()
+			for s := uint32(1); s <= uint32(n.issuedSlots()); s++ {
+				for g := lastGen[s]; g < n.tbl.gens[s]; g++ {
+					retireOrder = append(retireOrder, packMsgID(s, g))
+				}
+				lastGen[s] = n.tbl.gens[s]
+			}
+		}
+		return n, retireOrder
+	}
+
+	n, retireOrder := run()
+	tb := &n.tbl
+	if len(retireOrder) <= 2*ringCap {
+		t.Fatalf("only %d retirements over the run; need well over %d to exercise eviction", len(retireOrder), ringCap)
+	}
+	if len(tb.retRing) > ringCap {
+		t.Fatalf("ledger ring grew to %d entries, cap is %d", len(tb.retRing), ringCap)
+	}
+	if len(tb.retired) != len(tb.retRing) {
+		t.Fatalf("ledger map holds %d entries, ring %d — they must stay in lockstep", len(tb.retired), len(tb.retRing))
+	}
+
+	// Survivors must be a suffix of the retirement order (zero-aware
+	// retirees never enter the ledger, so walk the suffix permissively),
+	// in order.
+	var ringOrder []packet.MsgID
+	tb.ledgerEach(func(id packet.MsgID, _ int32) { ringOrder = append(ringOrder, id) })
+	j := len(ringOrder) - 1
+	for i := len(retireOrder) - 1; i >= 0 && j >= 0; i-- {
+		if retireOrder[i] == ringOrder[j] {
+			j--
+		}
+	}
+	if j >= 0 {
+		t.Fatalf("ledger ring %v is not an ordered suffix of the retirement order", ringOrder)
+	}
+
+	// Early retirees were evicted: Aware answers 0, exactly like a
+	// never-issued ID.
+	inRing := map[packet.MsgID]bool{}
+	for _, id := range ringOrder {
+		inRing[id] = true
+	}
+	evictedChecked := 0
+	for _, id := range retireOrder[:ringCap] {
+		if inRing[id] {
+			continue
+		}
+		if got := n.Aware(id); got != 0 {
+			t.Fatalf("evicted retiree %d still answers Aware = %d", id, got)
+		}
+		evictedChecked++
+	}
+	if evictedChecked == 0 {
+		t.Fatal("no early retiree was evicted — churn too light for the test to mean anything")
+	}
+
+	// Determinism: the same run evicts the same entries in the same order.
+	n2, _ := run()
+	var ringOrder2 []packet.MsgID
+	n2.tbl.ledgerEach(func(id packet.MsgID, _ int32) { ringOrder2 = append(ringOrder2, id) })
+	if !reflect.DeepEqual(ringOrder, ringOrder2) {
+		t.Fatalf("ledger eviction not deterministic:\nrun1: %v\nrun2: %v", ringOrder, ringOrder2)
+	}
+}
