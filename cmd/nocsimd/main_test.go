@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// flagNames collects every flag registered on the default FlagSet —
+// the package-level flag.Xxx declarations in main.go.
+func flagNames() []string {
+	var names []string
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		if strings.HasPrefix(f.Name, "test.") { // the test binary's own flags
+			return
+		}
+		names = append(names, f.Name)
+	})
+	return names
+}
+
+// docComment returns main.go's package doc comment (everything before
+// the `package main` line) — the text `go doc` and the README quote.
+func docComment(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatalf("read main.go: %v", err)
+	}
+	text := string(src)
+	idx := strings.Index(text, "\npackage main")
+	if idx < 0 {
+		t.Fatal("main.go has no package clause")
+	}
+	return text[:idx]
+}
+
+// TestDocCommentListsEveryFlag pins the daemon's usage text to the
+// actual flag set: adding a flag without documenting it in the doc
+// comment fails here, which is how the usage block stays current.
+func TestDocCommentListsEveryFlag(t *testing.T) {
+	doc := docComment(t)
+	for _, name := range flagNames() {
+		if !strings.Contains(doc, "-"+name) {
+			t.Errorf("flag -%s is not mentioned in the main.go doc comment", name)
+		}
+	}
+}
+
+// TestREADMEFlagTableListsEveryFlag pins the README's nocsimd flag
+// table (the marker-delimited block) to the actual flag set.
+func TestREADMEFlagTableListsEveryFlag(t *testing.T) {
+	const (
+		readme = "../../README.md"
+		begin  = "<!-- nocsimd-flags:begin -->"
+		end    = "<!-- nocsimd-flags:end -->"
+	)
+	src, err := os.ReadFile(readme)
+	if err != nil {
+		t.Fatalf("read %s: %v", readme, err)
+	}
+	text := string(src)
+	lo := strings.Index(text, begin)
+	hi := strings.Index(text, end)
+	if lo < 0 || hi < 0 || hi < lo {
+		t.Fatalf("%s is missing the %s / %s markers", readme, begin, end)
+	}
+	table := text[lo+len(begin) : hi]
+	for _, name := range flagNames() {
+		if !strings.Contains(table, "`-"+name+"`") {
+			t.Errorf("flag -%s is missing from the README nocsimd flag table", name)
+		}
+	}
+}
+
+// TestServiceDocExists pins the doc comment's pointer: docs/SERVICE.md
+// must exist as long as main.go references it.
+func TestServiceDocExists(t *testing.T) {
+	if !strings.Contains(docComment(t), "docs/SERVICE.md") {
+		t.Skip("doc comment no longer references docs/SERVICE.md")
+	}
+	if _, err := os.Stat("../../docs/SERVICE.md"); err != nil {
+		t.Fatalf("main.go references docs/SERVICE.md: %v", err)
+	}
+}

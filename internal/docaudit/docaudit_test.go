@@ -28,7 +28,7 @@ import (
 // directory.
 var audited = []string{
 	"../core", "../sim", "../metrics", "../trace",
-	"../smc", "../stats", "../gossip",
+	"../smc", "../stats", "../gossip", "../service",
 }
 
 // TestExportedIdentifiersDocumented parses each audited package
@@ -78,14 +78,26 @@ func TestPackagesHaveDocComment(t *testing.T) {
 
 // docIdentRe matches qualified identifier citations in the docs —
 // `pkg.Exported` with an optional method or field selector.
-var docIdentRe = regexp.MustCompile(`\b(core|sim|metrics|trace|smc|stats|gossip|rng|packet|topology|energy|fault)\.([A-Z][A-Za-z0-9]*)`)
+var docIdentRe = regexp.MustCompile(`\b(core|sim|metrics|trace|smc|stats|gossip|rng|packet|topology|energy|fault|service)\.([A-Z][A-Za-z0-9]*)`)
 
 // TestSMCDocReferencesExist cross-checks docs/SMC.md against the code:
 // every `pkg.Identifier` the document cites must exist as an exported
 // declaration of that package, so the reference cannot rot silently
 // when an API is renamed.
 func TestSMCDocReferencesExist(t *testing.T) {
-	const doc = "../../docs/SMC.md"
+	auditDocReferences(t, "../../docs/SMC.md")
+}
+
+// TestServiceDocReferencesExist applies the same link check to
+// docs/SERVICE.md, the simulation-as-a-service daemon's reference.
+func TestServiceDocReferencesExist(t *testing.T) {
+	auditDocReferences(t, "../../docs/SERVICE.md")
+}
+
+// auditDocReferences fails for every `pkg.Identifier` citation in doc
+// that does not exist as an exported declaration of internal/<pkg>.
+func auditDocReferences(t *testing.T, doc string) {
+	t.Helper()
 	text, err := os.ReadFile(doc)
 	if err != nil {
 		t.Fatalf("read %s: %v", doc, err)
@@ -97,11 +109,11 @@ func TestSMCDocReferencesExist(t *testing.T) {
 			exports[pkg] = exportedIdents(t, "../"+pkg)
 		}
 		if !exports[pkg][ident] {
-			t.Errorf("docs/SMC.md references %s.%s, which does not exist in internal/%s", pkg, ident, pkg)
+			t.Errorf("%s references %s.%s, which does not exist in internal/%s", doc, pkg, ident, pkg)
 		}
 	}
 	if len(exports) == 0 {
-		t.Fatal("docs/SMC.md cites no qualified identifiers — the link check is vacuous")
+		t.Fatalf("%s cites no qualified identifiers — the link check is vacuous", doc)
 	}
 }
 

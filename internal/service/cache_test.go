@@ -1,0 +1,327 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// Cache-correctness tests: byte-identical replay from disk, the
+// simulation-invocation counter staying flat on hits, singleflight
+// dedup of concurrent identical submissions, the digest-collision
+// guard, and CRC detection of corrupt entries.
+
+// TestCacheHitByteIdentical proves the caching contract end to end: a
+// repeated identical submission is served from disk — the Simulations
+// counter does not move — and its result is byte-identical to the
+// first run's.
+func TestCacheHitByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	req := smallJob(17)
+
+	_, first, aerr := postJob(t, ts.URL, req)
+	if aerr != nil {
+		t.Fatalf("submit: %v", aerr)
+	}
+	firstDone := waitState(t, ts.URL, first.ID, StateDone)
+	want := getResult(t, ts.URL, first.ID)
+	if st := srv.Stats(); st.Simulations != 1 || st.CacheHits != 0 {
+		t.Fatalf("after first run: %+v", st)
+	}
+
+	code, second, aerr := postJob(t, ts.URL, req)
+	if aerr != nil {
+		t.Fatalf("resubmit: %v", aerr)
+	}
+	if code != http.StatusOK || !second.CacheHit || second.State != StateDone {
+		t.Fatalf("resubmit = %d %+v, want 200 cache_hit done", code, second)
+	}
+	if second.ID == first.ID {
+		t.Fatal("cache hit reused the first job's ID")
+	}
+	got := getResult(t, ts.URL, second.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cached result differs from original:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	secondDone := getStatus(t, ts.URL, second.ID)
+	if !secondDone.CacheHit {
+		t.Fatal("status of cache-born job does not report cache_hit")
+	}
+	if secondDone.DeliveredRound != firstDone.DeliveredRound ||
+		secondDone.Transmissions != firstDone.Transmissions ||
+		secondDone.EnergyJ != firstDone.EnergyJ {
+		t.Fatalf("cached status %+v differs from original %+v", secondDone, firstDone)
+	}
+	st := srv.Stats()
+	if st.Simulations != 1 {
+		t.Fatalf("cache hit re-simulated: Simulations = %d", st.Simulations)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", st.CacheHits)
+	}
+
+	// The cache outlives the server: a fresh instance over the same
+	// directory serves the result without ever simulating.
+	srv2, ts2 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	code, sub, aerr := postJob(t, ts2.URL, req)
+	if aerr != nil || code != http.StatusOK || !sub.CacheHit {
+		t.Fatalf("fresh server over warm cache: %d %+v %v", code, sub, aerr)
+	}
+	if !bytes.Equal(getResult(t, ts2.URL, sub.ID), want) {
+		t.Fatal("fresh server served different bytes from the same cache entry")
+	}
+	if st := srv2.Stats(); st.Simulations != 0 {
+		t.Fatalf("fresh server simulated despite warm cache: %+v", st)
+	}
+}
+
+// TestCacheKeySeparatesConfigs verifies nearby configs never share an
+// entry: tweaking any identity field (seed, p, budget, fault model)
+// changes the key and forces a fresh simulation.
+func TestCacheKeySeparatesConfigs(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 2, CacheDir: t.TempDir()})
+	base := smallJob(23)
+	variants := []JobRequest{base, base, base, base}
+	variants[1].Seed = 24
+	variants[2].P = 0.61
+	variants[3].Fault.Upset = 0.05
+
+	results := make([][]byte, len(variants))
+	for i, v := range variants {
+		_, sub, aerr := postJob(t, ts.URL, v)
+		if aerr != nil {
+			t.Fatalf("variant %d: %v", i, aerr)
+		}
+		waitState(t, ts.URL, sub.ID, StateDone)
+		results[i] = getResult(t, ts.URL, sub.ID)
+	}
+	if st := srv.Stats(); st.Simulations != int64(len(variants)) || st.CacheHits != 0 {
+		t.Fatalf("distinct configs shared cache entries: %+v", st)
+	}
+	if bytes.Equal(results[0], results[1]) {
+		t.Fatal("different seeds produced identical series (suspicious cross-serve)")
+	}
+}
+
+// TestSingleflightDedup submits the same config many times while the
+// first submission is still running: every duplicate folds into the
+// in-flight job — same ID, deduped flag — and the simulation runs
+// exactly once.
+func TestSingleflightDedup(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	opts := Options{Workers: 1, CacheDir: t.TempDir()}
+	opts.roundHook = func(id string, round int) {
+		if round == 1 {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-release
+		}
+	}
+	srv, ts := newTestServer(t, opts)
+	t.Cleanup(func() { close(release) })
+	req := smallJob(31)
+
+	_, first, aerr := postJob(t, ts.URL, req)
+	if aerr != nil {
+		t.Fatalf("submit: %v", aerr)
+	}
+	<-entered // the job is running and parked
+
+	const dups = 8
+	var wg sync.WaitGroup
+	ids := make([]string, dups)
+	dedup := make([]bool, dups)
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sub, aerr := postJob(t, ts.URL, req)
+			if aerr != nil {
+				t.Errorf("dup %d: %v", i, aerr)
+				return
+			}
+			ids[i], dedup[i] = sub.ID, sub.Deduped
+		}(i)
+	}
+	wg.Wait()
+	release <- struct{}{}
+
+	for i := 0; i < dups; i++ {
+		if ids[i] != first.ID {
+			t.Fatalf("dup %d got job %s, want the in-flight %s", i, ids[i], first.ID)
+		}
+		if !dedup[i] {
+			t.Fatalf("dup %d not marked deduped", i)
+		}
+	}
+	waitState(t, ts.URL, first.ID, StateDone)
+	st := srv.Stats()
+	if st.Simulations != 1 {
+		t.Fatalf("%d concurrent identical submissions ran %d simulations, want exactly 1", dups+1, st.Simulations)
+	}
+	if st.Deduped != dups {
+		t.Fatalf("Deduped = %d, want %d", st.Deduped, dups)
+	}
+	if st.Accepted != 1 {
+		t.Fatalf("Accepted = %d, want 1", st.Accepted)
+	}
+}
+
+// TestCorruptEntryResimulated flips bits in a cache entry on disk and
+// verifies the CRC catches it: the entry is quarantined, the job
+// re-simulates, and the (identical) result repopulates the cache.
+func TestCorruptEntryResimulated(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	req := smallJob(47)
+
+	_, first, aerr := postJob(t, ts.URL, req)
+	if aerr != nil {
+		t.Fatalf("submit: %v", aerr)
+	}
+	waitState(t, ts.URL, first.ID, StateDone)
+	want := getResult(t, ts.URL, first.ID)
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*.res"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v (err %v), want exactly 1", entries, err)
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff // bit-rot in the middle of the payload
+	if err := os.WriteFile(entries[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, second, aerr := postJob(t, ts.URL, req)
+	if aerr != nil {
+		t.Fatalf("resubmit: %v", aerr)
+	}
+	if second.CacheHit {
+		t.Fatal("corrupt entry was served as a cache hit")
+	}
+	waitState(t, ts.URL, second.ID, StateDone)
+	if got := getResult(t, ts.URL, second.ID); !bytes.Equal(got, want) {
+		t.Fatal("re-simulated result differs from the original")
+	}
+	st := srv.Stats()
+	if st.Simulations != 2 {
+		t.Fatalf("Simulations = %d, want 2 (corrupt entry must re-simulate)", st.Simulations)
+	}
+
+	// The re-simulation healed the entry: a third submission hits.
+	code, third, aerr := postJob(t, ts.URL, req)
+	if aerr != nil || code != http.StatusOK || !third.CacheHit {
+		t.Fatalf("post-heal submit = %d %+v %v, want a cache hit", code, third, aerr)
+	}
+	if st := srv.Stats(); st.Simulations != 2 {
+		t.Fatalf("healed entry re-simulated again: %+v", st)
+	}
+}
+
+// TestCacheNeverCrossServesOnDigestCollision exercises the canon guard
+// directly: two different requests stored under the same key (a forced
+// digest collision) must never serve each other's bytes.
+func TestCacheNeverCrossServesOnDigestCollision(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := smallJob(1)
+	b := smallJob(2)
+	const key = "deadbeef-0000000000000001-r80" // same key for both: a collision
+	if err := c.Put(key, a.canonical(), []byte("series-A\n"), Status{State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+
+	if payload, _, ok := c.Get(key, a.canonical()); !ok || string(payload) != "series-A\n" {
+		t.Fatalf("matching canon missed: ok=%v payload=%q", ok, payload)
+	}
+	if _, _, ok := c.Get(key, b.canonical()); ok {
+		t.Fatal("cache served request A's result to request B across a digest collision")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+
+	// The collided writer overwrites; now B hits and A must miss.
+	if err := c.Put(key, b.canonical(), []byte("series-B\n"), Status{State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	if payload, _, ok := c.Get(key, b.canonical()); !ok || string(payload) != "series-B\n" {
+		t.Fatalf("overwritten entry: ok=%v payload=%q", ok, payload)
+	}
+	if _, _, ok := c.Get(key, a.canonical()); ok {
+		t.Fatal("stale canon served after overwrite")
+	}
+}
+
+// TestCacheEntryCRC exercises decode directly: truncation, trailing
+// garbage, bad magic, and flipped bits all fail closed.
+func TestCacheEntryCRC(t *testing.T) {
+	entry := encodeEntry([]byte("canon"), []byte(`{"state":"done"}`), []byte("payload\n"))
+	if e, ok := decodeEntry(entry); !ok || string(e.canon) != "canon" || string(e.payload) != "payload\n" {
+		t.Fatalf("round trip failed: ok=%v entry=%+v", ok, e)
+	}
+	for name, mut := range map[string]func([]byte) []byte{
+		"truncated":        func(b []byte) []byte { return b[:len(b)-3] },
+		"trailing garbage": func(b []byte) []byte { return append(append([]byte(nil), b...), 0xaa) },
+		"bad magic":        func(b []byte) []byte { b = append([]byte(nil), b...); b[0] ^= 0xff; return b },
+		"flipped bit":      func(b []byte) []byte { b = append([]byte(nil), b...); b[len(b)/2] ^= 1; return b },
+		"empty":            func([]byte) []byte { return nil },
+	} {
+		if _, ok := decodeEntry(mut(append([]byte(nil), entry...))); ok {
+			t.Errorf("%s entry decoded as valid", name)
+		}
+	}
+}
+
+// TestCorruptEntryQuarantined verifies Get deletes a corrupt file so a
+// healthy rewrite is not racing bad bytes.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := []byte("canon")
+	if err := c.Put("k", canon, []byte("ok\n"), Status{State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "k.res")
+	if err := os.WriteFile(path, []byte("NSR1 not a real entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("k", canon); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if c.Corrupt() != 1 {
+		t.Fatalf("Corrupt() = %d, want 1", c.Corrupt())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not quarantined: stat err = %v", err)
+	}
+}
+
+// TestNilCacheIsAlwaysMiss pins the disabled-cache mode.
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	if err := c.Put("k", nil, []byte("x"), Status{}); err != nil {
+		t.Fatalf("nil cache Put: %v", err)
+	}
+	if _, _, ok := c.Get("k", nil); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Hits() != 0 || c.Misses() != 0 || c.Corrupt() != 0 {
+		t.Fatal("nil cache counted")
+	}
+}

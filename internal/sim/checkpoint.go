@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -102,6 +104,13 @@ type Checkpointer struct {
 	Dir string
 	// Every is the round interval between saves; <= 0 disables saving.
 	Every int
+	// Retain is the garbage-collection retention window: Sweep removes
+	// checkpoint files whose modification time is older than Retain.
+	// <= 0 disables sweeping (files live until Remove). Size it well
+	// above the longest expected gap between a replica's saves — a file
+	// is refreshed on every save, so only replicas that stopped saving
+	// (crashed campaigns, abandoned preempted jobs) age out.
+	Retain time.Duration
 }
 
 // Active reports whether this checkpointer will ever save.
@@ -148,6 +157,57 @@ func (c *Checkpointer) Save(meta CheckpointMeta, net *core.Network, rec *metrics
 		return fmt.Errorf("sim: checkpoint: %w", err)
 	}
 	return nil
+}
+
+// Remove deletes replica's checkpoint file, if any. Call it when the
+// replica completes: a finished run's checkpoint is dead weight, and
+// removing it is what lets a resumed-then-completed campaign leave the
+// checkpoint directory empty. A missing file is not an error.
+func (c *Checkpointer) Remove(replica int) error {
+	err := os.Remove(CheckpointPath(c.Dir, replica))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("sim: checkpoint remove: %w", err)
+	}
+	return nil
+}
+
+// Sweep garbage-collects stale checkpoint files: every replica-*.ckpt
+// in Dir whose modification time is older than now minus Retain is
+// deleted, and the number removed is reported. Saves refresh a file's
+// mtime, so live replicas are never swept — only files nothing has
+// touched for a full retention window (interrupted campaigns that were
+// never resumed, preempted jobs whose owner vanished). A nil sweep —
+// no Dir, Retain <= 0, or the directory absent — removes nothing.
+func (c *Checkpointer) Sweep(now time.Time) (int, error) {
+	if c == nil || c.Dir == "" || c.Retain <= 0 {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(c.Dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("sim: checkpoint sweep: %w", err)
+	}
+	cutoff := now.Add(-c.Retain)
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "replica-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a concurrent remove
+		}
+		if info.ModTime().After(cutoff) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(c.Dir, name)); err == nil {
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // LoadReplica restores one replica from dir's checkpoint file. A missing
